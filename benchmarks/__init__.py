@@ -1,0 +1,1 @@
+"""Benchmark suite (pytest-benchmark): one bench per paper figure plus ablations."""

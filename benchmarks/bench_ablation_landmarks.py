@@ -1,0 +1,79 @@
+"""Ablation: landmark count and placement strategy.
+
+The paper uses 15 landmarks and warns that too few cause false
+clustering (physically distant nodes with similar vectors).  This bench
+sweeps the landmark count and compares random vs spread placement by
+the resulting transfer-distance concentration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from benchmarks.conftest import emit
+from repro.core import BalancerConfig, LoadBalancer
+from repro.topology import TransitStubParams
+from repro.workloads import GaussianLoadModel, build_scenario
+
+LANDMARK_COUNTS = (2, 5, 15)
+
+ABLATION_TS = TransitStubParams(
+    transit_domains=4,
+    transit_nodes_per_domain=2,
+    stub_domains_per_transit=3,
+    stub_nodes_mean=18,
+    name="landmark-ablation-ts",
+)
+
+
+def run_config(settings, m, strategy):
+    scenario = build_scenario(
+        GaussianLoadModel(mu=settings.mu, sigma=settings.sigma),
+        num_nodes=min(settings.num_nodes, 384),
+        vs_per_node=settings.vs_per_node,
+        topology_params=ABLATION_TS,
+        rng=settings.seed,
+    )
+    lb = LoadBalancer(
+        scenario.ring,
+        BalancerConfig(
+            proximity_mode="aware",
+            epsilon=settings.epsilon,
+            num_landmarks=m,
+            landmark_strategy=strategy,
+            grid_bits=settings.grid_bits,
+        ),
+        topology=scenario.topology,
+        oracle=scenario.oracle,
+        rng=settings.balancer_seed,
+    )
+    return lb.run_round()
+
+
+def test_ablation_landmarks(benchmark, settings, report_lines):
+    def run_all():
+        out = {}
+        for m in LANDMARK_COUNTS:
+            out[(m, "spread")] = run_config(settings, m, "spread")
+        out[(15, "random")] = run_config(settings, 15, "random")
+        return out
+
+    reports = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [f"  {'landmarks':>10} {'strategy':>9} {'mean distance':>14} "
+             f"{'within 6':>9} {'heavy after':>12}"]
+    for (m, strat), r in reports.items():
+        lines.append(
+            f"  {m:>10} {strat:>9} {r.transfer_distances.mean():>14.2f} "
+            f"{100 * r.moved_load_within(6):>8.1f}% {r.heavy_after:>12}"
+        )
+    emit(report_lines, "Ablation: landmark count/strategy", "\n".join(lines))
+
+    # All configurations balance; 15 landmarks should not do worse than 2
+    # on distance concentration (false-clustering argument).
+    for r in reports.values():
+        assert r.heavy_after <= r.heavy_before // 20
+    assert (
+        reports[(15, "spread")].moved_load_within(6)
+        >= reports[(2, "spread")].moved_load_within(6) * 0.8
+    )

@@ -1,0 +1,80 @@
+"""Ablation: the rendezvous list-length threshold (paper example: 30).
+
+A lower threshold lets KT nodes pair earlier (deeper in the tree, among
+entries published under closer keys); a higher threshold defers pairing
+upwards where lists are longer and best-fit matching has more choice.
+This bench measures the effect on pairing depth and (with a topology)
+transfer distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from benchmarks.conftest import emit
+from repro.core import BalancerConfig, LoadBalancer
+from repro.workloads import GaussianLoadModel, build_scenario
+from tests.conftest import MINI_TS
+from repro.topology import TransitStubParams
+
+THRESHOLDS = (2, 10, 30, 100)
+
+ABLATION_TS = TransitStubParams(
+    transit_domains=3,
+    transit_nodes_per_domain=2,
+    stub_domains_per_transit=4,
+    stub_nodes_mean=20,
+    name="ablation-ts",
+)
+
+
+def run_for_threshold(settings, threshold):
+    scenario = build_scenario(
+        GaussianLoadModel(mu=settings.mu, sigma=settings.sigma),
+        num_nodes=min(settings.num_nodes, 400),
+        vs_per_node=settings.vs_per_node,
+        topology_params=ABLATION_TS,
+        rng=settings.seed,
+    )
+    lb = LoadBalancer(
+        scenario.ring,
+        BalancerConfig(
+            proximity_mode="aware",
+            epsilon=settings.epsilon,
+            rendezvous_threshold=threshold,
+            grid_bits=settings.grid_bits,
+        ),
+        topology=scenario.topology,
+        oracle=scenario.oracle,
+        rng=settings.balancer_seed,
+    )
+    return lb.run_round()
+
+
+def mean_pairing_level(report):
+    pairs = [(t.level, t.load) for t in report.transfers]
+    total = sum(w for _, w in pairs)
+    return sum(l * w for l, w in pairs) / total if total else 0.0
+
+
+def test_ablation_threshold(benchmark, settings, report_lines):
+    def run_all():
+        return {t: run_for_threshold(settings, t) for t in THRESHOLDS}
+
+    reports = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [f"  {'threshold':>10} {'mean pair level':>16} {'mean distance':>14} "
+             f"{'within 10':>10} {'heavy after':>12}"]
+    for t, r in reports.items():
+        lines.append(
+            f"  {t:>10} {mean_pairing_level(r):>16.2f} "
+            f"{r.transfer_distances.mean():>14.2f} "
+            f"{100 * r.moved_load_within(10):>9.1f}% {r.heavy_after:>12}"
+        )
+    emit(report_lines, "Ablation: rendezvous threshold", "\n".join(lines))
+
+    # Lower thresholds pair deeper in the tree.
+    assert mean_pairing_level(reports[2]) >= mean_pairing_level(reports[100])
+    # All settings fully balance.
+    for r in reports.values():
+        assert r.heavy_after <= r.heavy_before // 20

@@ -1,0 +1,59 @@
+"""Ablation: K-nary tree degree (paper checked K=2 against K=8).
+
+Measures tree height, phase rounds and balance quality for K in
+{2, 4, 8}.  Expected: higher K shortens every phase without changing
+balance quality ("we observed similar results on the degree of 8").
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from benchmarks.conftest import emit
+from repro.core import BalancerConfig, LoadBalancer
+from repro.workloads import GaussianLoadModel, build_scenario
+
+
+def run_for_degree(settings, k):
+    scenario = build_scenario(
+        GaussianLoadModel(mu=settings.mu, sigma=settings.sigma),
+        num_nodes=settings.num_nodes,
+        vs_per_node=settings.vs_per_node,
+        rng=settings.seed,
+    )
+    lb = LoadBalancer(
+        scenario.ring,
+        BalancerConfig(
+            proximity_mode="ignorant", epsilon=settings.epsilon, tree_degree=k
+        ),
+        rng=settings.balancer_seed,
+    )
+    return lb.run_round()
+
+
+def test_ablation_tree_degree(benchmark, settings, report_lines):
+    degrees = (2, 4, 8)
+
+    def run_all():
+        return {k: run_for_degree(settings, k) for k in degrees}
+
+    reports = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [f"  {'K':>3} {'height':>7} {'agg rounds':>11} {'vsa rounds':>11} "
+             f"{'heavy before':>13} {'heavy after':>12} {'moved load':>12}"]
+    for k, r in reports.items():
+        lines.append(
+            f"  {k:>3} {r.tree_height:>7} {r.aggregation.total_rounds:>11} "
+            f"{r.vsa.rounds:>11} {r.heavy_before:>13} {r.heavy_after:>12} "
+            f"{r.moved_load:>12.4g}"
+        )
+    emit(report_lines, "Ablation: tree degree K", "\n".join(lines))
+
+    # Higher degree => shallower tree and fewer rounds.
+    assert reports[8].tree_height < reports[4].tree_height < reports[2].tree_height
+    assert reports[8].vsa.rounds < reports[2].vsa.rounds
+    # Balance quality unchanged (paper's observation).
+    for r in reports.values():
+        assert r.heavy_after == 0
+    moved = [r.moved_load for r in reports.values()]
+    assert max(moved) < 1.2 * min(moved)

@@ -1,0 +1,80 @@
+"""Benchmark: the paper's scheme against Rao et al. and CFS baselines.
+
+Positions the reproduction in the related-work landscape (Sections 1.1
+and 6):
+
+* many-to-many (Rao) balances about as well as the paper's tree-based
+  VSA — same assignment policy, but centralised and proximity-blind;
+* one-to-one / one-to-many are weaker matchers;
+* CFS shedding exhibits the load-thrashing the paper criticises
+  (removals push successors over their targets).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.baselines import (
+    run_cfs_shedding,
+    run_many_to_many,
+    run_one_to_many,
+    run_one_to_one,
+)
+from repro.core import BalancerConfig, LoadBalancer
+from repro.workloads import GaussianLoadModel, build_scenario
+
+
+def fresh_scenario(settings):
+    return build_scenario(
+        GaussianLoadModel(mu=settings.mu, sigma=settings.sigma),
+        num_nodes=settings.num_nodes,
+        vs_per_node=settings.vs_per_node,
+        rng=settings.seed,
+    )
+
+
+def test_baseline_comparison(benchmark, settings, report_lines):
+    def run_all():
+        out = {}
+        sc = fresh_scenario(settings)
+        lb = LoadBalancer(
+            sc.ring,
+            BalancerConfig(proximity_mode="ignorant", epsilon=settings.epsilon),
+            rng=settings.balancer_seed,
+        )
+        rep = lb.run_round()
+        out["paper-vsa"] = (rep.heavy_before, rep.heavy_after, rep.moved_load, len(rep.transfers))
+
+        r = run_many_to_many(fresh_scenario(settings).ring, epsilon=settings.epsilon)
+        out["many-to-many"] = (r.heavy_before, r.heavy_after, r.moved_load, r.transfers)
+        r = run_one_to_many(
+            fresh_scenario(settings).ring, epsilon=settings.epsilon, rng=1
+        )
+        out["one-to-many"] = (r.heavy_before, r.heavy_after, r.moved_load, r.transfers)
+        r = run_one_to_one(
+            fresh_scenario(settings).ring, epsilon=settings.epsilon, rng=1
+        )
+        out["one-to-one"] = (r.heavy_before, r.heavy_after, r.moved_load, r.transfers)
+        c = run_cfs_shedding(
+            fresh_scenario(settings).ring, epsilon=settings.epsilon, max_rounds=5
+        )
+        out["cfs-shed"] = (c.heavy_before, c.heavy_after, c.shed_load, c.removals)
+        out["cfs-thrash"] = c.total_thrash
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [f"  {'scheme':>13} {'heavy before':>13} {'heavy after':>12} "
+             f"{'load moved':>12} {'ops':>6}"]
+    for name in ("paper-vsa", "many-to-many", "one-to-many", "one-to-one", "cfs-shed"):
+        hb, ha, moved, ops = results[name]
+        lines.append(f"  {name:>13} {hb:>13} {ha:>12} {moved:>12.4g} {ops:>6}")
+    lines.append(f"  CFS thrash (nodes pushed heavy by shedding): {results['cfs-thrash']}")
+    emit(report_lines, "Baselines: paper VSA vs Rao et al. vs CFS", "\n".join(lines))
+
+    paper_after = results["paper-vsa"][1]
+    # The paper's scheme matches the strongest baseline...
+    assert paper_after <= results["many-to-many"][1] + 3
+    # ...and beats the weak randomised matchers.
+    assert paper_after <= results["one-to-one"][1]
+    # CFS thrashing is real.
+    assert results["cfs-thrash"] > 0

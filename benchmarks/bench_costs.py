@@ -1,0 +1,81 @@
+"""Benchmark: full protocol cost sheet, aware vs ignorant.
+
+The paper's efficiency argument in one table: proximity-aware balancing
+pays a *control-plane* premium (publishing VSA records into the DHT
+costs O(log #VS) overlay hops each) and wins it back many times over on
+the *data plane* (bytes x distance of actual virtual-server transfers,
+the bandwidth consumption of figure 7's discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from benchmarks.conftest import emit
+from repro.core import BalancerConfig, LoadBalancer, cost_sheet
+from repro.topology import TS5K_LARGE
+from repro.workloads import GaussianLoadModel, build_scenario
+
+
+def run_mode(settings, mode):
+    scenario = build_scenario(
+        GaussianLoadModel(mu=settings.mu, sigma=settings.sigma),
+        num_nodes=settings.num_nodes,
+        vs_per_node=settings.vs_per_node,
+        topology_params=TS5K_LARGE,
+        rng=settings.seed,
+    )
+    balancer = LoadBalancer(
+        scenario.ring,
+        BalancerConfig(
+            proximity_mode=mode, epsilon=settings.epsilon, grid_bits=settings.grid_bits
+        ),
+        topology=scenario.topology,
+        oracle=scenario.oracle,
+        rng=settings.balancer_seed,
+    )
+    report = balancer.run_round()
+    return cost_sheet(report, scenario.ring, rng=0)
+
+
+def test_cost_sheet_aware_vs_ignorant(benchmark, settings, report_lines):
+    s = replace(settings, num_nodes=max(settings.num_nodes, 2048))
+
+    def run_all():
+        return {mode: run_mode(s, mode) for mode in ("aware", "ignorant")}
+
+    sheets = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [f"  {'':>22} {'aware':>14} {'ignorant':>14}"]
+    rows = [
+        ("LBI messages", "lbi_messages", "d"),
+        ("VSA upward messages", "vsa_upward_messages", "d"),
+        ("publication messages", "publication_messages", "d"),
+        ("control total", "control_messages", "d"),
+        ("transfers", "transfers", "d"),
+        ("moved load", "moved_load", "g"),
+        ("load x distance", "load_weighted_distance", "g"),
+        ("mean transfer dist", "mean_transfer_distance", "f"),
+    ]
+    for label, attr, kind in rows:
+        a = getattr(sheets["aware"], attr)
+        b = getattr(sheets["ignorant"], attr)
+        if kind == "d":
+            lines.append(f"  {label:>22} {a:>14d} {b:>14d}")
+        elif kind == "f":
+            lines.append(f"  {label:>22} {a:>14.2f} {b:>14.2f}")
+        else:
+            lines.append(f"  {label:>22} {a:>14.4g} {b:>14.4g}")
+    ratio = (
+        sheets["ignorant"].load_weighted_distance
+        / sheets["aware"].load_weighted_distance
+    )
+    lines.append(f"  data-plane saving (load x distance): {ratio:.1f}x")
+    emit(report_lines, "Extension: protocol cost sheet (ts5k-large)", "\n".join(lines))
+
+    aware, ignorant = sheets["aware"], sheets["ignorant"]
+    # Aware pays for publication on the control plane ...
+    assert aware.publication_messages > 0
+    assert ignorant.publication_messages == 0
+    # ... and wins on the data plane by a wide margin.
+    assert aware.load_weighted_distance < ignorant.load_weighted_distance / 1.5

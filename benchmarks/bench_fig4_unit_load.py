@@ -1,0 +1,24 @@
+"""Benchmark regenerating Figure 4: unit load before/after balancing.
+
+Paper rows reproduced:
+
+* ~75% of nodes heavy before balancing (Gaussian loads, Gnutella
+  capacities, 4096 nodes x 5 virtual servers);
+* all heavy nodes light after one balancing round.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments import fig4
+
+
+def test_fig4_unit_load(benchmark, settings, report_lines):
+    result = benchmark.pedantic(
+        lambda: fig4.run(settings), rounds=1, iterations=1
+    )
+    emit(report_lines, "Figure 4 (unit load before/after)", result.format_rows())
+
+    # Shape assertions: the paper's two headline observations.
+    assert 0.6 <= result.data.heavy_fraction_before <= 0.9
+    assert result.data.heavy_after == 0

@@ -1,0 +1,28 @@
+"""Benchmark regenerating Figure 5: capacity alignment under Gaussian loads.
+
+Paper row reproduced: after balancing, mean load per capacity category
+increases with capacity — higher-capacity nodes carry more load.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.experiments import fig5
+
+
+def test_fig5_gaussian_alignment(benchmark, settings, report_lines):
+    result = benchmark.pedantic(
+        lambda: fig5.run(settings), rounds=1, iterations=1
+    )
+    emit(report_lines, "Figure 5 (Gaussian capacity alignment)", result.format_rows())
+
+    means_after = result.data.mean_loads_after()
+    assert np.all(np.diff(means_after) >= -1e-9), "alignment must be monotone"
+    # Before balancing, load placement is capacity-blind: the mean load of
+    # the lowest and highest capacity categories are of the same order.
+    means_before = result.data.mean_loads_before()
+    assert means_before[-1] < 10 * means_before[0]
+    # After, the top category carries orders of magnitude more than the bottom.
+    assert means_after[-1] > 50 * max(means_after[0], 1e-12)

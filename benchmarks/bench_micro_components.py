@@ -1,0 +1,99 @@
+"""Micro-benchmarks of the hot components (true pytest-benchmark timing).
+
+These are throughput benchmarks, not figure regenerations: ring
+ownership queries, Hilbert encoding, tree construction, Dijkstra rows
+and the rendezvous pairing loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ShedCandidate, SpareCapacity, pair_rendezvous
+from repro.dht import ChordRing, lookup_hops
+from repro.idspace import IdentifierSpace
+from repro.ktree import KnaryTree
+from repro.proximity import HilbertCurve
+from repro.topology import DistanceOracle, TransitStubParams, generate_transit_stub
+
+
+@pytest.fixture(scope="module")
+def ring():
+    r = ChordRing(IdentifierSpace(bits=32))
+    r.populate(1024, 5, [1.0] * 1024, rng=0)
+    return r
+
+
+def test_ring_successor_queries(benchmark, ring):
+    gen = np.random.default_rng(1)
+    keys = gen.integers(0, ring.space.size, size=1000)
+
+    def run():
+        for k in keys.tolist():
+            ring.successor(int(k))
+
+    benchmark(run)
+
+
+def test_ring_bulk_successors(benchmark, ring):
+    gen = np.random.default_rng(2)
+    keys = gen.integers(0, ring.space.size, size=10_000)
+    benchmark(lambda: ring.successors(keys))
+
+
+def test_chord_lookup_routing(benchmark, ring):
+    gen = np.random.default_rng(3)
+    starts = [ring.virtual_servers[int(i)] for i in gen.integers(0, 5120, size=50)]
+    keys = gen.integers(0, ring.space.size, size=50)
+
+    def run():
+        for s, k in zip(starts, keys.tolist()):
+            lookup_hops(ring, s, int(k))
+
+    benchmark(run)
+
+
+def test_hilbert_encode_15d(benchmark):
+    hc = HilbertCurve(dims=15, bits=4)
+    gen = np.random.default_rng(4)
+    points = gen.integers(0, 16, size=(500, 15))
+    benchmark(lambda: hc.encode_many(points))
+
+
+def test_lazy_tree_materialisation(benchmark, ring):
+    gen = np.random.default_rng(5)
+    keys = gen.integers(0, ring.space.size, size=500).tolist()
+
+    def run():
+        tree = KnaryTree(ring, 2)
+        for k in keys:
+            tree.ensure_leaf_for_key(int(k))
+        return tree.node_count
+
+    benchmark(run)
+
+
+def test_dijkstra_row(benchmark):
+    topo = generate_transit_stub(
+        TransitStubParams(3, 2, 3, 20, name="micro-ts"), rng=6
+    )
+
+    def run():
+        oracle = DistanceOracle(topo)  # fresh cache each round
+        oracle.distances_from(0)
+
+    benchmark(run)
+
+
+def test_rendezvous_pairing_loop(benchmark):
+    gen = np.random.default_rng(7)
+    heavy = [
+        ShedCandidate(load=float(l), vs_id=i, node_index=i)
+        for i, l in enumerate(gen.uniform(1, 100, size=500))
+    ]
+    light = [
+        SpareCapacity(delta=float(d), node_index=1000 + i)
+        for i, d in enumerate(gen.uniform(1, 200, size=500))
+    ]
+    benchmark(lambda: pair_rendezvous(list(heavy), list(light), 1.0, level=3))

@@ -1,0 +1,33 @@
+"""Benchmark regenerating the O(log_K N) phase-time claim (K = 2 and 8).
+
+Paper rows reproduced: LBI aggregation, dissemination and VSA all
+complete in rounds proportional to ``log_K`` of the system size, with
+similar balance results for both degrees.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments import timing
+
+
+def test_timing_logk(benchmark, settings, report_lines):
+    result = benchmark.pedantic(
+        lambda: timing.run(settings), rounds=1, iterations=1
+    )
+    emit(report_lines, "Timing (O(log_K N) rounds)", result.format_rows())
+
+    by_k: dict[int, list] = {}
+    for t in result.timings:
+        by_k.setdefault(t.tree_degree, []).append(t)
+    for k, ts in by_k.items():
+        # height / log_K(#VS) stays bounded across the sweep: O(log_K N).
+        ratios = [t.height_per_log for t in ts]
+        assert max(ratios) < 4.0
+        # Rounds grow sub-linearly: 8x nodes < 2x rounds.
+        assert ts[-1].vsa_rounds < 2 * ts[0].vsa_rounds
+    # K=8 trees are shallower than K=2 at equal size.
+    k2 = {t.num_nodes: t for t in by_k[2]}
+    k8 = {t.num_nodes: t for t in by_k[8]}
+    for n in k2:
+        assert k8[n].tree_height < k2[n].tree_height

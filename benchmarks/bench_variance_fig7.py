@@ -1,0 +1,33 @@
+"""Benchmark: seed variance (error bars) of the figure-7 numbers.
+
+The paper ran 10 GT-ITM graph instances per topology; this bench
+replicates the ts5k-large experiment across fresh seeds and reports
+mean +/- std for the headline within-distance fractions, confirming the
+aware-vs-ignorant gap is not a single-draw artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from benchmarks.conftest import emit
+from repro.experiments import variance
+
+
+def test_variance_fig7(benchmark, settings, report_lines):
+    s = replace(settings, num_nodes=max(settings.num_nodes, 1024))
+    result = benchmark.pedantic(
+        lambda: variance.run(s, num_seeds=3), rounds=1, iterations=1
+    )
+    emit(report_lines, "Seed variance of figure 7", result.format_rows())
+
+    m = result.metrics
+    # In every replication, aware dominates ignorant.
+    for a, b in zip(
+        m["aware_within_10"].values, m["ignorant_within_10"].values
+    ):
+        assert a > b
+    # And the gap is far larger than the seed noise.
+    gap = m["aware_within_10"].mean - m["ignorant_within_10"].mean
+    noise = m["aware_within_10"].std + m["ignorant_within_10"].std
+    assert gap > 2 * noise

@@ -1,0 +1,36 @@
+"""Shared benchmark configuration.
+
+Benchmarks default to a reduced scale (512 nodes) so the suite runs in
+about a minute; set ``REPRO_SCALE=paper`` to run everything at the
+paper's 4096-node scale.  Every figure bench prints a paper-vs-measured
+table through the ``figure_table`` helper so ``pytest benchmarks/
+--benchmark-only -s`` regenerates the evaluation section.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentSettings
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    return ExperimentSettings.from_env()
+
+
+@pytest.fixture(scope="session")
+def report_lines():
+    """Collect result tables; print them once at session end."""
+    lines: list[str] = []
+    yield lines
+    if lines:
+        print("\n" + "\n".join(lines))
+
+
+def emit(report_lines: list[str], title: str, body: str) -> None:
+    report_lines.append("")
+    report_lines.append("=" * 72)
+    report_lines.append(title)
+    report_lines.append("=" * 72)
+    report_lines.append(body)

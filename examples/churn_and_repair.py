@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Churn, K-nary tree self-repair, and periodic rebalancing.
+
+Exercises the operational story of Section 3.1.1: peers join, leave and
+crash; the K-nary tree repairs itself with a bounded number of periodic
+maintenance passes; and the balancer keeps the system fair across
+churn epochs.
+
+Run:  python examples/churn_and_repair.py
+"""
+
+from repro import BalancerConfig, GaussianLoadModel, KnaryTree, LoadBalancer, build_scenario
+from repro.sim import ChurnProcess
+from repro.workloads import GnutellaCapacityProfile
+
+
+def main():
+    scenario = build_scenario(
+        GaussianLoadModel(mu=100_000, sigma=500),
+        num_nodes=128,
+        vs_per_node=4,
+        rng=42,
+    )
+    ring = scenario.ring
+    tree = KnaryTree(ring, k=2)
+    tree.build_full()
+    print(f"initial system: {len(ring.alive_nodes)} nodes, "
+          f"{ring.num_virtual_servers} virtual servers, "
+          f"tree height {tree.height()}, {tree.node_count} KT nodes")
+
+    profile = GnutellaCapacityProfile()
+    balancer = LoadBalancer(
+        ring, BalancerConfig(proximity_mode="ignorant", epsilon=0.05), rng=7
+    )
+
+    for epoch in range(3):
+        # --- churn phase -------------------------------------------------
+        process = ChurnProcess(
+            ring,
+            tree,
+            join_rate=1.0,
+            leave_rate=0.5,
+            crash_rate=0.5,
+            vs_per_join=4,
+            capacity_sampler=lambda gen: float(profile.sample(1, gen)[0]),
+            rng=100 + epoch,
+        )
+        trace = process.run(num_events=20)
+        print(f"\nepoch {epoch}: {trace.stats.joins} joins, "
+              f"{trace.stats.leaves} leaves, {trace.stats.crashes} crashes; "
+              f"tree repaired within {trace.max_refreshes} maintenance passes "
+              f"per event (height {tree.height()})")
+        tree.check_invariants()
+        ring.check_invariants()
+
+        # --- rebalance phase ----------------------------------------------
+        report = balancer.run_round()
+        print(f"         rebalance: heavy {report.heavy_before} -> "
+              f"{report.heavy_after}, moved {report.moved_load:.3g} load in "
+              f"{len(report.transfers)} transfers "
+              f"({report.vsa.rounds} VSA rounds)")
+
+    print(f"\nfinal system: {len(ring.alive_nodes)} nodes, "
+          f"{ring.num_virtual_servers} virtual servers")
+
+
+if __name__ == "__main__":
+    main()

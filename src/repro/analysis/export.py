@@ -1,0 +1,112 @@
+"""Exporting figure data to CSV/JSON for downstream plotting.
+
+The library never plots (keeping dependencies minimal); instead every
+figure's data product can be dumped to plain CSV/JSON and fed to any
+plotting stack.  Formats are stable: one file per figure series, headers
+included.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.figures import Figure4Data, Figure56Data, Figure78Data
+
+
+def _ensure_dir(path: Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+
+def export_figure4_csv(data: Figure4Data, path: str | Path) -> Path:
+    """Write the per-node unit-load scatter (before/after) as CSV."""
+    out = Path(path)
+    _ensure_dir(out)
+    with out.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["node", "unit_load_before", "unit_load_after"])
+        for node, before, after in zip(
+            data.node_ids.tolist(),
+            data.unit_before.tolist(),
+            data.unit_after.tolist(),
+        ):
+            writer.writerow([node, f"{before:.6g}", f"{after:.6g}"])
+    return out
+
+
+def export_figure56_csv(data: Figure56Data, path: str | Path) -> Path:
+    """Write the per-capacity-category summary as CSV."""
+    out = Path(path)
+    _ensure_dir(out)
+    with out.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            [
+                "capacity",
+                "count",
+                "mean_load_before",
+                "mean_load_after",
+                "share_before",
+                "share_after",
+            ]
+        )
+        for cap in data.categories.tolist():
+            row = data.summary[float(cap)]
+            writer.writerow(
+                [
+                    f"{cap:g}",
+                    row["count"],
+                    f"{row['mean_load_before']:.6g}",
+                    f"{row['mean_load_after']:.6g}",
+                    f"{row['share_before']:.6g}",
+                    f"{row['share_after']:.6g}",
+                ]
+            )
+    return out
+
+
+def export_figure78_csv(data: Figure78Data, path: str | Path) -> Path:
+    """Write the moved-load histogram (aware vs ignorant) as CSV."""
+    out = Path(path)
+    _ensure_dir(out)
+    edges = data.bin_edges
+    with out.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["bin_low", "bin_high", "aware_fraction", "ignorant_fraction"])
+        for i in range(len(edges) - 1):
+            writer.writerow(
+                [
+                    f"{edges[i]:g}",
+                    f"{edges[i + 1]:g}",
+                    f"{data.aware_hist[i]:.6g}",
+                    f"{data.ignorant_hist[i]:.6g}",
+                ]
+            )
+    return out
+
+
+def export_figure78_json(data: Figure78Data, path: str | Path) -> Path:
+    """Write the full figure-7/8 product (hists, CDFs, marks) as JSON."""
+    out = Path(path)
+    _ensure_dir(out)
+    payload = {
+        "topology": data.topology_name,
+        "bin_edges": data.bin_edges.tolist(),
+        "aware_hist": data.aware_hist.tolist(),
+        "ignorant_hist": data.ignorant_hist.tolist(),
+        "aware_cdf": {
+            "x": np.asarray(data.aware_cdf[0]).tolist(),
+            "p": np.asarray(data.aware_cdf[1]).tolist(),
+        },
+        "ignorant_cdf": {
+            "x": np.asarray(data.ignorant_cdf[0]).tolist(),
+            "p": np.asarray(data.ignorant_cdf[1]).tolist(),
+        },
+        "aware_within": {str(k): v for k, v in data.aware_within.items()},
+        "ignorant_within": {str(k): v for k, v in data.ignorant_within.items()},
+    }
+    out.write_text(json.dumps(payload, indent=2))
+    return out

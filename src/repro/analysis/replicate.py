@@ -1,0 +1,65 @@
+"""Replication across seeds: mean +/- std for any experiment metric.
+
+Single-seed results can mislead (one topology draw, one capacity draw);
+this module re-runs a metric-producing function across seeds and
+summarises each metric.  Used by the variance experiment to put error
+bars on the headline figure-7 numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ReplicatedMetric:
+    """Mean/std/min/max of one metric across replications."""
+
+    name: str
+    values: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.values))
+
+    @property
+    def minimum(self) -> float:
+        return float(np.min(self.values))
+
+    @property
+    def maximum(self) -> float:
+        return float(np.max(self.values))
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} +/- {self.std:.2g}"
+
+
+def replicate(
+    metric_fn: Callable[[int], dict[str, float]],
+    seeds: Iterable[int],
+) -> dict[str, ReplicatedMetric]:
+    """Run ``metric_fn(seed)`` for every seed and summarise each metric.
+
+    Every replication must return the same metric keys; a missing key
+    raises ``KeyError`` so silent metric drift cannot occur.
+    """
+    seeds = list(seeds)
+    if not seeds:
+        raise ValueError("need at least one seed")
+    rows = [metric_fn(seed) for seed in seeds]
+    keys = list(rows[0].keys())
+    for row in rows[1:]:
+        missing = set(keys) ^ set(row.keys())
+        if missing:
+            raise KeyError(f"inconsistent metric keys across seeds: {missing}")
+    return {
+        key: ReplicatedMetric(name=key, values=tuple(float(r[key]) for r in rows))
+        for key in keys
+    }

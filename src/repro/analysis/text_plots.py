@@ -1,0 +1,82 @@
+"""Plain-text plots for terminal output (CLI and examples).
+
+No plotting dependency is shipped; these helpers render the figures'
+shapes directly in the terminal: horizontal bar histograms and CDF
+staircases.  They are deliberately simple — for publication-grade plots
+export the data (:mod:`repro.analysis.export`) into your plotting stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ascii_histogram(
+    labels: list[str],
+    values: np.ndarray | list[float],
+    width: int = 40,
+    fill: str = "#",
+) -> str:
+    """Horizontal bar chart: one row per label, bars scaled to ``width``."""
+    vals = np.asarray(values, dtype=np.float64)
+    if len(labels) != len(vals):
+        raise ValueError("labels and values must have equal length")
+    if vals.size == 0:
+        return "(empty histogram)"
+    if np.any(vals < 0):
+        raise ValueError("histogram values must be non-negative")
+    peak = vals.max()
+    label_w = max(len(l) for l in labels)
+    lines = []
+    for label, v in zip(labels, vals):
+        bar = fill * int(round(width * v / peak)) if peak > 0 else ""
+        lines.append(f"{label:>{label_w}} | {bar} {v:.3g}")
+    return "\n".join(lines)
+
+
+def ascii_cdf(
+    xs: np.ndarray | list[float],
+    ps: np.ndarray | list[float],
+    width: int = 50,
+    height: int = 12,
+    marker: str = "*",
+) -> str:
+    """A staircase CDF rendered on a character grid.
+
+    ``ps`` must be non-decreasing in [0, 1] (an empirical CDF).
+    """
+    x = np.asarray(xs, dtype=np.float64)
+    p = np.asarray(ps, dtype=np.float64)
+    if x.size == 0:
+        return "(empty cdf)"
+    if x.shape != p.shape:
+        raise ValueError("xs and ps must have equal length")
+    if np.any(np.diff(p) < -1e-12) or p.min() < -1e-12 or p.max() > 1 + 1e-12:
+        raise ValueError("ps must be a CDF (non-decreasing in [0, 1])")
+    x_lo, x_hi = float(x.min()), float(x.max())
+    span = max(x_hi - x_lo, 1e-12)
+    grid = [[" "] * width for _ in range(height)]
+    for xi, pi in zip(x, p):
+        col = int(round((xi - x_lo) / span * (width - 1)))
+        row = int(round((1.0 - pi) * (height - 1)))
+        grid[row][col] = marker
+    lines = []
+    for r, row in enumerate(grid):
+        frac = 1.0 - r / (height - 1)
+        lines.append(f"{frac:4.2f} |{''.join(row)}")
+    lines.append("     +" + "-" * width)
+    lines.append(f"      {x_lo:<10.3g}{'':^{max(width - 20, 0)}}{x_hi:>10.3g}")
+    return "\n".join(lines)
+
+
+def side_by_side(left: str, right: str, gap: int = 4) -> str:
+    """Join two text blocks horizontally (for aware-vs-ignorant views)."""
+    l_lines = left.splitlines()
+    r_lines = right.splitlines()
+    l_width = max((len(l) for l in l_lines), default=0)
+    height = max(len(l_lines), len(r_lines))
+    l_lines += [""] * (height - len(l_lines))
+    r_lines += [""] * (height - len(r_lines))
+    return "\n".join(
+        f"{l:<{l_width}}{' ' * gap}{r}" for l, r in zip(l_lines, r_lines)
+    )

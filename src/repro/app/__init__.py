@@ -1,0 +1,11 @@
+"""Application-level facade: a self-balancing P2P storage system.
+
+Everything below this package is a building block; :class:`P2PSystem`
+wires them together the way a deployment would — ring + object store +
+replication + K-nary tree + load balancer — behind a small imperative
+API (``put``/``get``/``add_node``/``fail_node``/``rebalance``).
+"""
+
+from repro.app.system import P2PSystem, SystemConfig, SystemStats
+
+__all__ = ["P2PSystem", "SystemConfig", "SystemStats"]

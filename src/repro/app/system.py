@@ -1,0 +1,255 @@
+"""The :class:`P2PSystem` facade.
+
+A downstream user who wants "a DHT that balances itself" should not
+need to wire the ring, store, tree, replication and balancer by hand.
+This facade owns all of them and keeps their derived state fresh:
+
+* ``put``/``get``/``delete`` — object storage with automatic load
+  accounting;
+* ``add_node``/``remove_node``/``fail_node`` — membership, with object
+  re-homing and replica refresh;
+* ``rebalance`` — one four-phase balancing round (proximity-aware when
+  a topology was attached);
+* ``stats`` — the operator dashboard numbers.
+
+Examples
+--------
+>>> from repro.app import P2PSystem, SystemConfig
+>>> system = P2PSystem(SystemConfig(initial_nodes=8, seed=7))
+>>> _ = system.put("movie-001", load=25.0)
+>>> system.get("movie-001").load
+25.0
+>>> report = system.rebalance()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.balancer import LoadBalancer
+from repro.core.config import BalancerConfig
+from repro.core.report import BalanceReport
+from repro.dht.chord import ChordRing
+from repro.dht.churn import crash_node, join_node, leave_node
+from repro.dht.node import PhysicalNode
+from repro.dht.replication import ReplicationManager
+from repro.dht.storage import ObjectStore, StoredObject
+from repro.exceptions import DHTError, ReproError
+from repro.idspace import IdentifierSpace
+from repro.topology.graph import Topology
+from repro.topology.routing import DistanceOracle
+from repro.util.rng import ensure_rng, spawn_rngs
+from repro.util.stats import gini_coefficient
+from repro.workloads.capacity import GnutellaCapacityProfile
+
+
+@dataclass(frozen=True, slots=True)
+class SystemConfig:
+    """Deployment-level configuration of a :class:`P2PSystem`."""
+
+    initial_nodes: int = 16
+    vs_per_node: int = 5
+    id_bits: int = 32
+    replication_factor: int = 2
+    epsilon: float = 0.05
+    tree_degree: int = 2
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.initial_nodes < 1:
+            raise ReproError("initial_nodes must be >= 1")
+        if self.vs_per_node < 1:
+            raise ReproError("vs_per_node must be >= 1")
+        if self.replication_factor < 0:
+            raise ReproError("replication_factor must be >= 0")
+
+
+@dataclass(frozen=True)
+class SystemStats:
+    """Operator-facing snapshot."""
+
+    nodes: int
+    virtual_servers: int
+    objects: int
+    total_load: float
+    total_capacity: float
+    load_per_capacity: float
+    unit_load_gini: float
+    heavy_fraction: float
+
+
+class P2PSystem:
+    """A self-balancing, replicated P2P object store."""
+
+    def __init__(
+        self,
+        config: SystemConfig | None = None,
+        topology: Topology | None = None,
+        capacities: list[float] | None = None,
+    ):
+        self.config = config if config is not None else SystemConfig()
+        root = ensure_rng(self.config.seed)
+        self._ring_rng, self._cap_rng, self._site_rng, self._balancer_rng, self._churn_rng = (
+            spawn_rngs(root, 5)
+        )
+        cfg = self.config
+        self.topology = topology
+        self.oracle = DistanceOracle(topology) if topology is not None else None
+
+        if capacities is None:
+            caps = GnutellaCapacityProfile().sample(cfg.initial_nodes, self._cap_rng)
+            capacities = caps.tolist()
+        elif len(capacities) != cfg.initial_nodes:
+            raise ReproError(
+                f"capacities has length {len(capacities)}, expected {cfg.initial_nodes}"
+            )
+
+        sites = None
+        if topology is not None:
+            stubs = topology.stub_vertices
+            if len(stubs) < cfg.initial_nodes:
+                raise ReproError("topology too small for the requested nodes")
+            sites = self._site_rng.choice(
+                stubs, size=cfg.initial_nodes, replace=False
+            ).tolist()
+
+        self.ring = ChordRing(IdentifierSpace(bits=cfg.id_bits))
+        self.ring.populate(
+            cfg.initial_nodes,
+            cfg.vs_per_node,
+            capacities=capacities,
+            rng=self._ring_rng,
+            sites=sites,
+        )
+        self.store = ObjectStore(self.ring)
+        self.replication = ReplicationManager(
+            self.ring, replication_factor=cfg.replication_factor
+        )
+        self._balancer = LoadBalancer(
+            self.ring,
+            BalancerConfig(
+                proximity_mode="aware" if topology is not None else "ignorant",
+                epsilon=cfg.epsilon,
+                tree_degree=cfg.tree_degree,
+            ),
+            topology=topology,
+            oracle=self.oracle,
+            rng=self._balancer_rng,
+        )
+        self.reports: list[BalanceReport] = []
+
+    # ------------------------------------------------------------------
+    # storage API
+    # ------------------------------------------------------------------
+    def put(self, name: str, load: float, size: float | None = None) -> StoredObject:
+        """Store (or replace) an object; its load lands on the key owner."""
+        obj = self.store.put(name, load=load, size=load if size is None else size)
+        return obj
+
+    def get(self, name: str) -> StoredObject:
+        return self.store.get(name)
+
+    def delete(self, name: str) -> StoredObject:
+        return self.store.delete(name)
+
+    # ------------------------------------------------------------------
+    # membership API
+    # ------------------------------------------------------------------
+    def add_node(self, capacity: float, site: int | None = None) -> PhysicalNode:
+        """Join a new peer; objects re-home and replicas refresh."""
+        node = join_node(
+            self.ring,
+            capacity=capacity,
+            vs_count=self.config.vs_per_node,
+            rng=self._churn_rng,
+            site=site,
+        )
+        self.store.rehome()
+        self.replication.refresh()
+        return node
+
+    def remove_node(self, node: PhysicalNode | int) -> None:
+        """Graceful departure."""
+        self._depart(node, crash=False)
+
+    def fail_node(self, node: PhysicalNode | int) -> bool:
+        """Crash a peer; returns whether all data survived via replicas."""
+        node_obj = self._resolve(node)
+        availability = self.replication.available_after_crash({node_obj.index})
+        survived = all(availability.values())
+        self._depart(node_obj, crash=True)
+        return survived
+
+    def _resolve(self, node: PhysicalNode | int) -> PhysicalNode:
+        if isinstance(node, PhysicalNode):
+            return node
+        for n in self.ring.nodes:
+            if n.index == node and n.alive:
+                return n
+        raise DHTError(f"no alive node with index {node}")
+
+    def _depart(self, node: PhysicalNode | int, crash: bool) -> None:
+        node_obj = self._resolve(node)
+        if crash:
+            crash_node(self.ring, node_obj)
+        else:
+            leave_node(self.ring, node_obj)
+        self.store.rehome()
+        self.replication.refresh()
+
+    # ------------------------------------------------------------------
+    # balancing API
+    # ------------------------------------------------------------------
+    def rebalance(self) -> BalanceReport:
+        """One four-phase balancing round; replicas refresh afterwards."""
+        report = self._balancer.run_round()
+        self.replication.refresh()
+        self.reports.append(report)
+        return report
+
+    def rebalance_until_stable(self, max_rounds: int = 5) -> list[BalanceReport]:
+        """Rebalance until no node is heavy (or ``max_rounds``)."""
+        out = []
+        for _ in range(max_rounds):
+            report = self.rebalance()
+            out.append(report)
+            if report.heavy_after == 0:
+                break
+        return out
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> SystemStats:
+        alive = self.ring.alive_nodes
+        loads = np.asarray([n.load for n in alive], dtype=np.float64)
+        caps = np.asarray([n.capacity for n in alive], dtype=np.float64)
+        total_load = float(loads.sum())
+        total_cap = float(caps.sum())
+        ratio = total_load / total_cap if total_cap else 0.0
+        unit = loads / caps
+        heavy = float(np.mean(loads > (1 + self.config.epsilon) * ratio * caps))
+        return SystemStats(
+            nodes=len(alive),
+            virtual_servers=self.ring.num_virtual_servers,
+            objects=self.store.num_objects,
+            total_load=total_load,
+            total_capacity=total_cap,
+            load_per_capacity=ratio,
+            unit_load_gini=gini_coefficient(unit) if len(unit) else 0.0,
+            heavy_fraction=heavy,
+        )
+
+    def verify(self) -> None:
+        """Run every consistency check (raises on corruption)."""
+        self.ring.check_invariants()
+        self.store.check_consistency()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.stats()
+        return (
+            f"P2PSystem(nodes={s.nodes}, vs={s.virtual_servers}, "
+            f"objects={s.objects}, L/C={s.load_per_capacity:.3g})"
+        )

@@ -1,0 +1,33 @@
+"""Baseline load-balancing schemes the paper compares against or builds on.
+
+* :mod:`repro.baselines.proximity_ignorant` — the paper's own baseline:
+  identical machinery with random identifier-space placement of VSA
+  information (convenience wrapper; the mode flag on
+  :class:`~repro.core.config.BalancerConfig` does the same).
+* :mod:`repro.baselines.rao` — the three virtual-server schemes of Rao
+  et al. (one-to-one, one-to-many, many-to-many), which transfer load
+  without any proximity information.
+* :mod:`repro.baselines.cfs` — CFS-style shedding: an overloaded node
+  simply *removes* virtual servers (their regions are absorbed by ring
+  successors), which can push the successors over their own targets —
+  the "load thrashing" failure mode the paper cites.
+"""
+
+from repro.baselines.proximity_ignorant import run_proximity_ignorant
+from repro.baselines.rao import (
+    RaoResult,
+    run_many_to_many,
+    run_one_to_many,
+    run_one_to_one,
+)
+from repro.baselines.cfs import CFSResult, run_cfs_shedding
+
+__all__ = [
+    "run_proximity_ignorant",
+    "RaoResult",
+    "run_one_to_one",
+    "run_one_to_many",
+    "run_many_to_many",
+    "CFSResult",
+    "run_cfs_shedding",
+]

@@ -1,0 +1,39 @@
+"""The paper's proximity-ignorant baseline.
+
+This is the identical four-phase protocol with the single difference
+that VSA information is published at a random ring position (one of the
+node's own virtual servers) instead of the Hilbert key.  The paper's
+figures 7 and 8 compare exactly these two systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core.balancer import LoadBalancer
+from repro.core.config import BalancerConfig
+from repro.core.report import BalanceReport
+from repro.dht.chord import ChordRing
+from repro.topology.graph import Topology
+from repro.topology.routing import DistanceOracle
+
+
+def run_proximity_ignorant(
+    ring: ChordRing,
+    config: BalancerConfig | None = None,
+    topology: Topology | None = None,
+    oracle: DistanceOracle | None = None,
+    rng: int | None | np.random.Generator = None,
+) -> BalanceReport:
+    """One proximity-ignorant balancing round (baseline of figs. 7/8).
+
+    Accepts the same arguments as :class:`~repro.core.balancer.LoadBalancer`
+    but forces ``proximity_mode="ignorant"``; a topology may still be
+    attached so transfers carry distances for the comparison.
+    """
+    cfg = config if config is not None else BalancerConfig()
+    cfg = replace(cfg, proximity_mode="ignorant")
+    balancer = LoadBalancer(ring, cfg, topology=topology, oracle=oracle, rng=rng)
+    return balancer.run_round()

@@ -1,0 +1,60 @@
+"""Paper-level default constants.
+
+These mirror the experiment setup of Section 5 of Zhu & Hu (2004):
+
+* 32-bit Chord identifier space,
+* 4096 physical nodes, 5 virtual servers per node initially,
+* K-nary tree of degree 2 (8 also evaluated),
+* rendezvous list-length threshold of 30,
+* 15 landmark nodes,
+* Gnutella-like capacity profile,
+* Pareto shape 1.5 for the heavy-tailed load distribution.
+"""
+
+from __future__ import annotations
+
+#: Number of bits in the Chord identifier space used by the paper.
+ID_BITS: int = 32
+
+#: Default number of physical DHT nodes in the paper's experiments.
+DEFAULT_NUM_NODES: int = 4096
+
+#: Default number of virtual servers each physical node starts with.
+DEFAULT_VS_PER_NODE: int = 5
+
+#: Default degree of the K-nary aggregation tree.
+DEFAULT_TREE_DEGREE: int = 2
+
+#: Alternative tree degree evaluated by the paper.
+ALT_TREE_DEGREE: int = 8
+
+#: Rendezvous threshold: a non-root KT node pairs assignments only once the
+#: combined length of its heavy and light lists reaches this value.
+DEFAULT_RENDEZVOUS_THRESHOLD: int = 30
+
+#: Number of landmark nodes used for landmark clustering.
+DEFAULT_NUM_LANDMARKS: int = 15
+
+#: Shape parameter of the Pareto load distribution.
+PARETO_SHAPE: float = 1.5
+
+#: Latency units per interdomain hop in the transit-stub topologies.
+INTERDOMAIN_HOP_COST: int = 3
+
+#: Latency units per intradomain hop in the transit-stub topologies.
+INTRADOMAIN_HOP_COST: int = 1
+
+#: Gnutella-like capacity profile: ``capacity -> probability``.
+GNUTELLA_CAPACITY_PROFILE: dict[float, float] = {
+    1.0: 0.20,
+    10.0: 0.45,
+    100.0: 0.30,
+    1_000.0: 0.049,
+    10_000.0: 0.001,
+}
+
+#: Default slack parameter epsilon in the target load
+#: ``T_i = (1 + epsilon) * (L / C) * C_i``.  The paper notes that ideally
+#: epsilon is 0; a small positive value trades balance quality for less
+#: load movement.
+DEFAULT_EPSILON: float = 0.0

@@ -1,0 +1,63 @@
+"""The paper's primary contribution: proximity-aware load balancing.
+
+The four phases (Section 1.2):
+
+1. :mod:`repro.core.lbi` — load-balancing-information aggregation over
+   the K-nary tree (and top-down dissemination);
+2. :mod:`repro.core.classification` — heavy / light / neutral node
+   classification against capacity-proportional target loads;
+3. :mod:`repro.core.vsa` — the bottom-up virtual-server-assignment sweep
+   with rendezvous pairing (:mod:`repro.core.rendezvous`) fed by the
+   shed-subset selection of :mod:`repro.core.selection` and the
+   placement strategies of :mod:`repro.core.placement`;
+4. :mod:`repro.core.vst` — virtual-server transfers with topology-aware
+   cost accounting.
+
+:class:`repro.core.balancer.LoadBalancer` orchestrates all phases.
+"""
+
+from repro.core.records import (
+    Assignment,
+    LBIRecord,
+    NodeClass,
+    ShedCandidate,
+    SpareCapacity,
+    SystemLBI,
+)
+from repro.core.classification import classify_node, classify_all, target_load
+from repro.core.config import BalancerConfig
+from repro.core.selection import select_shed_subset
+from repro.core.rendezvous import PairingOutcome, pair_rendezvous
+from repro.core.vsa import VSAResult, VSASweep
+from repro.core.vst import TransferRecord, execute_transfers
+from repro.core.placement import ProximityPlacement, RandomVSPlacement
+from repro.core.balancer import LoadBalancer
+from repro.core.costs import CostSheet, cost_sheet, estimate_publication_hops
+from repro.core.report import BalanceReport
+
+__all__ = [
+    "Assignment",
+    "LBIRecord",
+    "NodeClass",
+    "ShedCandidate",
+    "SpareCapacity",
+    "SystemLBI",
+    "classify_node",
+    "classify_all",
+    "target_load",
+    "BalancerConfig",
+    "select_shed_subset",
+    "PairingOutcome",
+    "pair_rendezvous",
+    "VSAResult",
+    "VSASweep",
+    "TransferRecord",
+    "execute_transfers",
+    "ProximityPlacement",
+    "RandomVSPlacement",
+    "LoadBalancer",
+    "BalanceReport",
+    "CostSheet",
+    "cost_sheet",
+    "estimate_publication_hops",
+]

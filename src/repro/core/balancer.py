@@ -1,0 +1,248 @@
+"""The orchestrating :class:`LoadBalancer` — all four phases end to end.
+
+Typical use::
+
+    from repro.core import LoadBalancer, BalancerConfig
+
+    balancer = LoadBalancer(ring, BalancerConfig(proximity_mode="ignorant"), rng=7)
+    report = balancer.run_round()
+    print(report.summary_text())
+
+With a topology attached and ``proximity_mode="aware"``, the balancer
+selects landmarks, measures per-node landmark vectors, fits the Hilbert
+grid and publishes VSA information under Hilbert keys; transfer records
+then carry real topology distances.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.classification import classify_all
+from repro.core.config import BalancerConfig
+from repro.core.lbi import aggregate_lbi, collect_lbi_reports
+from repro.core.placement import (
+    PlacementStrategy,
+    ProximityPlacement,
+    RandomVSPlacement,
+)
+from repro.core.records import NodeClass, ShedCandidate, SpareCapacity
+from repro.core.report import BalanceReport
+from repro.core.selection import select_shed_subset
+from repro.core.vsa import VSASweep
+from repro.core.vst import execute_transfers
+from repro.dht.chord import ChordRing
+from repro.exceptions import ConfigError
+from repro.ktree.tree import KnaryTree
+from repro.proximity.mapping import ProximityMapper
+from repro.topology.graph import Topology
+from repro.topology.landmarks import landmark_vectors, select_landmarks
+from repro.topology.routing import DistanceOracle
+from repro.util.rng import ensure_rng, spawn_rngs
+
+
+class LoadBalancer:
+    """Runs the four-phase load-balancing protocol over a Chord ring.
+
+    Parameters
+    ----------
+    ring:
+        The DHT to balance.
+    config:
+        Tunables; defaults are the paper's experiment settings.
+    topology:
+        Underlying Internet topology.  Required for
+        ``proximity_mode="aware"`` and for distance-annotated transfers.
+    oracle:
+        Optional pre-built distance oracle over ``topology`` (shared
+        across balancers to reuse Dijkstra caches).
+    landmarks:
+        Optional pre-selected landmark vertex ids.
+    placement:
+        Optional explicit placement strategy; overrides the one derived
+        from ``config.proximity_mode`` (used by ablations that perturb
+        landmark vectors or plug in custom key schemes).
+    rng:
+        Seed or generator; all internal randomness (report VS choice,
+        random placement, landmark choice) derives from it.
+    """
+
+    def __init__(
+        self,
+        ring: ChordRing,
+        config: BalancerConfig | None = None,
+        topology: Topology | None = None,
+        oracle: DistanceOracle | None = None,
+        landmarks: np.ndarray | None = None,
+        placement: PlacementStrategy | None = None,
+        rng: int | None | np.random.Generator = None,
+    ):
+        self.ring = ring
+        self.config = config if config is not None else BalancerConfig()
+        self.topology = topology
+        if topology is not None and oracle is None:
+            oracle = DistanceOracle(topology)
+        self.oracle = oracle
+        (
+            self._lbi_rng,
+            self._placement_rng,
+            self._landmark_rng,
+        ) = spawn_rngs(ensure_rng(rng), 3)
+
+        self._placement: PlacementStrategy | None = placement
+        self._landmarks = landmarks
+        if self._placement is None:
+            if self.config.proximity_mode == "aware":
+                if self.topology is None or self.oracle is None:
+                    raise ConfigError(
+                        "proximity_mode='aware' requires a topology (landmark "
+                        "vectors are topology distances); use mode='ignorant' "
+                        "for pure identifier-space experiments"
+                    )
+                self._placement = self._build_proximity_placement()
+            else:
+                self._placement = RandomVSPlacement(self.ring, self._placement_rng)
+
+    # ------------------------------------------------------------------
+    def _build_proximity_placement(self) -> ProximityPlacement:
+        assert self.oracle is not None and self.topology is not None
+        if self._landmarks is None:
+            self._landmarks = select_landmarks(
+                self.oracle,
+                self.config.num_landmarks,
+                rng=self._landmark_rng,
+                strategy=self.config.landmark_strategy,
+            )
+        nodes = [n for n in self.ring.nodes if n.site is not None]
+        if len(nodes) != len(self.ring.nodes):
+            raise ConfigError(
+                "all nodes need a topology site for proximity-aware balancing"
+            )
+        sites = np.asarray([n.site for n in nodes], dtype=np.int64)
+        vectors = landmark_vectors(self.oracle, self._landmarks, sites)
+        mapper = ProximityMapper.fit(vectors, grid_bits=self.config.grid_bits)
+        vec_by_node = {n.index: vectors[i] for i, n in enumerate(nodes)}
+        return ProximityPlacement(mapper, vec_by_node, self.ring.space)
+
+    @property
+    def landmarks(self) -> np.ndarray | None:
+        """Landmark vertex ids in use (``None`` in ignorant mode)."""
+        return self._landmarks
+
+    # ------------------------------------------------------------------
+    def run_round(self) -> BalanceReport:
+        """Execute one full LBI -> classify -> VSA -> VST cycle."""
+        cfg = self.config
+        ring = self.ring
+        alive = ring.alive_nodes
+        node_indices = np.asarray([n.index for n in alive], dtype=np.int64)
+        capacities = np.asarray([n.capacity for n in alive], dtype=np.float64)
+        loads_before = np.asarray([n.load for n in alive], dtype=np.float64)
+        phase_seconds: dict[str, float] = {}
+        t0 = time.perf_counter()
+
+        # Phase 1: tree + LBI aggregation/dissemination.
+        tree = KnaryTree(ring, cfg.tree_degree)
+        reports = collect_lbi_reports(ring, tree, rng=self._lbi_rng)
+        system, agg_trace = aggregate_lbi(tree, reports)
+        phase_seconds["lbi"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+
+        # Phase 2: classification.
+        classification_before = classify_all(alive, system, cfg.epsilon)
+        phase_seconds["classification"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+
+        # Phase 3a: build VSA entries.
+        published: list[tuple[int, ShedCandidate | SpareCapacity]] = []
+        assert self._placement is not None
+        for node in alive:
+            cls = classification_before.classes[node.index]
+            if cls is NodeClass.HEAVY:
+                target = classification_before.targets[node.index]
+                vs_list = node.virtual_servers
+                loads = [vs.load for vs in vs_list]
+                shed = select_shed_subset(
+                    loads,
+                    excess=node.load - target,
+                    policy=cfg.selection_policy,
+                    keep_at_least=cfg.keep_at_least,
+                )
+                if not shed:
+                    continue
+                key = self._placement.key_for(node)
+                for idx in shed:
+                    published.append(
+                        (
+                            key,
+                            ShedCandidate(
+                                load=vs_list[idx].load,
+                                vs_id=vs_list[idx].vs_id,
+                                node_index=node.index,
+                            ),
+                        )
+                    )
+            elif cls is NodeClass.LIGHT:
+                delta = classification_before.targets[node.index] - node.load
+                if delta <= 0:
+                    continue
+                key = self._placement.key_for(node)
+                published.append(
+                    (key, SpareCapacity(delta=delta, node_index=node.index))
+                )
+
+        # Phase 3b: bottom-up VSA sweep.
+        sweep = VSASweep(
+            tree,
+            threshold=cfg.rendezvous_threshold,
+            min_vs_load=system.min_vs_load,
+            strict_heaviest_first=cfg.strict_heaviest_first,
+        )
+        vsa_result = sweep.run(published)
+        phase_seconds["vsa"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+
+        # Phase 4: execute transfers.  Assignments that went stale because
+        # churn interleaved between VSA and VST are dropped, not fatal.
+        skipped: list = []
+        transfers = execute_transfers(
+            ring, vsa_result.assignments, self.oracle, skipped=skipped
+        )
+        phase_seconds["vst"] = time.perf_counter() - t0
+
+        loads_after = np.asarray([n.load for n in alive], dtype=np.float64)
+        classification_after = classify_all(alive, system, cfg.epsilon)
+
+        return BalanceReport(
+            config=cfg,
+            system_lbi=system,
+            num_nodes=len(alive),
+            num_virtual_servers=ring.num_virtual_servers,
+            node_indices=node_indices,
+            capacities=capacities,
+            loads_before=loads_before,
+            loads_after=loads_after,
+            classification_before=classification_before,
+            classification_after=classification_after,
+            aggregation=agg_trace,
+            vsa=vsa_result,
+            transfers=transfers,
+            skipped_assignments=skipped,
+            tree_height=tree.height(),
+            tree_nodes_materialized=tree.node_count,
+            phase_seconds=phase_seconds,
+        )
+
+    def run(self, max_rounds: int = 1, stop_when_balanced: bool = True) -> list[BalanceReport]:
+        """Run up to ``max_rounds`` rounds, stopping once no node is heavy."""
+        if max_rounds < 1:
+            raise ConfigError(f"max_rounds must be >= 1, got {max_rounds}")
+        out: list[BalanceReport] = []
+        for _ in range(max_rounds):
+            report = self.run_round()
+            out.append(report)
+            if stop_when_balanced and report.heavy_after == 0:
+                break
+        return out

@@ -1,0 +1,97 @@
+"""Phase 2: node classification against capacity-proportional targets.
+
+With the disseminated ``<L, C, L_min>`` every node computes its target
+load ``T_i = (1 + epsilon) * (L / C) * C_i`` — load proportional to
+capacity, relaxed by the slack parameter epsilon — and classifies itself:
+
+* **heavy** if ``L_i > T_i``;
+* **light** if ``T_i - L_i >= L_min`` (it can absorb at least the
+  smallest virtual server in the system);
+* **neutral** otherwise (``0 <= T_i - L_i < L_min``).
+
+Note on the paper's formula: the printed equation ``L_i = (1/e + e)C_i``
+is a typo; the consistent reading used throughout the text (and in the
+follow-up work of the same authors) is the capacity-proportional target
+above, which is what this module implements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.records import NodeClass, SystemLBI
+from repro.dht.node import PhysicalNode
+from repro.exceptions import ConfigError
+
+
+def target_load(capacity: float, lbi: SystemLBI, epsilon: float = 0.0) -> float:
+    """Target load ``T_i`` for a node of ``capacity`` under ``lbi``."""
+    if epsilon < 0:
+        raise ConfigError(f"epsilon must be non-negative, got {epsilon}")
+    return (1.0 + epsilon) * lbi.load_per_capacity * capacity
+
+
+def classify_node(node: PhysicalNode, lbi: SystemLBI, epsilon: float = 0.0) -> NodeClass:
+    """Classify a single node (Section 3.3 rules)."""
+    t = target_load(node.capacity, lbi, epsilon)
+    load = node.load
+    if load > t:
+        return NodeClass.HEAVY
+    if (t - load) >= lbi.min_vs_load:
+        return NodeClass.LIGHT
+    return NodeClass.NEUTRAL
+
+
+@dataclass(frozen=True, slots=True)
+class ClassificationResult:
+    """Classification of a whole node population."""
+
+    classes: dict[int, NodeClass]  # node index -> class
+    targets: dict[int, float]  # node index -> T_i
+
+    @property
+    def heavy(self) -> list[int]:
+        return [i for i, c in self.classes.items() if c is NodeClass.HEAVY]
+
+    @property
+    def light(self) -> list[int]:
+        return [i for i, c in self.classes.items() if c is NodeClass.LIGHT]
+
+    @property
+    def neutral(self) -> list[int]:
+        return [i for i, c in self.classes.items() if c is NodeClass.NEUTRAL]
+
+    def counts(self) -> dict[str, int]:
+        return {
+            "heavy": len(self.heavy),
+            "light": len(self.light),
+            "neutral": len(self.neutral),
+        }
+
+
+def classify_all(
+    nodes: list[PhysicalNode], lbi: SystemLBI, epsilon: float = 0.0
+) -> ClassificationResult:
+    """Classify every alive node; vectorised over the population."""
+    alive = [n for n in nodes if n.alive]
+    caps = np.asarray([n.capacity for n in alive], dtype=np.float64)
+    loads = np.asarray([n.load for n in alive], dtype=np.float64)
+    targets = (1.0 + epsilon) * lbi.load_per_capacity * caps
+    if epsilon < 0:
+        raise ConfigError(f"epsilon must be non-negative, got {epsilon}")
+    heavy_mask = loads > targets
+    light_mask = (~heavy_mask) & ((targets - loads) >= lbi.min_vs_load)
+    classes: dict[int, NodeClass] = {}
+    target_map: dict[int, float] = {}
+    for i, node in enumerate(alive):
+        if heavy_mask[i]:
+            cls = NodeClass.HEAVY
+        elif light_mask[i]:
+            cls = NodeClass.LIGHT
+        else:
+            cls = NodeClass.NEUTRAL
+        classes[node.index] = cls
+        target_map[node.index] = float(targets[i])
+    return ClassificationResult(classes=classes, targets=target_map)

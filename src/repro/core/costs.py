@@ -1,0 +1,113 @@
+"""Protocol-wide message and byte cost accounting.
+
+The paper argues efficiency on two axes: *control* cost (tree messages,
+bounded by ``O(log_K N)`` rounds) and *data* cost (virtual-server
+transfer bytes over network distance).  This module assembles both into
+one cost sheet per balancing round, including the piece the round
+accounting alone misses: publishing VSA information into the DHT is a
+``put`` that costs ``O(log #VS)`` overlay hops per record in
+proximity-aware mode (ignorant mode publishes at a node's own virtual
+server, which is free).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.report import BalanceReport
+from repro.dht.chord import ChordRing
+from repro.dht.lookup import lookup_hops
+from repro.dht.storage import ObjectStore
+from repro.util.rng import ensure_rng
+
+
+@dataclass(frozen=True, slots=True)
+class CostSheet:
+    """All costs of one balancing round, by protocol component."""
+
+    # control plane (messages over the K-nary tree)
+    lbi_messages: int
+    lbi_rounds: int
+    vsa_upward_messages: int
+    vsa_rounds: int
+    publication_messages: int  # overlay hops to publish VSA info (aware mode)
+    # data plane
+    transfers: int
+    moved_load: float
+    moved_bytes: float  # == moved_load unless an ObjectStore says otherwise
+    load_weighted_distance: float  # sum(load * distance) over transfers
+    bytes_distance_product: float  # the bandwidth-cost proxy the paper minimises
+
+    @property
+    def control_messages(self) -> int:
+        return self.lbi_messages + self.vsa_upward_messages + self.publication_messages
+
+    @property
+    def mean_transfer_distance(self) -> float:
+        return (
+            self.load_weighted_distance / self.moved_load if self.moved_load else 0.0
+        )
+
+
+def estimate_publication_hops(
+    ring: ChordRing,
+    num_publications: int,
+    rng: "int | None | np.random.Generator" = None,
+    sample: int = 64,
+) -> int:
+    """Estimated overlay hops to publish ``num_publications`` VSA records.
+
+    Samples real finger-table routes between random virtual servers and
+    random keys, then scales by the publication count — exact routing of
+    every record would be O(N log N) work for a number the experiments
+    only report in aggregate.
+    """
+    if num_publications == 0:
+        return 0
+    gen = ensure_rng(rng)
+    vss = ring.virtual_servers
+    hops = 0
+    trials = min(sample, num_publications)
+    for _ in range(trials):
+        start = vss[int(gen.integers(len(vss)))]
+        key = int(gen.integers(0, ring.space.size))
+        hops += lookup_hops(ring, start, key)
+    return round(hops / trials * num_publications)
+
+
+def cost_sheet(
+    report: BalanceReport,
+    ring: ChordRing,
+    store: ObjectStore | None = None,
+    rng: int | None = 0,
+) -> CostSheet:
+    """Assemble the full cost sheet for a completed round."""
+    aware = report.config.proximity_mode == "aware"
+    publication = (
+        estimate_publication_hops(ring, report.vsa.entries_published, rng=rng)
+        if aware
+        else 0
+    )
+    moved_bytes = 0.0
+    weighted = 0.0
+    bytes_distance = 0.0
+    for t in report.transfers:
+        size = store.transfer_bytes(t.vs_id) if store is not None else t.load
+        moved_bytes += size
+        if t.has_distance:
+            weighted += t.load * t.distance
+            bytes_distance += size * t.distance
+    return CostSheet(
+        lbi_messages=report.aggregation.total_messages,
+        lbi_rounds=report.aggregation.total_rounds,
+        vsa_upward_messages=report.vsa.upward_messages,
+        vsa_rounds=report.vsa.rounds,
+        publication_messages=publication,
+        transfers=len(report.transfers),
+        moved_load=report.moved_load,
+        moved_bytes=moved_bytes,
+        load_weighted_distance=weighted,
+        bytes_distance_product=bytes_distance,
+    )

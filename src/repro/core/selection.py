@@ -1,0 +1,147 @@
+"""Shed-subset selection on heavy nodes (Section 3.4, first step).
+
+A heavy node ``i`` must choose a subset of its virtual servers whose
+removal makes it non-heavy, minimising the total load moved:
+
+    minimise  sum(L_{i,k})   subject to   L_i - sum(L_{i,k}) <= T_i
+
+i.e. choose the cheapest subset whose total is at least the node's
+*excess* ``L_i - T_i``.  Two policies are provided:
+
+* ``"exact"`` — optimal subset via meet-in-the-middle enumeration
+  (exponential in half the VS count; nodes host only a handful of
+  virtual servers, so this is cheap up to ~26 VSs, above which it
+  falls back to greedy);
+* ``"greedy"`` — best-fit-decreasing heuristic: repeatedly take the
+  smallest single VS that covers the remaining excess, else the largest
+  VS and recurse.
+
+Both respect a ``keep_at_least`` floor (default 1): a node never sheds
+its last virtual server, since that would eject it from the ring — a
+constraint the paper leaves implicit.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from itertools import combinations
+
+from repro.exceptions import BalancerError
+
+#: Above this VS count the exact policy falls back to greedy.
+EXACT_POLICY_LIMIT = 26
+
+
+def select_shed_subset(
+    loads: list[float],
+    excess: float,
+    policy: str = "exact",
+    keep_at_least: int = 1,
+) -> list[int]:
+    """Indices (into ``loads``) of the virtual servers to shed.
+
+    Returns the empty list when ``excess <= 0``.  When even shedding the
+    maximum allowed set cannot cover the excess, the best-effort maximal
+    shed (all but the ``keep_at_least`` smallest loads) is returned.
+    """
+    if policy not in ("exact", "greedy"):
+        raise BalancerError(f"unknown selection policy {policy!r}")
+    if keep_at_least < 0:
+        raise BalancerError(f"keep_at_least must be >= 0, got {keep_at_least}")
+    if any(l < 0 for l in loads):
+        raise BalancerError("virtual server loads must be non-negative")
+    n = len(loads)
+    if excess <= 0 or n == 0:
+        return []
+    max_shed = n - keep_at_least
+    if max_shed <= 0:
+        return []
+
+    order = sorted(range(n), key=lambda i: loads[i])
+    sheddable_total = sum(loads[i] for i in order[-max_shed:]) if max_shed else 0.0
+    if sheddable_total < excess:
+        # Infeasible: shed the largest max_shed loads (maximal best effort).
+        return sorted(order[-max_shed:])
+
+    if policy == "exact" and n <= EXACT_POLICY_LIMIT:
+        return _exact(loads, excess, max_shed)
+    return _greedy(loads, excess, max_shed)
+
+
+def _greedy(loads: list[float], excess: float, max_shed: int) -> list[int]:
+    """Best-fit-decreasing: cover the remaining excess as tightly as possible."""
+    remaining = excess
+    available = sorted(range(len(loads)), key=lambda i: loads[i])
+    chosen: list[int] = []
+    while remaining > 0 and available and len(chosen) < max_shed:
+        # Smallest VS that alone covers the remaining excess.
+        keys = [loads[i] for i in available]
+        pos = bisect_left(keys, remaining)
+        if pos < len(available):
+            chosen.append(available.pop(pos))
+            return sorted(chosen)
+        # None covers it: take the largest and continue.
+        idx = available.pop()
+        chosen.append(idx)
+        remaining -= loads[idx]
+    return sorted(chosen)
+
+
+def _exact(loads: list[float], excess: float, max_shed: int) -> list[int]:
+    """Optimal subset via meet-in-the-middle.
+
+    Minimises (total shed, subset size) lexicographically among subsets
+    with total >= excess and size <= max_shed.
+    """
+    n = len(loads)
+    half = n // 2
+    left = list(range(half))
+    right = list(range(half, n))
+
+    def enumerate_side(indices: list[int]) -> list[tuple[float, int, tuple[int, ...]]]:
+        out = [(0.0, 0, ())]
+        for r in range(1, len(indices) + 1):
+            for combo in combinations(indices, r):
+                out.append((sum(loads[i] for i in combo), r, combo))
+        return out
+
+    left_sets = enumerate_side(left)
+    right_sets = enumerate_side(right)
+
+    # Group right-side subsets by size; within each size group sort by sum
+    # so "smallest sum >= need" is a binary search.
+    by_size: dict[int, list[tuple[float, tuple[int, ...]]]] = {}
+    for rsum, rsize, rcombo in right_sets:
+        by_size.setdefault(rsize, []).append((rsum, rcombo))
+    for group in by_size.values():
+        group.sort(key=lambda t: t[0])
+    sums_by_size = {s: [t[0] for t in g] for s, g in by_size.items()}
+
+    best_total: tuple[float, int] | None = None
+    best_combo: tuple[tuple[int, ...], tuple[int, ...]] | None = None
+    for lsum, lsize, lcombo in left_sets:
+        if lsize > max_shed:
+            continue
+        need = excess - lsum
+        if need <= 0:
+            cand_total = (lsum, lsize)
+            if best_total is None or cand_total < best_total:
+                best_total = cand_total
+                best_combo = (lcombo, ())
+            continue
+        for rsize, sums in sums_by_size.items():
+            if lsize + rsize > max_shed:
+                continue
+            pos = bisect_left(sums, need)
+            if pos == len(sums):
+                continue
+            rsum, rcombo = by_size[rsize][pos]
+            cand_total = (lsum + rsum, lsize + rsize)
+            if best_total is None or cand_total < best_total:
+                best_total = cand_total
+                best_combo = (lcombo, rcombo)
+    if best_combo is None:
+        # No feasible subset within the size budget covers the excess;
+        # fall back to greedy best effort.
+        return _greedy(loads, excess, max_shed)
+    return sorted(best_combo[0] + best_combo[1])

@@ -1,0 +1,146 @@
+"""Phase 3: the bottom-up virtual-server-assignment sweep.
+
+VSA information enters the tree at the KT leaf owning the identifier
+under which it was *published* — the node's Hilbert key in
+proximity-aware mode, the position of one of its own virtual servers in
+proximity-ignorant mode.  The sweep then walks the materialised tree
+deepest-level first: every KT node merges what its children could not
+pair with what entered at itself; once the combined list length reaches
+the rendezvous threshold (or unconditionally at the root) the node runs
+the pairing loop and sends pair decisions out, propagating only leftover
+entries upward.
+
+Because each KT subtree covers a contiguous identifier-space interval,
+entries published under nearby keys meet at deep rendezvous points —
+with proximity-aware placement, "nearby key" means "physically close",
+which is the whole trick.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.records import Assignment, ShedCandidate, SpareCapacity
+from repro.core.rendezvous import pair_rendezvous
+from repro.exceptions import BalancerError
+from repro.ktree.tree import KnaryTree
+
+
+@dataclass
+class VSAResult:
+    """Outcome and cost accounting of one VSA sweep."""
+
+    assignments: list[Assignment] = field(default_factory=list)
+    unassigned_heavy: list[ShedCandidate] = field(default_factory=list)
+    unassigned_light: list[SpareCapacity] = field(default_factory=list)
+    rounds: int = 0
+    upward_messages: int = 0
+    entries_published: int = 0
+    pairings_by_level: Counter = field(default_factory=Counter)
+
+    @property
+    def assigned_load(self) -> float:
+        return sum(a.candidate.load for a in self.assignments)
+
+    @property
+    def unassigned_load(self) -> float:
+        return sum(c.load for c in self.unassigned_heavy)
+
+
+class VSASweep:
+    """Executes the bottom-up VSA over a (lazily materialised) K-nary tree.
+
+    Parameters
+    ----------
+    tree:
+        The K-nary tree; leaves for published keys are materialised on
+        demand.
+    threshold:
+        Rendezvous threshold: a non-root KT node only pairs once its
+        combined heavy+light list length reaches this value (paper
+        default 30).
+    min_vs_load:
+        System-wide ``L_min`` from the LBI phase (remainder rule).
+    strict_heaviest_first:
+        See :func:`repro.core.rendezvous.pair_rendezvous`.
+    """
+
+    def __init__(
+        self,
+        tree: KnaryTree,
+        threshold: int,
+        min_vs_load: float,
+        strict_heaviest_first: bool = False,
+    ):
+        if threshold < 0:
+            raise BalancerError(f"threshold must be >= 0, got {threshold}")
+        self.tree = tree
+        self.threshold = threshold
+        self.min_vs_load = min_vs_load
+        self.strict_heaviest_first = strict_heaviest_first
+
+    def run(
+        self,
+        published: list[tuple[int, ShedCandidate | SpareCapacity]],
+    ) -> VSAResult:
+        """Run the sweep over ``(key, entry)`` publications."""
+        result = VSAResult(entries_published=len(published))
+
+        # Deliver entries to their leaves (materialising paths as needed).
+        pending: dict[int, tuple[list[ShedCandidate], list[SpareCapacity]]] = {}
+
+        def bucket(node_id: int) -> tuple[list[ShedCandidate], list[SpareCapacity]]:
+            buck = pending.get(node_id)
+            if buck is None:
+                buck = ([], [])
+                pending[node_id] = buck
+            return buck
+
+        for key, entry in published:
+            leaf = self.tree.ensure_leaf_for_key(key)
+            heavy, light = bucket(id(leaf))
+            if isinstance(entry, ShedCandidate):
+                heavy.append(entry)
+            elif isinstance(entry, SpareCapacity):
+                light.append(entry)
+            else:
+                raise BalancerError(f"unknown VSA entry type {type(entry)!r}")
+
+        # Bottom-up sweep over every materialised node.  Materialisation
+        # is frozen now: iterate a snapshot sorted deepest-first.
+        nodes = self.tree.nodes_by_level_desc()
+        result.rounds = nodes[0].level if nodes else 0
+        root = self.tree.root
+        for node in nodes:
+            buck = pending.pop(id(node), None)
+            if buck is None:
+                continue
+            heavy, light = buck
+            is_root = node is root
+            if is_root or (len(heavy) + len(light)) >= self.threshold:
+                outcome = pair_rendezvous(
+                    heavy,
+                    light,
+                    min_vs_load=self.min_vs_load,
+                    level=node.level,
+                    strict_heaviest_first=self.strict_heaviest_first,
+                )
+                result.assignments.extend(outcome.assignments)
+                result.pairings_by_level[node.level] += len(outcome.assignments)
+                up_heavy, up_light = outcome.leftover_heavy, outcome.leftover_light
+            else:
+                up_heavy, up_light = heavy, light
+
+            if is_root:
+                result.unassigned_heavy.extend(up_heavy)
+                result.unassigned_light.extend(up_light)
+            elif up_heavy or up_light:
+                parent_heavy, parent_light = bucket(id(node.parent))
+                parent_heavy.extend(up_heavy)
+                parent_light.extend(up_light)
+                result.upward_messages += 1
+
+        if pending:  # pragma: no cover - sweep covers all materialised nodes
+            raise BalancerError("VSA sweep left undelivered entries")
+        return result

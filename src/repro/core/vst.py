@@ -1,0 +1,118 @@
+"""Phase 4: virtual-server transferring (VST) with cost accounting.
+
+Executing an :class:`~repro.core.records.Assignment` moves the chosen
+virtual server from its heavy owner to the assigned light node — on the
+ring this is a leave + join with an unchanged identifier, so only the
+hosting changes.  When a topology is attached, the transfer cost is the
+weighted shortest-path distance between the two nodes' sites, which is
+exactly the x-axis of the paper's figures 7 and 8.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.records import Assignment
+from repro.dht.chord import ChordRing
+from repro.exceptions import BalancerError, DHTError
+from repro.topology.routing import DistanceOracle
+
+
+@dataclass(frozen=True, slots=True)
+class TransferRecord:
+    """One executed virtual-server transfer."""
+
+    vs_id: int
+    load: float
+    source_node: int
+    target_node: int
+    distance: float  # latency units; NaN when no topology is attached
+    level: int  # KT level of the rendezvous that paired it
+
+    @property
+    def has_distance(self) -> bool:
+        return not math.isnan(self.distance)
+
+
+def execute_transfers(
+    ring: ChordRing,
+    assignments: list[Assignment],
+    oracle: DistanceOracle | None = None,
+    skipped: list[Assignment] | None = None,
+) -> list[TransferRecord]:
+    """Apply ``assignments`` to the ring and account their costs.
+
+    Distances are resolved in one batch against the oracle (one Dijkstra
+    per distinct source site).  Nodes are looked up by index on the
+    ring; a dangling index means the assignment pipeline is corrupt and
+    raises :class:`BalancerError`.
+
+    Churn tolerance: an assignment whose endpoints changed *between VSA
+    and VST* — the source crashed (its virtual servers moved on), the
+    target departed, or the virtual server left the ring — is not an
+    error but a casualty of asynchrony; pass a ``skipped`` list to
+    collect such assignments instead of raising, mirroring how a real
+    deployment simply drops stale pair decisions.
+    """
+    node_by_index = {n.index: n for n in ring.nodes}
+    records: list[TransferRecord] = []
+    pairs: list[tuple[int, int]] = []
+    pending: list[tuple[Assignment, int, int]] = []
+
+    for a in assignments:
+        source = node_by_index.get(a.candidate.node_index)
+        target = node_by_index.get(a.target_node)
+        if source is None or target is None:
+            raise BalancerError(
+                f"assignment references unknown node "
+                f"({a.candidate.node_index} -> {a.target_node})"
+            )
+        try:
+            vs = ring.vs(a.candidate.vs_id)
+        except DHTError:
+            if skipped is not None:
+                skipped.append(a)
+                continue
+            raise
+        stale = vs.owner is not source or not target.alive or not source.alive
+        if stale:
+            if skipped is not None:
+                skipped.append(a)
+                continue
+            raise BalancerError(
+                f"assignment is stale: virtual server {a.candidate.vs_id} owned "
+                f"by node {vs.owner.index} (expected {source.index}), "
+                f"source alive={source.alive}, target alive={target.alive}"
+            )
+        ring.transfer_virtual_server(vs, target)
+        if oracle is not None and source.site is not None and target.site is not None:
+            pairs.append((source.site, target.site))
+            pending.append((a, source.index, target.index))
+        else:
+            records.append(
+                TransferRecord(
+                    vs_id=a.candidate.vs_id,
+                    load=a.candidate.load,
+                    source_node=source.index,
+                    target_node=target.index,
+                    distance=float("nan"),
+                    level=a.level,
+                )
+            )
+
+    if pending:
+        assert oracle is not None
+        distances = oracle.distances_between(pairs)
+        for (a, src_idx, dst_idx), dist in zip(pending, distances):
+            records.append(
+                TransferRecord(
+                    vs_id=a.candidate.vs_id,
+                    load=a.candidate.load,
+                    source_node=src_idx,
+                    target_node=dst_idx,
+                    distance=float(dist),
+                    level=a.level,
+                )
+            )
+    return records

@@ -1,0 +1,97 @@
+"""Virtual-server splitting: taming unmovable giants.
+
+The basic scheme can strand load: under heavy-tailed (Pareto) workloads
+a single virtual server can carry more load than *any* light node's
+spare capacity, and since the unit of movement is a whole virtual
+server, it cannot move.  Rao et al. and the paper's future-work
+discussion both point at splitting as the remedy.
+
+Splitting a virtual server with identifier ``s`` owning ``(p, s]``
+inserts a new virtual server on the *same physical node* at the
+region's midpoint ``m``; the new VS owns ``(p, m]`` and the original
+shrinks to ``(m, s]``.  Ownership of every identifier is preserved on
+the same machine, so the operation is purely local (a self-join), after
+which either half can transfer independently.
+
+Load moves with the region: callers either provide an
+:class:`~repro.dht.storage.ObjectStore` (exact object-level handoff via
+``rehome``) or the load is split proportionally to region size.
+"""
+
+from __future__ import annotations
+
+from repro.dht.chord import ChordRing
+from repro.dht.storage import ObjectStore
+from repro.dht.virtual_server import VirtualServer
+from repro.exceptions import DHTError
+
+
+def split_virtual_server(
+    ring: ChordRing,
+    vs: VirtualServer | int,
+    store: ObjectStore | None = None,
+) -> VirtualServer:
+    """Split ``vs`` at its region midpoint; returns the new virtual server.
+
+    The new VS lands on the same physical node and takes the first half
+    of the region.  Raises :class:`DHTError` when the region is a single
+    identifier (nothing to split) or the midpoint identifier is already
+    taken.
+    """
+    vs_obj = vs if isinstance(vs, VirtualServer) else ring.vs(int(vs))
+    region = ring.region_of(vs_obj)
+    if region.length < 2:
+        raise DHTError(
+            f"virtual server {vs_obj.vs_id} owns a single identifier; cannot split"
+        )
+    midpoint = region.center
+    if midpoint == vs_obj.vs_id:
+        # Length-2 region: the center rounds onto the VS itself; split at
+        # the region's first identifier instead.
+        midpoint = region.start
+    old_load = vs_obj.load
+    new_vs = ring.add_virtual_server(vs_obj.owner, midpoint)
+    if store is not None:
+        store.rehome()
+    else:
+        # Proportional load split by the sub-region sizes.
+        new_region = ring.region_of(new_vs)
+        share = old_load * (new_region.length / region.length)
+        new_vs.load = share
+        vs_obj.load = old_load - share
+    return new_vs
+
+
+def split_until_movable(
+    ring: ChordRing,
+    vs: VirtualServer | int,
+    max_piece_load: float,
+    store: ObjectStore | None = None,
+    max_splits: int = 32,
+) -> list[VirtualServer]:
+    """Split ``vs`` repeatedly until every piece is at most ``max_piece_load``.
+
+    Returns all resulting virtual servers (including the original).
+    Splitting halves regions, not loads, so pieces are re-examined after
+    each split; a piece whose region shrinks to one identifier stays as
+    is (its load is irreducible at DHT granularity).
+    """
+    if max_piece_load <= 0:
+        raise DHTError(f"max_piece_load must be positive, got {max_piece_load}")
+    vs_obj = vs if isinstance(vs, VirtualServer) else ring.vs(int(vs))
+    pieces = [vs_obj]
+    splits = 0
+    i = 0
+    while i < len(pieces):
+        piece = pieces[i]
+        if piece.load <= max_piece_load:
+            i += 1
+            continue
+        if splits >= max_splits or ring.region_of(piece).length < 2:
+            i += 1
+            continue
+        new_vs = split_virtual_server(ring, piece, store)
+        pieces.append(new_vs)
+        splits += 1
+        # re-examine the shrunken piece (do not advance i)
+    return pieces

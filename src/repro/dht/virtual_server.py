@@ -1,0 +1,48 @@
+"""Virtual servers: the unit of identifier-space ownership and load movement.
+
+A virtual server (Section 2 of the paper) "looks like a single DHT node,
+responsible for a contiguous region of the DHT's identifier space".  A
+physical node owns multiple, generally non-contiguous regions by hosting
+several virtual servers.  Moving a virtual server between physical nodes
+is the paper's unit of load transfer.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dht.node import PhysicalNode
+
+
+class VirtualServer:
+    """One virtual server on the Chord ring.
+
+    Attributes
+    ----------
+    vs_id:
+        Ring identifier of this virtual server.  The VS owns the arc
+        ``(predecessor_id, vs_id]``; the arc itself is derived by the ring
+        (see :meth:`repro.dht.chord.ChordRing.region_of`) because it
+        changes whenever neighbours join or leave.
+    owner:
+        The physical node currently hosting this virtual server.  Mutated
+        by virtual-server transfers.
+    load:
+        Current load carried by the VS.  The paper treats load as an
+        abstract stable quantity (storage, bandwidth or CPU); workload
+        generators assign it.
+    """
+
+    __slots__ = ("vs_id", "owner", "load")
+
+    def __init__(self, vs_id: int, owner: "PhysicalNode", load: float = 0.0):
+        if load < 0:
+            raise ValueError(f"virtual server load must be non-negative, got {load}")
+        self.vs_id = vs_id
+        self.owner = owner
+        self.load = float(load)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        owner_idx = self.owner.index if self.owner is not None else None
+        return f"VirtualServer(id={self.vs_id}, owner={owner_idx}, load={self.load:.3g})"

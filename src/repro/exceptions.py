@@ -1,0 +1,63 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming out of the simulator with a single ``except``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class IdentifierSpaceError(ReproError):
+    """An identifier or region is invalid for its identifier space."""
+
+
+class RegionError(IdentifierSpaceError):
+    """A region operation received inconsistent arguments."""
+
+
+class DHTError(ReproError):
+    """The DHT simulator was driven into an invalid state."""
+
+
+class EmptyRingError(DHTError):
+    """An operation required a non-empty Chord ring."""
+
+
+class DuplicateIdError(DHTError):
+    """Two virtual servers were assigned the same identifier."""
+
+
+class TopologyError(ReproError):
+    """Topology generation or querying failed."""
+
+
+class ProximityError(ReproError):
+    """Landmark/Hilbert proximity machinery received invalid input."""
+
+
+class HilbertError(ProximityError):
+    """Invalid parameters for the Hilbert space-filling curve."""
+
+
+class TreeError(ReproError):
+    """The K-nary tree was driven into an invalid state."""
+
+
+class BalancerError(ReproError):
+    """The load balancer was misconfigured or hit an invalid state."""
+
+
+class ConfigError(BalancerError):
+    """A configuration value is out of its documented range."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation engine hit an invalid state."""
+
+
+class WorkloadError(ReproError):
+    """Workload generation received invalid parameters."""

@@ -1,0 +1,17 @@
+"""Experiment drivers: one module per paper figure/claim.
+
+Each module exposes ``run(...)`` returning a typed result with a
+``format_rows()`` text table; the benchmark harness and the CLI are thin
+wrappers over these.  ``registry`` maps experiment ids (``fig4`` ...
+``timing``) to their drivers.
+"""
+
+from repro.experiments.common import ExperimentSettings
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+
+__all__ = [
+    "ExperimentSettings",
+    "EXPERIMENTS",
+    "get_experiment",
+    "list_experiments",
+]

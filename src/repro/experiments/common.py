@@ -1,0 +1,55 @@
+"""Shared experiment settings and helpers.
+
+The paper's full scale (4096 nodes x 5 virtual servers, ~5000-vertex
+topologies) runs in seconds; tests and quick benchmarks use reduced
+sizes.  ``ExperimentSettings.paper()`` and ``.quick()`` capture both,
+and ``from_env()`` lets ``REPRO_SCALE=paper`` switch the benchmark suite
+to full scale.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+from repro.constants import DEFAULT_NUM_NODES, DEFAULT_VS_PER_NODE
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentSettings:
+    """Scale and seed knobs shared by all experiments."""
+
+    num_nodes: int = DEFAULT_NUM_NODES
+    vs_per_node: int = DEFAULT_VS_PER_NODE
+    mu: float = 1e6
+    sigma: float = 2e3
+    epsilon: float = 0.05
+    tree_degree: int = 2
+    grid_bits: int = 4
+    seed: int = 42
+    balancer_seed: int = 5
+
+    @classmethod
+    def paper(cls) -> "ExperimentSettings":
+        """The paper's published scale."""
+        return cls()
+
+    @classmethod
+    def quick(cls) -> "ExperimentSettings":
+        """Reduced scale for CI and default benchmark runs."""
+        return cls(num_nodes=512)
+
+    @classmethod
+    def from_env(cls) -> "ExperimentSettings":
+        """``REPRO_SCALE=paper`` selects full scale; anything else quick."""
+        scale = os.environ.get("REPRO_SCALE", "quick").lower()
+        base = cls.paper() if scale == "paper" else cls.quick()
+        seed = os.environ.get("REPRO_SEED")
+        if seed is not None:
+            base = replace(base, seed=int(seed))
+        return base
+
+
+def pct(x: float) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{100 * x:.1f}%"

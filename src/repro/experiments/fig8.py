@@ -1,0 +1,15 @@
+"""Figure 8: moved-load distribution on ts5k-small (thin wrapper).
+
+See :mod:`repro.experiments.fig7` for the shared implementation; the
+only difference is the topology.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentSettings
+from repro.experiments.fig7 import Fig78Result, run_small
+
+
+def run(settings: ExperimentSettings | None = None) -> Fig78Result:
+    """Run the figure-8 experiment (ts5k-small)."""
+    return run_small(settings)

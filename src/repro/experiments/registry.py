@@ -1,0 +1,50 @@
+"""Registry mapping experiment ids to their drivers."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exceptions import ReproError
+from repro.experiments import (
+    convergence,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    timing,
+    variance,
+)
+
+#: Experiment id -> (run callable, one-line description).
+EXPERIMENTS: dict[str, tuple[Callable, str]] = {
+    "fig4": (fig4.run, "unit load before/after balancing (Gaussian)"),
+    "fig5": (fig5.run, "load vs capacity category (Gaussian)"),
+    "fig6": (fig6.run, "load vs capacity category (Pareto)"),
+    "fig7": (fig7.run, "moved load vs transfer distance, ts5k-large"),
+    "fig8": (fig8.run, "moved load vs transfer distance, ts5k-small"),
+    "timing": (timing.run, "O(log_K N) phase-round measurements"),
+    "convergence": (
+        convergence.run,
+        "multi-round convergence at epsilon=0, with/without VS splitting",
+    ),
+    "variance": (
+        variance.run,
+        "seed-variance (error bars) of the figure-7 headline numbers",
+    ),
+}
+
+
+def get_experiment(name: str) -> Callable:
+    """The ``run`` callable for an experiment id."""
+    try:
+        return EXPERIMENTS[name][0]
+    except KeyError:
+        raise ReproError(
+            f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def list_experiments() -> list[tuple[str, str]]:
+    """``(id, description)`` pairs, sorted by id."""
+    return sorted((name, desc) for name, (_, desc) in EXPERIMENTS.items())

@@ -1,0 +1,53 @@
+"""The ``O(log_K N)`` timing claim, for K = 2 and K = 8.
+
+The paper states that LBI aggregation, dissemination and VSA each
+complete in ``O(log_K N)`` time and reports that "VSA completes quickly
+in O(log_K N) time" for both tree degrees.  This experiment measures
+the actual rounds across a size sweep and checks that rounds scale with
+``log(#virtual servers)`` (constant ``height / log_K(#VS)`` ratio).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import ExperimentSettings
+from repro.sim.runner import PhaseTimings, sweep_phase_rounds
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    settings: ExperimentSettings
+    timings: list[PhaseTimings]
+
+    def format_rows(self) -> str:
+        lines = [
+            "Timing claim - phase rounds vs O(log_K #VS)",
+            f"  {'K':>3} {'nodes':>6} {'#VS':>7} {'height':>7} {'agg':>5} "
+            f"{'dissem':>7} {'vsa':>5} {'h/log':>6}",
+        ]
+        for t in self.timings:
+            lines.append(
+                f"  {t.tree_degree:>3} {t.num_nodes:>6} {t.num_virtual_servers:>7} "
+                f"{t.tree_height:>7} {t.aggregation_rounds:>5} "
+                f"{t.dissemination_rounds:>7} {t.vsa_rounds:>5} "
+                f"{t.height_per_log:>6.2f}"
+            )
+        lines.append("  [paper: all phases bounded by O(log_K N) rounds]")
+        return "\n".join(lines)
+
+
+def run(
+    settings: ExperimentSettings | None = None,
+    sizes: list[int] | None = None,
+    tree_degrees: tuple[int, ...] = (2, 8),
+) -> TimingResult:
+    """Measure phase rounds across a size sweep for both tree degrees."""
+    s = settings if settings is not None else ExperimentSettings.from_env()
+    if sizes is None:
+        top = s.num_nodes
+        sizes = sorted({max(64, top // 8), max(128, top // 4), max(256, top // 2), top})
+    timings = sweep_phase_rounds(
+        sizes, tree_degrees=list(tree_degrees), vs_per_node=s.vs_per_node, rng=s.seed
+    )
+    return TimingResult(settings=s, timings=timings)

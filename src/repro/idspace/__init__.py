@@ -1,0 +1,18 @@
+"""Circular identifier-space arithmetic for structured P2P overlays.
+
+This package provides the 32-bit (configurable) modular identifier ring
+used by Chord, including half-open arc *regions* with wrap-around, the
+center-point rule the K-nary tree uses to plant its nodes, and the
+deterministic hashing helpers used to derive identifiers.
+"""
+
+from repro.idspace.space import IdentifierSpace
+from repro.idspace.region import Region
+from repro.idspace.hashing import hash_to_id, hash_bytes_to_id
+
+__all__ = [
+    "IdentifierSpace",
+    "Region",
+    "hash_to_id",
+    "hash_bytes_to_id",
+]

@@ -1,0 +1,30 @@
+"""Deterministic hashing of names onto the identifier ring.
+
+Chord derives node and object identifiers with SHA-1.  We keep that
+convention (the exact hash does not matter for any result in the paper;
+only its uniformity does) and truncate the digest to the ring width.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.idspace.space import IdentifierSpace
+
+
+def hash_bytes_to_id(data: bytes, space: IdentifierSpace) -> int:
+    """Hash raw bytes onto ``space`` using SHA-1 truncated to the ring width."""
+    digest = hashlib.sha1(data).digest()
+    value = int.from_bytes(digest, "big")
+    return value % space.size
+
+
+def hash_to_id(name: str | int, space: IdentifierSpace) -> int:
+    """Hash a string or integer name onto ``space``.
+
+    Integers are hashed via their decimal representation so that
+    ``hash_to_id(5, s)`` and ``hash_to_id("5", s)`` agree.
+    """
+    if isinstance(name, int):
+        name = str(name)
+    return hash_bytes_to_id(name.encode("utf-8"), space)

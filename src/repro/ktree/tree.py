@@ -1,0 +1,219 @@
+"""Construction and maintenance of the K-nary tree.
+
+Two construction modes are provided:
+
+* :meth:`KnaryTree.build_full` materialises every KT node down to the
+  leaves.  Exact but O(#leaves); meant for small rings and for tests
+  that verify the structural invariants (every virtual server hosts at
+  least one leaf, leaf regions tile the ring, ...).
+
+* :meth:`KnaryTree.ensure_leaf_for_key` materialises only the root-to-
+  leaf path for a given key.  Because the tree shape is a pure function
+  of the ring, lazily materialised paths coincide exactly with the full
+  tree; the aggregation and VSA sweeps only ever touch the paths of keys
+  that carry information, which keeps the paper-scale experiments
+  (4096 nodes x 5 virtual servers, 32-bit space) cheap.
+
+Self-repair (Section 3.1.1) is modelled by :meth:`KnaryTree.refresh`:
+after any ring change it re-plants every materialised KT node in the
+virtual server that now owns its center point, prunes children that
+became redundant (region now covered by the hosting VS) and grows
+children that became necessary.  Each refresh pass corresponds to one
+round of the paper's periodic top-down checking.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from repro.dht.chord import ChordRing
+from repro.exceptions import TreeError
+from repro.idspace import Region
+from repro.ktree.node import KTNode
+
+
+class KnaryTree:
+    """The K-nary aggregation/assignment tree over a Chord ring.
+
+    Parameters
+    ----------
+    ring:
+        The Chord ring the tree is built on.
+    k:
+        Tree degree (the paper evaluates K=2 and K=8).
+    """
+
+    def __init__(self, ring: ChordRing, k: int = 2):
+        if not isinstance(k, int) or k < 2:
+            raise TreeError(f"tree degree must be an integer >= 2, got {k!r}")
+        self.ring = ring
+        self.k = k
+        self.root = self._make_node(Region.full(ring.space), level=0, parent=None)
+        self._node_count = 1
+
+    # ------------------------------------------------------------------
+    # Node construction helpers
+    # ------------------------------------------------------------------
+    def _make_node(self, region: Region, level: int, parent: KTNode | None) -> KTNode:
+        host = self.ring.successor(region.center)
+        is_leaf = self._is_leaf_region(region, host)
+        return KTNode(region=region, level=level, parent=parent, host_vs=host, is_leaf=is_leaf, k=self.k)
+
+    def _is_leaf_region(self, region: Region, host_vs) -> bool:
+        """The paper's leaf rule, plus the integer-arithmetic floor.
+
+        A KT node is a leaf when its region is completely covered by the
+        region of its hosting virtual server.  On degenerate tiny rings a
+        region may also become too small to split into K parts; such a
+        region cannot grow children either, so it is a leaf.
+        """
+        if self.ring.region_of(host_vs).covers(region):
+            return True
+        return region.length < self.k
+
+    def _materialize_child(self, node: KTNode, index: int) -> KTNode:
+        if node.is_leaf:
+            raise TreeError("leaf KT nodes have no children")
+        existing = node.children[index]
+        if existing is not None:
+            return existing
+        child_region = node.region.split_part(self.k, index)
+        child = self._make_node(child_region, level=node.level + 1, parent=node)
+        node.children[index] = child
+        self._node_count += 1
+        return child
+
+    # ------------------------------------------------------------------
+    # Construction modes
+    # ------------------------------------------------------------------
+    def build_full(self, max_nodes: int = 2_000_000) -> None:
+        """Materialise the entire tree (small rings / structural tests).
+
+        Raises :class:`TreeError` when the tree would exceed ``max_nodes``
+        — a guard against accidentally full-building a 32-bit ring.
+        """
+        queue: deque[KTNode] = deque([self.root])
+        while queue:
+            node = queue.popleft()
+            if node.is_leaf:
+                continue
+            for i in range(self.k):
+                child = self._materialize_child(node, i)
+                if self._node_count > max_nodes:
+                    raise TreeError(
+                        f"full tree exceeds max_nodes={max_nodes}; "
+                        "use lazy construction for large rings"
+                    )
+                queue.append(child)
+
+    def ensure_leaf_for_key(self, key: int) -> KTNode:
+        """Materialise (if needed) and return the leaf whose region has ``key``.
+
+        The returned leaf is identical to the one :meth:`build_full`
+        would produce, because the split sequence is deterministic.
+        """
+        self.ring.space.validate(key)
+        node = self.root
+        guard = 0
+        while not node.is_leaf:
+            index = node.region.child_index_for(self.k, key)
+            node = self._materialize_child(node, index)
+            guard += 1
+            if guard > 8 * self.ring.space.bits:  # pragma: no cover
+                raise TreeError("runaway descent in ensure_leaf_for_key")
+        return node
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        """Number of currently materialised KT nodes."""
+        return self._node_count
+
+    def iter_nodes(self) -> Iterator[KTNode]:
+        """All materialised nodes, preorder."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.materialized_children())
+
+    def leaves(self) -> list[KTNode]:
+        """All materialised leaves."""
+        return [n for n in self.iter_nodes() if n.is_leaf]
+
+    def height(self) -> int:
+        """Maximum level among materialised nodes (root = 0)."""
+        return max((n.level for n in self.iter_nodes()), default=0)
+
+    def nodes_by_level_desc(self) -> list[KTNode]:
+        """Materialised nodes sorted deepest-first (bottom-up sweep order)."""
+        return sorted(self.iter_nodes(), key=lambda n: -n.level)
+
+    # ------------------------------------------------------------------
+    # Maintenance (self-repair)
+    # ------------------------------------------------------------------
+    def refresh(self) -> dict[str, int]:
+        """One top-down maintenance pass after ring changes.
+
+        Re-plants every materialised node, prunes subtrees whose root
+        became a leaf (region now covered by a single virtual server) and
+        re-evaluates leaf-ness the other way (a leaf whose host shrank
+        grows back into an internal node with unmaterialised children).
+
+        Returns counters: ``replanted``, ``pruned``, ``grown``.
+        """
+        replanted = pruned = grown = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            new_host = self.ring.successor(node.region.center)
+            if new_host is not node.host_vs:
+                node.host_vs = new_host
+                replanted += 1
+            leaf_now = self._is_leaf_region(node.region, node.host_vs)
+            if leaf_now and not node.is_leaf:
+                removed = sum(1 for _ in self._count_subtree(node)) - 1
+                pruned += removed
+                self._node_count -= removed
+                node.children = []
+                node.is_leaf = True
+            elif not leaf_now and node.is_leaf:
+                node.is_leaf = False
+                node.children = [None] * self.k
+                grown += 1
+            stack.extend(node.materialized_children())
+        return {"replanted": replanted, "pruned": pruned, "grown": grown}
+
+    def _count_subtree(self, node: KTNode) -> Iterator[KTNode]:
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            yield n
+            stack.extend(n.materialized_children())
+
+    def check_invariants(self) -> None:
+        """Structural invariants of a (fully or lazily) materialised tree."""
+        for node in self.iter_nodes():
+            host_region = self.ring.region_of(node.host_vs)
+            if not host_region.contains(node.region.center):
+                raise TreeError("KT node planted in a VS that does not own its center")
+            if node.is_leaf:
+                if not (host_region.covers(node.region) or node.region.length < self.k):
+                    raise TreeError("leaf KT node's region is not covered by its host VS")
+            else:
+                if host_region.covers(node.region):
+                    raise TreeError("internal KT node should be a leaf")
+                for i, child in enumerate(node.children):
+                    if child is None:
+                        continue
+                    if child.parent is not node:
+                        raise TreeError("child/parent link mismatch")
+                    expected = node.region.split(self.k)[i]
+                    if child.region != expected:
+                        raise TreeError("child region does not match split position")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"KnaryTree(k={self.k}, materialized={self._node_count})"

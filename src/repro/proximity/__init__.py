@@ -1,0 +1,17 @@
+"""Proximity machinery: landmark vectors -> Hilbert numbers -> DHT keys.
+
+The paper's key idea (Section 4) is to *preserve physical proximity in
+the identifier space*: every heavy/light node measures a landmark vector,
+the m-dimensional landmark space is divided into a grid, grid cells are
+numbered along an m-dimensional Hilbert space-filling curve, and the
+resulting *Hilbert number* is used as the DHT key under which the node
+publishes its VSA information.  Because the Hilbert curve preserves
+locality, physically close nodes publish under nearby keys and meet low
+in the K-nary tree during the bottom-up assignment sweep.
+"""
+
+from repro.proximity.hilbert import HilbertCurve
+from repro.proximity.landmark_vector import GridQuantizer
+from repro.proximity.mapping import ProximityMapper
+
+__all__ = ["HilbertCurve", "GridQuantizer", "ProximityMapper"]

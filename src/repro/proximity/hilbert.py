@@ -1,0 +1,183 @@
+"""m-dimensional Hilbert space-filling curve (Skilling's algorithm).
+
+Implements the transpose-based encoding of J. Skilling, "Programming the
+Hilbert curve", AIP Conf. Proc. 707 (2004): a bijection between points of
+the ``dims``-dimensional grid ``[0, 2^bits)^dims`` and indices in
+``[0, 2^(dims*bits))`` such that consecutive indices map to grid points
+that differ by exactly 1 in exactly one coordinate — the locality
+property the paper relies on ("points that are close together in the
+m-dimensional space will be mapped to points that are close together in
+the 1-dimensional space").
+
+Both directions (encode and decode) are provided and property-tested for
+bijectivity and the unit-step adjacency invariant.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import HilbertError
+
+
+class HilbertCurve:
+    """A Hilbert curve over ``[0, 2^bits)^dims``.
+
+    Parameters
+    ----------
+    dims:
+        Dimensionality ``m`` of the space (the paper's landmark count, 15).
+    bits:
+        Bits of resolution per dimension (the grid order); the landmark
+        space is divided into ``2^(dims*bits)`` cells.
+    """
+
+    def __init__(self, dims: int, bits: int):
+        if not isinstance(dims, int) or dims < 1:
+            raise HilbertError(f"dims must be a positive integer, got {dims!r}")
+        if not isinstance(bits, int) or bits < 1:
+            raise HilbertError(f"bits must be a positive integer, got {bits!r}")
+        if dims * bits > 1024:
+            raise HilbertError(f"dims*bits = {dims * bits} too large (max 1024)")
+        self.dims = dims
+        self.bits = bits
+
+    # ------------------------------------------------------------------
+    @property
+    def index_bits(self) -> int:
+        """Total bits of a Hilbert index (``dims * bits``)."""
+        return self.dims * self.bits
+
+    @property
+    def max_index(self) -> int:
+        return (1 << self.index_bits) - 1
+
+    @property
+    def side(self) -> int:
+        """Grid side length ``2^bits`` per dimension."""
+        return 1 << self.bits
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def encode(self, point: Sequence[int]) -> int:
+        """Hilbert index of a grid point."""
+        coords = self._check_point(point)
+        transpose = self._axes_to_transpose(coords)
+        return self._transpose_to_index(transpose)
+
+    def decode(self, index: int) -> tuple[int, ...]:
+        """Grid point of a Hilbert index."""
+        if not isinstance(index, int) or not 0 <= index <= self.max_index:
+            raise HilbertError(
+                f"index {index!r} out of range [0, {self.max_index}]"
+            )
+        transpose = self._index_to_transpose(index)
+        return tuple(self._transpose_to_axes(transpose))
+
+    def encode_many(self, points: np.ndarray) -> list[int]:
+        """Encode an ``(n, dims)`` integer array of grid points.
+
+        Returned as a Python list because indices may exceed 64 bits
+        (e.g. 15 dims x 8 bits = 120-bit indices).
+        """
+        arr = np.asarray(points)
+        if arr.ndim != 2 or arr.shape[1] != self.dims:
+            raise HilbertError(
+                f"points must have shape (n, {self.dims}), got {arr.shape}"
+            )
+        return [self.encode([int(v) for v in row]) for row in arr]
+
+    # ------------------------------------------------------------------
+    # Skilling's transforms
+    # ------------------------------------------------------------------
+    def _check_point(self, point: Sequence[int]) -> list[int]:
+        coords = [int(c) for c in point]
+        if len(coords) != self.dims:
+            raise HilbertError(
+                f"point has {len(coords)} coordinates, expected {self.dims}"
+            )
+        side = self.side
+        for c in coords:
+            if not 0 <= c < side:
+                raise HilbertError(f"coordinate {c} out of range [0, {side})")
+        return coords
+
+    def _axes_to_transpose(self, x: list[int]) -> list[int]:
+        """Map grid coordinates to Skilling's transposed Hilbert form."""
+        X = list(x)
+        n = self.dims
+        M = 1 << (self.bits - 1)
+        # Inverse undo excess work
+        Q = M
+        while Q > 1:
+            P = Q - 1
+            for i in range(n):
+                if X[i] & Q:
+                    X[0] ^= P
+                else:
+                    t = (X[0] ^ X[i]) & P
+                    X[0] ^= t
+                    X[i] ^= t
+            Q >>= 1
+        # Gray encode
+        for i in range(1, n):
+            X[i] ^= X[i - 1]
+        t = 0
+        Q = M
+        while Q > 1:
+            if X[n - 1] & Q:
+                t ^= Q - 1
+            Q >>= 1
+        for i in range(n):
+            X[i] ^= t
+        return X
+
+    def _transpose_to_axes(self, x: list[int]) -> list[int]:
+        """Inverse of :meth:`_axes_to_transpose`."""
+        X = list(x)
+        n = self.dims
+        N = 2 << (self.bits - 1)
+        # Gray decode by H ^ (H/2)
+        t = X[n - 1] >> 1
+        for i in range(n - 1, 0, -1):
+            X[i] ^= X[i - 1]
+        X[0] ^= t
+        # Undo excess work
+        Q = 2
+        while Q != N:
+            P = Q - 1
+            for i in range(n - 1, -1, -1):
+                if X[i] & Q:
+                    X[0] ^= P
+                else:
+                    t = (X[0] ^ X[i]) & P
+                    X[0] ^= t
+                    X[i] ^= t
+            Q <<= 1
+        return X
+
+    # ------------------------------------------------------------------
+    # Bit interleaving between transpose form and a single integer index
+    # ------------------------------------------------------------------
+    def _transpose_to_index(self, X: list[int]) -> int:
+        h = 0
+        for b in range(self.bits - 1, -1, -1):
+            for i in range(self.dims):
+                h = (h << 1) | ((X[i] >> b) & 1)
+        return h
+
+    def _index_to_transpose(self, h: int) -> list[int]:
+        X = [0] * self.dims
+        pos = self.index_bits
+        for b in range(self.bits - 1, -1, -1):
+            for i in range(self.dims):
+                pos -= 1
+                if (h >> pos) & 1:
+                    X[i] |= 1 << b
+        return X
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HilbertCurve(dims={self.dims}, bits={self.bits})"

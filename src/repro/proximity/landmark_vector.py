@@ -1,0 +1,73 @@
+"""Quantising landmark vectors onto the Hilbert grid.
+
+The continuous m-dimensional landmark space is divided into equal-size
+grid cells (Section 4.2.1); a node's cell is determined by binning each
+landmark distance into ``2^bits`` intervals.  A smaller grid order
+"increases the likelihood that two physically close nodes have the same
+Hilbert number" — the grid order is therefore an explicit ablation knob.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ProximityError
+
+
+class GridQuantizer:
+    """Uniform per-dimension binning of landmark vectors.
+
+    Parameters
+    ----------
+    bits:
+        Bits per dimension (``2^bits`` bins per landmark distance).
+    low, high:
+        Bounds of each dimension.  Pass scalars to share bounds across
+        dimensions (the natural choice: all dimensions are latencies on
+        the same network) or arrays of length ``m`` for per-dimension
+        bounds.  Use :meth:`fit` to derive bounds from a sample.
+    """
+
+    def __init__(self, bits: int, low: float | np.ndarray, high: float | np.ndarray):
+        if not isinstance(bits, int) or bits < 1:
+            raise ProximityError(f"bits must be a positive integer, got {bits!r}")
+        self.bits = bits
+        self.low = np.asarray(low, dtype=np.float64)
+        self.high = np.asarray(high, dtype=np.float64)
+        if np.any(self.high <= self.low):
+            raise ProximityError("quantizer bounds require high > low")
+
+    @classmethod
+    def fit(cls, vectors: np.ndarray, bits: int, margin: float = 0.0) -> "GridQuantizer":
+        """Derive shared bounds from a sample of landmark vectors.
+
+        ``margin`` expands the range by a relative amount on both sides so
+        later-measured vectors slightly outside the sample still quantise
+        (they are clipped regardless).
+        """
+        arr = np.asarray(vectors, dtype=np.float64)
+        if arr.ndim != 2 or arr.size == 0:
+            raise ProximityError("fit() needs a non-empty (n, m) array")
+        lo = float(arr.min())
+        hi = float(arr.max())
+        if hi <= lo:
+            hi = lo + 1.0
+        span = hi - lo
+        return cls(bits=bits, low=lo - margin * span, high=hi + margin * span)
+
+    @property
+    def bins(self) -> int:
+        return 1 << self.bits
+
+    def quantize(self, vectors: np.ndarray) -> np.ndarray:
+        """Map ``(n, m)`` landmark vectors to integer grid cells.
+
+        Values outside the bounds are clipped into the boundary bins.
+        """
+        arr = np.asarray(vectors, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr[None, :]
+        scaled = (arr - self.low) / (self.high - self.low) * self.bins
+        cells = np.floor(scaled).astype(np.int64)
+        np.clip(cells, 0, self.bins - 1, out=cells)
+        return cells

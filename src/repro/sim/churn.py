@@ -1,0 +1,126 @@
+"""Churn processes over a Chord ring with a live K-nary tree.
+
+Section 3.1.1 claims the tree is self-repairing: after any membership
+change, periodic top-down checking reconstructs it in ``O(log_K N)``
+time.  :class:`ChurnProcess` drives a ring through Poisson join/leave/
+crash events interleaved with tree-maintenance ticks and records how
+many refresh passes the tree needs to re-stabilise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dht.chord import ChordRing
+from repro.dht.churn import ChurnStats, crash_node, join_node, leave_node
+from repro.exceptions import SimulationError
+from repro.ktree.tree import KnaryTree
+from repro.sim.engine import Simulator
+from repro.util.rng import ensure_rng
+
+
+@dataclass
+class ChurnTrace:
+    """What happened during a churn simulation."""
+
+    events: int = 0
+    repairs: list[dict[str, int]] = field(default_factory=list)
+    refreshes_to_stable: list[int] = field(default_factory=list)
+    stats: ChurnStats = field(default_factory=ChurnStats)
+
+    @property
+    def max_refreshes(self) -> int:
+        return max(self.refreshes_to_stable, default=0)
+
+
+class ChurnProcess:
+    """Poisson churn driving a ring + tree through joins/leaves/crashes.
+
+    Parameters
+    ----------
+    ring, tree:
+        The system under churn.  The tree is refreshed (one maintenance
+        pass per tick) after every membership event until stable.
+    join_rate, leave_rate, crash_rate:
+        Relative rates of the three event types.
+    vs_per_join:
+        Virtual servers given to each joining node.
+    capacity_sampler:
+        Callable returning a capacity for each joiner.
+    """
+
+    def __init__(
+        self,
+        ring: ChordRing,
+        tree: KnaryTree,
+        join_rate: float = 1.0,
+        leave_rate: float = 0.5,
+        crash_rate: float = 0.5,
+        vs_per_join: int = 5,
+        capacity_sampler=None,
+        rng: int | None | np.random.Generator = None,
+    ):
+        if min(join_rate, leave_rate, crash_rate) < 0:
+            raise SimulationError("rates must be non-negative")
+        if join_rate + leave_rate + crash_rate <= 0:
+            raise SimulationError("at least one rate must be positive")
+        self.ring = ring
+        self.tree = tree
+        self.rates = np.asarray([join_rate, leave_rate, crash_rate], dtype=np.float64)
+        self.vs_per_join = vs_per_join
+        self.capacity_sampler = capacity_sampler or (lambda gen: float(gen.choice([1, 10, 100])))
+        self.gen = ensure_rng(rng)
+
+    def run(self, num_events: int, max_refresh_per_event: int = 64) -> ChurnTrace:
+        """Apply ``num_events`` churn events, repairing the tree after each.
+
+        After each membership change the tree is refreshed repeatedly
+        until a pass makes no change; the number of passes needed is the
+        empirical repair time in maintenance rounds.
+        """
+        trace = ChurnTrace()
+        total = self.rates.sum()
+        probs = self.rates / total
+        for _ in range(num_events):
+            kind = int(self.gen.choice(3, p=probs))
+            applied = self._apply_event(kind, trace)
+            if not applied:
+                continue
+            trace.events += 1
+            refreshes = 0
+            while refreshes < max_refresh_per_event:
+                counters = self.tree.refresh()
+                refreshes += 1
+                trace.repairs.append(counters)
+                if (
+                    counters["replanted"] == 0
+                    and counters["pruned"] == 0
+                    and counters["grown"] == 0
+                ):
+                    break
+            trace.refreshes_to_stable.append(refreshes)
+        return trace
+
+    def _apply_event(self, kind: int, trace: ChurnTrace) -> bool:
+        alive = self.ring.alive_nodes
+        if kind == 0:
+            join_node(
+                self.ring,
+                capacity=self.capacity_sampler(self.gen),
+                vs_count=self.vs_per_join,
+                rng=self.gen,
+                stats=trace.stats,
+            )
+            return True
+        if len(alive) <= 1:
+            return False  # never remove the last node
+        victim = alive[int(self.gen.integers(len(alive)))]
+        if len(victim.virtual_servers) == self.ring.num_virtual_servers:
+            return False
+        if kind == 1:
+            leave_node(self.ring, victim, stats=trace.stats)
+        else:
+            crash_node(self.ring, victim, stats=trace.stats)
+        return True

@@ -1,0 +1,94 @@
+"""Round-complexity measurements for the ``O(log_K N)`` claims.
+
+The paper bounds three phases by the K-nary tree height: LBI
+aggregation, dissemination, and the VSA sweep.  These helpers run the
+full protocol across a sweep of system sizes and report the measured
+rounds next to ``log_K`` of the virtual-server population, which is what
+the timing benchmark prints.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.balancer import LoadBalancer
+from repro.core.config import BalancerConfig
+from repro.workloads.loads import GaussianLoadModel
+from repro.workloads.scenario import build_scenario
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseTimings:
+    """Measured rounds for one system size."""
+
+    num_nodes: int
+    num_virtual_servers: int
+    tree_degree: int
+    tree_height: int
+    aggregation_rounds: int
+    dissemination_rounds: int
+    vsa_rounds: int
+
+    @property
+    def log_k_vs(self) -> float:
+        """``log_K`` of the virtual-server count (the theoretical scale)."""
+        return math.log(self.num_virtual_servers, self.tree_degree)
+
+    @property
+    def height_per_log(self) -> float:
+        """Tree height divided by ``log_K(#VS)`` — should be O(1)."""
+        return self.tree_height / self.log_k_vs
+
+
+def measure_phase_rounds(
+    num_nodes: int,
+    tree_degree: int = 2,
+    vs_per_node: int = 5,
+    epsilon: float = 0.05,
+    rng: int = 0,
+) -> PhaseTimings:
+    """Run one balancing round and extract the phase round counts."""
+    scenario = build_scenario(
+        GaussianLoadModel(mu=1e6, sigma=2e3),
+        num_nodes=num_nodes,
+        vs_per_node=vs_per_node,
+        rng=rng,
+    )
+    balancer = LoadBalancer(
+        scenario.ring,
+        BalancerConfig(
+            proximity_mode="ignorant", epsilon=epsilon, tree_degree=tree_degree
+        ),
+        rng=rng + 1,
+    )
+    report = balancer.run_round()
+    return PhaseTimings(
+        num_nodes=num_nodes,
+        num_virtual_servers=report.num_virtual_servers,
+        tree_degree=tree_degree,
+        tree_height=report.tree_height,
+        aggregation_rounds=report.aggregation.upward_rounds,
+        dissemination_rounds=report.aggregation.downward_rounds,
+        vsa_rounds=report.vsa.rounds,
+    )
+
+
+def sweep_phase_rounds(
+    sizes: list[int],
+    tree_degrees: list[int] = (2, 8),
+    vs_per_node: int = 5,
+    rng: int = 0,
+) -> list[PhaseTimings]:
+    """Measure phase rounds across system sizes and tree degrees."""
+    out: list[PhaseTimings] = []
+    for k in tree_degrees:
+        for n in sizes:
+            out.append(
+                measure_phase_rounds(
+                    n, tree_degree=k, vs_per_node=vs_per_node, rng=rng
+                )
+            )
+    return out

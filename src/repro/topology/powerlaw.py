@@ -1,0 +1,85 @@
+"""Power-law (Barabási–Albert-like) topologies: a second graph family.
+
+The paper evaluates only on GT-ITM transit-stub graphs; measurement work
+after 2004 showed router-level Internet graphs have power-law degree
+distributions.  This module generates such graphs so the proximity
+machinery can be stressed on a topology with *no* engineered hierarchy:
+locality then comes only from hop distance, landmarks see a flatter
+distance distribution, and the aware/ignorant gap shrinks — a useful
+robustness check beyond the paper's setting.
+
+Vertices are all "stub" kind (peers can attach anywhere); the
+``stub_domain`` of a vertex is a cluster label obtained from the highest-
+degree neighbour (hub), which gives tests a coarse locality notion.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.exceptions import TopologyError
+from repro.topology.graph import Topology, VertexInfo
+from repro.util.rng import ensure_rng
+
+
+def generate_power_law(
+    num_vertices: int,
+    attach_edges: int = 2,
+    weight_range: tuple[int, int] = (1, 4),
+    rng: int | None | np.random.Generator = None,
+    name: str = "power-law",
+) -> Topology:
+    """Generate a preferential-attachment graph with random edge weights.
+
+    Parameters
+    ----------
+    num_vertices:
+        Graph size.
+    attach_edges:
+        Edges each arriving vertex attaches with (BA's ``m``).
+    weight_range:
+        Inclusive integer range of edge latencies.
+    """
+    if num_vertices < 2:
+        raise TopologyError("need at least 2 vertices")
+    if not 1 <= attach_edges < num_vertices:
+        raise TopologyError(
+            f"attach_edges must be in [1, {num_vertices - 1}], got {attach_edges}"
+        )
+    lo, hi = weight_range
+    if not (isinstance(lo, int) and isinstance(hi, int) and 1 <= lo <= hi):
+        raise TopologyError(f"invalid weight_range {weight_range}")
+
+    gen = ensure_rng(rng)
+    g = nx.Graph()
+    g.add_node(0)
+
+    # Preferential attachment via the repeated-endpoints trick.
+    endpoints: list[int] = [0]
+    for v in range(1, num_vertices):
+        g.add_node(v)
+        m = min(attach_edges, v)
+        targets: set[int] = set()
+        while len(targets) < m:
+            if gen.random() < 0.3 or not endpoints:
+                cand = int(gen.integers(v))
+            else:
+                cand = endpoints[int(gen.integers(len(endpoints)))]
+            targets.add(cand)
+        for t in targets:
+            g.add_edge(v, t, weight=int(gen.integers(lo, hi + 1)))
+            endpoints.extend((v, t))
+
+    # Cluster label: each vertex joins the cluster of its highest-degree
+    # neighbour hub (or itself if it is the local hub).
+    degree = dict(g.degree())
+    cluster: dict[int, int] = {}
+    for v in range(num_vertices):
+        best = max(list(g.neighbors(v)) + [v], key=lambda u: (degree[u], -u))
+        cluster[v] = best
+    info = [
+        VertexInfo(kind="stub", transit_domain=0, stub_domain=cluster[v])
+        for v in range(num_vertices)
+    ]
+    return Topology(graph=g, info=info, name=name)

@@ -1,0 +1,121 @@
+"""Shortest-path distance oracle with per-source caching.
+
+Transfer costs and landmark vectors are weighted shortest-path distances
+in the topology.  An all-pairs matrix for 5000 vertices would cost
+~200 MB; instead the oracle runs single-source Dijkstra (scipy, C speed)
+on demand and caches rows in float32, so the cost is proportional to the
+set of sources an experiment actually touches (landmarks + transfer
+endpoints).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+from scipy.sparse.csgraph import dijkstra
+
+from repro.exceptions import TopologyError
+from repro.topology.graph import Topology
+
+
+class DistanceOracle:
+    """Cached single-source shortest-path queries over a :class:`Topology`.
+
+    Parameters
+    ----------
+    topology:
+        The weighted graph to answer queries on.
+    max_cached_rows:
+        LRU bound on cached source rows (each row is ``4 * n`` bytes).
+        ``None`` means unbounded.
+    """
+
+    def __init__(self, topology: Topology, max_cached_rows: int | None = None):
+        self.topology = topology
+        self._csr = topology.csr()
+        self._rows: OrderedDict[int, np.ndarray] = OrderedDict()
+        self._max_rows = max_cached_rows
+        self.dijkstra_runs = 0  # instrumentation for tests/benchmarks
+
+    # ------------------------------------------------------------------
+    def distances_from(self, source: int) -> np.ndarray:
+        """Distances (latency units) from ``source`` to every vertex."""
+        self._validate(source)
+        row = self._rows.get(source)
+        if row is not None:
+            self._rows.move_to_end(source)
+            return row
+        dist = dijkstra(self._csr, directed=False, indices=source)
+        row = dist.astype(np.float32)
+        self._rows[source] = row
+        self.dijkstra_runs += 1
+        if self._max_rows is not None and len(self._rows) > self._max_rows:
+            self._rows.popitem(last=False)
+        return row
+
+    def distances_from_many(self, sources: np.ndarray | list[int]) -> np.ndarray:
+        """Stacked distance rows for several sources (shape ``(k, n)``).
+
+        Uncached sources are computed in one scipy call, which is much
+        faster than one call per source.
+        """
+        src = [int(s) for s in sources]
+        for s in src:
+            self._validate(s)
+        missing = [s for s in src if s not in self._rows]
+        if missing:
+            dist = dijkstra(self._csr, directed=False, indices=missing)
+            dist = np.atleast_2d(dist)
+            for i, s in enumerate(missing):
+                self._rows[s] = dist[i].astype(np.float32)
+                self.dijkstra_runs += 1
+                if self._max_rows is not None and len(self._rows) > self._max_rows:
+                    self._rows.popitem(last=False)
+        return np.stack([self.distances_from(s) for s in src])
+
+    def distance(self, u: int, v: int) -> float:
+        """Shortest-path distance between two vertices."""
+        self._validate(v)
+        if u in self._rows:
+            return float(self._rows[u][v])
+        if v in self._rows:
+            return float(self._rows[v][u])
+        return float(self.distances_from(u)[v])
+
+    def distances_between(self, pairs: list[tuple[int, int]]) -> np.ndarray:
+        """Distances for a batch of vertex pairs.
+
+        Sources are grouped so each distinct source costs one Dijkstra;
+        the cheaper endpoint of each pair (already-cached one if any) is
+        used as the source.
+        """
+        out = np.empty(len(pairs), dtype=np.float64)
+        # Group by source, preferring endpoints already cached.
+        needed: dict[int, list[tuple[int, int]]] = {}
+        for idx, (u, v) in enumerate(pairs):
+            if u in self._rows:
+                out[idx] = float(self._rows[u][v])
+            elif v in self._rows:
+                out[idx] = float(self._rows[v][u])
+            else:
+                needed.setdefault(u, []).append((idx, v))
+        if needed:
+            self.distances_from_many(list(needed.keys()))
+            for u, items in needed.items():
+                row = self._rows[u]
+                for idx, v in items:
+                    out[idx] = float(row[v])
+        return out
+
+    # ------------------------------------------------------------------
+    def _validate(self, vertex: int) -> None:
+        if not 0 <= vertex < self.topology.num_vertices:
+            raise TopologyError(
+                f"vertex {vertex} out of range for topology with "
+                f"{self.topology.num_vertices} vertices"
+            )
+
+    @property
+    def cached_sources(self) -> int:
+        return len(self._rows)

@@ -1,0 +1,24 @@
+"""Shared utilities: RNG handling, sorted containers, statistics helpers."""
+
+from repro.util.rng import ensure_rng, spawn_rngs
+from repro.util.sortedlist import SortedKeyList
+from repro.util.stats import (
+    cdf_points,
+    gini_coefficient,
+    histogram_by_bins,
+    summary,
+    SummaryStats,
+    weighted_fraction_within,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "SortedKeyList",
+    "cdf_points",
+    "gini_coefficient",
+    "histogram_by_bins",
+    "summary",
+    "SummaryStats",
+    "weighted_fraction_within",
+]

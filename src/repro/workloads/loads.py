@@ -1,0 +1,101 @@
+"""Virtual-server load models (paper Section 5.1).
+
+Let ``f`` be the fraction of the identifier space a virtual server owns
+(exponentially distributed under Chord's random placement — our ring
+produces these fractions naturally).  With ``mu`` and ``sigma`` the mean
+and standard deviation of the *total system load*:
+
+* **Gaussian**: VS load ~ Normal(``mu * f``, ``sigma * sqrt(f)``),
+  clipped at zero.  "Would result if the load of a virtual server is
+  attributed to a large number of small objects ... independent."
+* **Pareto**: VS load ~ Pareto with shape ``alpha = 1.5`` and mean
+  ``mu * f`` (scale ``x_m = mu * f * (alpha - 1) / alpha``); infinite
+  standard deviation — the heavy-tailed stress case.
+
+Both models make the *expected total load* equal ``mu`` because the
+fractions sum to one over the ring.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.constants import PARETO_SHAPE
+from repro.dht.chord import ChordRing
+from repro.exceptions import WorkloadError
+from repro.util.rng import ensure_rng
+
+
+class LoadModel(abc.ABC):
+    """Base class: draws per-VS loads given identifier-space fractions."""
+
+    def __init__(self, mu: float):
+        if mu <= 0:
+            raise WorkloadError(f"mu (total system load) must be positive, got {mu}")
+        self.mu = float(mu)
+
+    @abc.abstractmethod
+    def sample(self, fractions: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Per-VS loads for the given fractions (same shape)."""
+
+    def _check_fractions(self, fractions: np.ndarray) -> np.ndarray:
+        arr = np.asarray(fractions, dtype=np.float64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise WorkloadError("fractions must be a non-empty 1-D array")
+        if np.any(arr < 0) or np.any(arr > 1):
+            raise WorkloadError("fractions must lie in [0, 1]")
+        return arr
+
+
+class GaussianLoadModel(LoadModel):
+    """Normal(``mu*f``, ``sigma*sqrt(f)``) loads, clipped at zero."""
+
+    def __init__(self, mu: float, sigma: float):
+        super().__init__(mu)
+        if sigma < 0:
+            raise WorkloadError(f"sigma must be non-negative, got {sigma}")
+        self.sigma = float(sigma)
+
+    def sample(self, fractions: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        f = self._check_fractions(fractions)
+        loads = rng.normal(self.mu * f, self.sigma * np.sqrt(f))
+        return np.clip(loads, 0.0, None)
+
+
+class ParetoLoadModel(LoadModel):
+    """Pareto(shape ``alpha``) loads with mean ``mu*f`` (default alpha 1.5)."""
+
+    def __init__(self, mu: float, alpha: float = PARETO_SHAPE):
+        super().__init__(mu)
+        if alpha <= 1.0:
+            raise WorkloadError(
+                f"alpha must exceed 1 for a finite mean, got {alpha}"
+            )
+        self.alpha = float(alpha)
+
+    def sample(self, fractions: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        f = self._check_fractions(fractions)
+        # Classic Pareto: X = x_m * U^(-1/alpha), mean = alpha*x_m/(alpha-1).
+        x_m = self.mu * f * (self.alpha - 1.0) / self.alpha
+        u = rng.random(f.shape)
+        return x_m * np.power(u, -1.0 / self.alpha)
+
+
+def assign_loads(
+    ring: ChordRing,
+    model: LoadModel,
+    rng: int | None | np.random.Generator = None,
+) -> np.ndarray:
+    """Draw and install loads for every virtual server of ``ring``.
+
+    Fractions come from the ring's actual region sizes.  Returns the
+    array of assigned loads (ring order) for convenience.
+    """
+    gen = ensure_rng(rng)
+    fractions = ring.fractions()
+    loads = model.sample(fractions, gen)
+    for vs, load in zip(ring.virtual_servers, loads):
+        vs.load = float(load)
+    return loads

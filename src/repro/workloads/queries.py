@@ -1,0 +1,136 @@
+"""Query workloads: bandwidth/CPU load from lookup traffic.
+
+The paper's load abstraction covers "storage, bandwidth or CPU".  The
+storage case is :mod:`repro.dht.storage`; this module supplies the
+bandwidth/CPU case: a stream of object lookups with Zipf popularity.
+Serving a query loads the *owner* of the object, and routing it loads
+every overlay hop a little — so the induced per-virtual-server load has
+both a popularity skew and a routing component, and the balancer can be
+evaluated against it unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dht.chord import ChordRing
+from repro.dht.lookup import lookup_path
+from repro.dht.storage import ObjectStore
+from repro.exceptions import WorkloadError
+from repro.util.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class QueryTrace:
+    """Aggregate outcome of replaying a query stream."""
+
+    queries: int
+    total_service_load: float
+    total_routing_load: float
+    routing_hops: int
+    hottest_vs_load: float
+
+    @property
+    def mean_hops(self) -> float:
+        return self.routing_hops / self.queries if self.queries else 0.0
+
+
+class QueryWorkload:
+    """A Zipf-popularity lookup stream over stored objects.
+
+    Parameters
+    ----------
+    store:
+        The object store holding the queryable population.
+    zipf_s:
+        Popularity exponent (1.0 ~ classic web workloads).
+    service_cost:
+        Load added to the owning virtual server per query.
+    routing_cost:
+        Load added to every *intermediate* virtual server on the lookup
+        path per query (0 disables routing accounting and the expensive
+        path computation with it).
+    """
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        zipf_s: float = 1.0,
+        service_cost: float = 1.0,
+        routing_cost: float = 0.0,
+        rng: int | None | np.random.Generator = None,
+    ):
+        if store.num_objects == 0:
+            raise WorkloadError("query workload needs a populated store")
+        if zipf_s <= 0:
+            raise WorkloadError("zipf_s must be positive")
+        if service_cost < 0 or routing_cost < 0:
+            raise WorkloadError("costs must be non-negative")
+        self.store = store
+        self.ring: ChordRing = store.ring
+        self.service_cost = service_cost
+        self.routing_cost = routing_cost
+        self.gen = ensure_rng(rng)
+        # Popularity ranks over the (stable) sorted object names.
+        self._names = sorted(
+            name
+            for vs in self.ring.virtual_servers
+            for name in (o.name for o in store.objects_on(vs))
+        )
+        ranks = np.arange(1, len(self._names) + 1, dtype=np.float64)
+        weights = ranks ** (-zipf_s)
+        self._probs = weights / weights.sum()
+
+    def run(self, num_queries: int, apply_loads: bool = True) -> QueryTrace:
+        """Replay ``num_queries`` lookups; optionally install the loads.
+
+        Service load accrues on the *objects* (via
+        :meth:`~repro.dht.storage.ObjectStore.add_load`) so it survives
+        re-homing and travels with virtual-server transfers; routing load
+        is transient forwarding work and lands directly on the virtual
+        servers along each lookup path.  With ``apply_loads=False`` the
+        trace is computed without touching any state (dry run).
+        """
+        if num_queries < 0:
+            raise WorkloadError("num_queries must be >= 0")
+        picks = self.gen.choice(len(self._names), size=num_queries, p=self._probs)
+        vss = self.ring.virtual_servers
+        start_ids = self.gen.integers(0, len(vss), size=num_queries)
+        total_service = 0.0
+        total_routing = 0.0
+        hops = 0
+        per_vs_all: dict[int, float] = {}  # service + routing, for the trace
+        per_object: dict[str, float] = {}
+        per_vs_routing: dict[int, float] = {}
+        for pick, start_idx in zip(picks.tolist(), start_ids.tolist()):
+            name = self._names[pick]
+            obj = self.store.get(name)
+            owner = self.ring.successor(obj.key)
+            per_object[name] = per_object.get(name, 0.0) + self.service_cost
+            per_vs_all[owner.vs_id] = (
+                per_vs_all.get(owner.vs_id, 0.0) + self.service_cost
+            )
+            total_service += self.service_cost
+            if self.routing_cost > 0:
+                path = lookup_path(self.ring, vss[start_idx], obj.key)
+                hops += len(path) - 1
+                for vs_id in path[:-1]:
+                    per_vs_routing[vs_id] = (
+                        per_vs_routing.get(vs_id, 0.0) + self.routing_cost
+                    )
+                    per_vs_all[vs_id] = per_vs_all.get(vs_id, 0.0) + self.routing_cost
+                    total_routing += self.routing_cost
+        if apply_loads:
+            for name, load in per_object.items():
+                self.store.add_load(name, load)
+            for vs_id, load in per_vs_routing.items():
+                self.ring.vs(vs_id).load += load
+        return QueryTrace(
+            queries=num_queries,
+            total_service_load=total_service,
+            total_routing_load=total_routing,
+            routing_hops=hops,
+            hottest_vs_load=max(per_vs_all.values(), default=0.0),
+        )

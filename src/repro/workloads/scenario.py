@@ -1,0 +1,140 @@
+"""Scenario builder: one call from parameters to a ready-to-balance system.
+
+A :class:`Scenario` bundles everything one experiment needs — the ring
+with loads and capacities assigned, optionally a topology with node
+sites and a shared distance oracle — built deterministically from a
+single seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import DEFAULT_NUM_NODES, DEFAULT_VS_PER_NODE, ID_BITS
+from repro.dht.chord import ChordRing
+from repro.exceptions import WorkloadError
+from repro.idspace import IdentifierSpace
+from repro.topology.graph import Topology
+from repro.topology.routing import DistanceOracle
+from repro.topology.transit_stub import TransitStubParams, generate_transit_stub
+from repro.workloads.capacity import GnutellaCapacityProfile
+from repro.workloads.loads import LoadModel, assign_loads
+from repro.util.rng import ensure_rng, spawn_rngs
+
+
+@dataclass
+class Scenario:
+    """A fully initialised experiment instance."""
+
+    ring: ChordRing
+    topology: Topology | None
+    oracle: DistanceOracle | None
+    capacities: np.ndarray
+    loads: np.ndarray
+    seed_description: str = ""
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.ring.nodes)
+
+
+def proportional_vs_counts(
+    capacities: np.ndarray,
+    mean_vs_per_node: int,
+    max_vs_per_node: int = 512,
+) -> list[int]:
+    """CFS-style allocation: virtual servers proportional to capacity.
+
+    The counts average ``mean_vs_per_node`` over the population, with a
+    floor of 1 (every node keeps a ring presence) and a configurable cap
+    (a capacity-10^4 node under the Gnutella profile would otherwise
+    host hundreds of virtual servers).
+    """
+    caps = np.asarray(capacities, dtype=np.float64)
+    if caps.size == 0 or np.any(caps <= 0):
+        raise WorkloadError("capacities must be positive and non-empty")
+    if mean_vs_per_node < 1 or max_vs_per_node < 1:
+        raise WorkloadError("vs counts must be >= 1")
+    raw = caps / caps.mean() * mean_vs_per_node
+    counts = np.clip(np.round(raw), 1, max_vs_per_node).astype(int)
+    return counts.tolist()
+
+
+def build_scenario(
+    load_model: LoadModel,
+    num_nodes: int = DEFAULT_NUM_NODES,
+    vs_per_node: int = DEFAULT_VS_PER_NODE,
+    id_bits: int = ID_BITS,
+    topology_params: TransitStubParams | None = None,
+    topology: Topology | None = None,
+    capacity_profile: GnutellaCapacityProfile | None = None,
+    vs_allocation: str = "uniform",
+    rng: int | None | np.random.Generator = None,
+) -> Scenario:
+    """Build a ring (and optionally a topology) ready for balancing.
+
+    Parameters
+    ----------
+    load_model:
+        The virtual-server load distribution.
+    topology_params:
+        Generate a fresh transit-stub topology with these parameters and
+        attach every DHT node to a distinct random *stub* vertex.
+        Mutually exclusive with ``topology`` (a pre-built one).
+    vs_allocation:
+        ``"uniform"`` (the paper's setup: every node starts with
+        ``vs_per_node`` virtual servers) or ``"proportional"`` (CFS-style
+        capacity-proportional counts averaging ``vs_per_node``).
+    rng:
+        Single seed from which all randomness (ring placement, capacity
+        draw, load draw, topology, site assignment) derives.
+    """
+    if topology_params is not None and topology is not None:
+        raise WorkloadError("pass either topology_params or topology, not both")
+    if vs_allocation not in ("uniform", "proportional"):
+        raise WorkloadError(f"unknown vs_allocation {vs_allocation!r}")
+    root = ensure_rng(rng)
+    ring_rng, cap_rng, load_rng, topo_rng, site_rng = spawn_rngs(root, 5)
+
+    profile = capacity_profile if capacity_profile is not None else GnutellaCapacityProfile()
+    capacities = profile.sample(num_nodes, cap_rng)
+
+    oracle: DistanceOracle | None = None
+    sites: np.ndarray | None = None
+    if topology_params is not None:
+        topology = generate_transit_stub(topology_params, topo_rng)
+    if topology is not None:
+        stubs = topology.stub_vertices
+        if len(stubs) < num_nodes:
+            raise WorkloadError(
+                f"topology has {len(stubs)} stub vertices; cannot host "
+                f"{num_nodes} DHT nodes one-per-vertex"
+            )
+        sites = site_rng.choice(stubs, size=num_nodes, replace=False)
+        oracle = DistanceOracle(topology)
+
+    counts: int | list[int]
+    if vs_allocation == "proportional":
+        counts = proportional_vs_counts(capacities, vs_per_node)
+    else:
+        counts = vs_per_node
+    ring = ChordRing(IdentifierSpace(bits=id_bits))
+    ring.populate(
+        num_nodes,
+        counts,
+        capacities=capacities.tolist(),
+        rng=ring_rng,
+        sites=None if sites is None else sites.tolist(),
+    )
+    loads = assign_loads(ring, load_model, load_rng)
+
+    return Scenario(
+        ring=ring,
+        topology=topology,
+        oracle=oracle,
+        capacities=capacities,
+        loads=loads,
+        seed_description=repr(rng),
+    )

@@ -1,0 +1,91 @@
+"""Tests for CSV/JSON figure-data export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis import figure4_data, figure56_data, figure78_data
+from repro.analysis.export import (
+    export_figure4_csv,
+    export_figure56_csv,
+    export_figure78_csv,
+    export_figure78_json,
+)
+from repro.core import BalancerConfig, LoadBalancer
+from repro.workloads import GaussianLoadModel, build_scenario
+from tests.conftest import MINI_TS
+
+
+@pytest.fixture(scope="module")
+def plain_report():
+    sc = build_scenario(
+        GaussianLoadModel(mu=1e5, sigma=300.0), num_nodes=40, vs_per_node=3, rng=101
+    )
+    lb = LoadBalancer(
+        sc.ring, BalancerConfig(proximity_mode="ignorant", epsilon=0.05), rng=1
+    )
+    return lb.run_round()
+
+
+@pytest.fixture(scope="module")
+def fig78():
+    reports = {}
+    for mode in ("aware", "ignorant"):
+        sc = build_scenario(
+            GaussianLoadModel(mu=1e5, sigma=300.0),
+            num_nodes=30,
+            vs_per_node=3,
+            topology_params=MINI_TS,
+            rng=103,
+        )
+        lb = LoadBalancer(
+            sc.ring,
+            BalancerConfig(proximity_mode=mode, epsilon=0.05, grid_bits=3),
+            topology=sc.topology,
+            oracle=sc.oracle,
+            rng=2,
+        )
+        reports[mode] = lb.run_round()
+    return figure78_data(reports["aware"], reports["ignorant"], "mini")
+
+
+class TestCsvExports:
+    def test_figure4_roundtrip(self, plain_report, tmp_path):
+        data = figure4_data(plain_report)
+        out = export_figure4_csv(data, tmp_path / "fig4.csv")
+        rows = list(csv.DictReader(out.open()))
+        assert len(rows) == plain_report.num_nodes
+        assert float(rows[0]["unit_load_before"]) == pytest.approx(
+            data.unit_before[0], rel=1e-5
+        )
+
+    def test_figure56_rows(self, plain_report, tmp_path):
+        data = figure56_data(plain_report, "gaussian")
+        out = export_figure56_csv(data, tmp_path / "fig5.csv")
+        rows = list(csv.DictReader(out.open()))
+        assert len(rows) == len(data.categories)
+        shares = [float(r["share_after"]) for r in rows]
+        assert sum(shares) == pytest.approx(1.0, abs=1e-4)
+
+    def test_figure78_histogram(self, fig78, tmp_path):
+        out = export_figure78_csv(fig78, tmp_path / "fig7.csv")
+        rows = list(csv.DictReader(out.open()))
+        assert len(rows) == len(fig78.bin_edges) - 1
+        aware_total = sum(float(r["aware_fraction"]) for r in rows)
+        assert aware_total == pytest.approx(1.0, abs=1e-4)
+
+    def test_creates_parent_dirs(self, plain_report, tmp_path):
+        data = figure4_data(plain_report)
+        out = export_figure4_csv(data, tmp_path / "deep" / "dir" / "fig4.csv")
+        assert out.exists()
+
+
+class TestJsonExport:
+    def test_figure78_json_payload(self, fig78, tmp_path):
+        out = export_figure78_json(fig78, tmp_path / "fig7.json")
+        payload = json.loads(out.read_text())
+        assert payload["topology"] == "mini"
+        assert len(payload["aware_hist"]) == len(payload["bin_edges"]) - 1
+        assert payload["aware_cdf"]["p"][-1] == pytest.approx(1.0)
+        assert set(payload["aware_within"]) == set(payload["ignorant_within"])

@@ -1,0 +1,55 @@
+"""Tests for seed replication and the variance experiment."""
+
+import pytest
+
+from repro.analysis.replicate import ReplicatedMetric, replicate
+
+
+class TestReplicate:
+    def test_summary_stats(self):
+        out = replicate(lambda seed: {"x": float(seed)}, seeds=[1, 2, 3])
+        m = out["x"]
+        assert m.mean == pytest.approx(2.0)
+        assert m.minimum == 1.0
+        assert m.maximum == 3.0
+        assert m.values == (1.0, 2.0, 3.0)
+
+    def test_multiple_metrics(self):
+        out = replicate(
+            lambda seed: {"a": seed, "b": seed * 2}, seeds=[1, 2]
+        )
+        assert set(out) == {"a", "b"}
+        assert out["b"].mean == pytest.approx(3.0)
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(lambda s: {"x": 0.0}, seeds=[])
+
+    def test_inconsistent_keys_rejected(self):
+        def fn(seed):
+            return {"x": 1.0} if seed == 1 else {"y": 1.0}
+
+        with pytest.raises(KeyError):
+            replicate(fn, seeds=[1, 2])
+
+    def test_str_format(self):
+        m = ReplicatedMetric(name="x", values=(1.0, 2.0))
+        assert "+/-" in str(m)
+
+
+class TestVarianceExperiment:
+    def test_small_variance_run(self):
+        from repro.experiments import variance
+        from repro.experiments.common import ExperimentSettings
+
+        result = variance.run(
+            ExperimentSettings(num_nodes=768, seed=42), num_seeds=2
+        )
+        assert len(result.seeds) == 2
+        m = result.metrics
+        # aware always beats ignorant on mean distance, in every seed.
+        for a, b in zip(
+            m["aware_mean_distance"].values, m["ignorant_mean_distance"].values
+        ):
+            assert a < b
+        assert "Seed variance" in result.format_rows()

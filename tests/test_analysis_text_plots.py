@@ -1,0 +1,71 @@
+"""Tests for terminal text plots."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.text_plots import ascii_cdf, ascii_histogram, side_by_side
+
+
+class TestHistogram:
+    def test_bars_scale_to_peak(self):
+        out = ascii_histogram(["a", "b"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_labels_aligned(self):
+        out = ascii_histogram(["x", "long-label"], [1.0, 1.0])
+        lines = out.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_empty(self):
+        assert "empty" in ascii_histogram([], [])
+
+    def test_zero_values_no_bars(self):
+        out = ascii_histogram(["a"], [0.0])
+        assert "#" not in out
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ascii_histogram(["a"], [1.0, 2.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_histogram(["a"], [-1.0])
+
+
+class TestCdf:
+    def test_monotone_render(self):
+        xs = np.array([0.0, 1.0, 2.0, 3.0])
+        ps = np.array([0.25, 0.5, 0.75, 1.0])
+        out = ascii_cdf(xs, ps, width=20, height=5)
+        assert "*" in out
+        assert "1.00" in out and "0.00" in out
+
+    def test_empty(self):
+        assert "empty" in ascii_cdf([], [])
+
+    def test_non_cdf_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_cdf([0, 1], [0.9, 0.1])
+        with pytest.raises(ValueError):
+            ascii_cdf([0, 1], [0.5, 1.5])
+
+    def test_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            ascii_cdf([0, 1, 2], [0.5, 1.0])
+
+    def test_axis_labels_show_range(self):
+        out = ascii_cdf([5.0, 10.0], [0.5, 1.0], width=30, height=4)
+        assert "5" in out and "10" in out
+
+
+class TestSideBySide:
+    def test_joins_blocks(self):
+        out = side_by_side("a\nb", "x\ny")
+        lines = out.splitlines()
+        assert lines[0].startswith("a") and lines[0].endswith("x")
+
+    def test_uneven_heights(self):
+        out = side_by_side("a", "x\ny")
+        assert len(out.splitlines()) == 2

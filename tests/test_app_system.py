@@ -1,0 +1,145 @@
+"""Tests for the P2PSystem application facade."""
+
+import pytest
+
+from repro.app import P2PSystem, SystemConfig
+from repro.exceptions import DHTError, ReproError
+from repro.topology import generate_transit_stub
+from tests.conftest import MINI_TS
+
+
+@pytest.fixture
+def system():
+    sys_ = P2PSystem(SystemConfig(initial_nodes=12, vs_per_node=3, seed=5))
+    for i in range(60):
+        sys_.put(f"obj-{i}", load=float(i % 9 + 1))
+    return sys_
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(initial_nodes=0),
+            dict(vs_per_node=0),
+            dict(replication_factor=-1),
+        ],
+    )
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ReproError):
+            SystemConfig(**kwargs)
+
+    def test_capacities_length_checked(self):
+        with pytest.raises(ReproError):
+            P2PSystem(SystemConfig(initial_nodes=4, seed=0), capacities=[1.0])
+
+    def test_deterministic_by_seed(self):
+        a = P2PSystem(SystemConfig(initial_nodes=6, seed=9))
+        b = P2PSystem(SystemConfig(initial_nodes=6, seed=9))
+        assert [v.vs_id for v in a.ring.virtual_servers] == [
+            v.vs_id for v in b.ring.virtual_servers
+        ]
+
+
+class TestStorage:
+    def test_put_get_roundtrip(self, system):
+        system.put("x", load=5.0)
+        assert system.get("x").load == 5.0
+
+    def test_delete(self, system):
+        system.put("y", load=2.0)
+        system.delete("y")
+        with pytest.raises(DHTError):
+            system.get("y")
+
+    def test_loads_accounted(self, system):
+        stats = system.stats()
+        assert stats.objects == 60
+        assert stats.total_load == pytest.approx(
+            sum(float(i % 9 + 1) for i in range(60))
+        )
+
+
+class TestMembership:
+    def test_add_node_rehomes(self, system):
+        before = system.stats()
+        node = system.add_node(capacity=100.0)
+        system.verify()
+        after = system.stats()
+        assert after.nodes == before.nodes + 1
+        assert after.total_load == pytest.approx(before.total_load)
+        assert node.alive
+
+    def test_remove_node(self, system):
+        victim = system.ring.alive_nodes[0]
+        before_load = system.stats().total_load
+        system.remove_node(victim)
+        system.verify()
+        assert system.stats().total_load == pytest.approx(before_load)
+
+    def test_fail_node_with_replication_survives(self, system):
+        victim = system.ring.alive_nodes[3]
+        assert system.fail_node(victim) is True  # r=2 tolerates 1 crash
+        system.verify()
+
+    def test_fail_node_without_replication_loses(self):
+        sys_ = P2PSystem(
+            SystemConfig(initial_nodes=8, vs_per_node=2, replication_factor=0, seed=3)
+        )
+        sys_.put("a", load=1.0)
+        owner = sys_.get("a")
+        victim = sys_.ring.successor(owner.key).owner
+        assert sys_.fail_node(victim) is False
+
+    def test_resolve_by_index(self, system):
+        idx = system.ring.alive_nodes[2].index
+        system.remove_node(idx)
+        with pytest.raises(DHTError):
+            system.remove_node(idx)  # already gone
+
+
+class TestBalancing:
+    def test_rebalance_reduces_heavy_fraction(self, system):
+        before = system.stats()
+        report = system.rebalance()
+        after = system.stats()
+        assert report.heavy_after <= report.heavy_before
+        assert after.heavy_fraction <= before.heavy_fraction
+        system.verify()
+
+    def test_rebalance_until_stable(self, system):
+        reports = system.rebalance_until_stable(max_rounds=4)
+        assert reports
+        assert system.reports == reports
+
+    def test_object_loads_survive_rebalancing(self, system):
+        before = system.stats().total_load
+        system.rebalance()
+        assert system.stats().total_load == pytest.approx(before)
+        # objects still retrievable
+        assert system.get("obj-0").load == 1.0
+
+    def test_full_lifecycle(self, system):
+        """put -> rebalance -> churn -> fail -> rebalance -> verify."""
+        system.rebalance()
+        system.add_node(capacity=1000.0)
+        system.put("late-object", load=42.0)
+        survived = system.fail_node(system.ring.alive_nodes[1])
+        assert survived
+        system.rebalance()
+        system.verify()
+        assert system.get("late-object").load == 42.0
+
+
+class TestWithTopology:
+    def test_proximity_mode_selected(self):
+        topo = generate_transit_stub(MINI_TS, rng=2)
+        sys_ = P2PSystem(
+            SystemConfig(initial_nodes=10, vs_per_node=2, seed=4), topology=topo
+        )
+        assert sys_._balancer.config.proximity_mode == "aware"
+        for i in range(30):
+            sys_.put(f"o{i}", load=1.0)
+        report = sys_.rebalance()
+        # transfers carry real distances
+        assert all(t.has_distance for t in report.transfers)

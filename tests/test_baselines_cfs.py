@@ -1,0 +1,52 @@
+"""Tests for CFS-style shedding and its thrashing behaviour."""
+
+import pytest
+
+from repro.baselines import run_cfs_shedding
+from repro.workloads import GaussianLoadModel, build_scenario
+
+
+@pytest.fixture
+def scenario():
+    return build_scenario(
+        GaussianLoadModel(mu=1e5, sigma=200.0), num_nodes=48, vs_per_node=4, rng=41
+    )
+
+
+class TestCFS:
+    def test_sheds_load(self, scenario):
+        result = run_cfs_shedding(scenario.ring, epsilon=0.05, max_rounds=3)
+        assert result.removals > 0
+        assert result.shed_load > 0
+
+    def test_load_conserved(self, scenario):
+        before = sum(n.load for n in scenario.ring.nodes)
+        run_cfs_shedding(scenario.ring, epsilon=0.05, max_rounds=3)
+        after = sum(vs.load for vs in scenario.ring.virtual_servers)
+        assert after == pytest.approx(before)
+
+    def test_thrashing_observed(self, scenario):
+        """Removals push load onto successors: some previously non-heavy
+        nodes must become heavy — the failure mode the paper cites."""
+        result = run_cfs_shedding(scenario.ring, epsilon=0.05, max_rounds=5)
+        assert result.total_thrash > 0
+
+    def test_rounds_bounded(self, scenario):
+        result = run_cfs_shedding(scenario.ring, epsilon=0.05, max_rounds=2)
+        assert result.rounds <= 2
+
+    def test_heavy_counts_recorded(self, scenario):
+        result = run_cfs_shedding(scenario.ring, epsilon=0.05, max_rounds=3)
+        assert result.heavy_before > 0
+        assert result.heavy_after >= 0
+
+    def test_ring_invariants_after_shedding(self, scenario):
+        run_cfs_shedding(scenario.ring, epsilon=0.05, max_rounds=3)
+        scenario.ring.check_invariants()
+
+    def test_never_removes_last_vs(self):
+        sc = build_scenario(
+            GaussianLoadModel(mu=1e4, sigma=10.0), num_nodes=2, vs_per_node=1, rng=3
+        )
+        run_cfs_shedding(sc.ring, epsilon=0.0, max_rounds=5)
+        assert sc.ring.num_virtual_servers >= 1

@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_defaults(self):
+        args = build_parser().parse_args(["run", "fig4"])
+        assert args.experiment == "fig4"
+        assert args.scale == "quick"
+
+    def test_run_overrides(self):
+        args = build_parser().parse_args(
+            ["run", "fig4", "--nodes", "128", "--seed", "9", "--epsilon", "0.1"]
+        )
+        assert args.nodes == 128
+        assert args.seed == 9
+        assert args.epsilon == 0.1
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "timing" in out
+
+    def test_run_fig4_small(self, capsys):
+        rc = main(["run", "fig4", "--nodes", "96", "--seed", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "completed" in out
+
+    def test_run_timing_small(self, capsys):
+        rc = main(["run", "timing", "--nodes", "96"])
+        assert rc == 0
+        assert "Timing claim" in capsys.readouterr().out
+
+    def test_run_unknown_experiment(self):
+        from repro.exceptions import ReproError
+
+        with pytest.raises(ReproError):
+            main(["run", "nope"])
+
+
+class TestPlotAndReport:
+    def test_run_with_plot(self, capsys):
+        rc = main(["run", "fig4", "--nodes", "96", "--plot"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "unit load percentiles" in out
+
+    def test_run_with_export(self, capsys, tmp_path):
+        rc = main(["run", "fig4", "--nodes", "96", "--export", str(tmp_path)])
+        assert rc == 0
+        assert (tmp_path / "fig4.csv").exists()
+
+    def test_report_command(self, capsys, tmp_path):
+        out_file = tmp_path / "R.md"
+        rc = main(["report", "-o", str(out_file), "--only", "fig4"])
+        assert rc == 0
+        text = out_file.read_text()
+        assert "# Reproduction report" in text
+        assert "fig4" in text
+
+    def test_plot_for_experiment_without_figure(self, capsys):
+        rc = main(["run", "timing", "--nodes", "96", "--plot"])
+        assert rc == 0  # silently no plot for table-only experiments

@@ -1,0 +1,96 @@
+"""Tests for heavy/light/neutral classification."""
+
+import pytest
+
+from repro.core import NodeClass, SystemLBI, classify_all, classify_node, target_load
+from repro.dht import PhysicalNode, VirtualServer
+from repro.exceptions import ConfigError
+
+
+def node_with_load(index, capacity, load):
+    n = PhysicalNode(index, capacity)
+    n.virtual_servers = [VirtualServer(index * 100, n, load)]
+    return n
+
+
+LBI = SystemLBI(total_load=100.0, total_capacity=50.0, min_vs_load=1.0)
+# load_per_capacity = 2.0
+
+
+class TestTarget:
+    def test_target_proportional_to_capacity(self):
+        assert target_load(5.0, LBI) == 10.0
+        assert target_load(10.0, LBI) == 20.0
+
+    def test_epsilon_relaxes_target(self):
+        assert target_load(5.0, LBI, epsilon=0.1) == pytest.approx(11.0)
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ConfigError):
+            target_load(5.0, LBI, epsilon=-0.1)
+
+
+class TestClassifyNode:
+    def test_heavy(self):
+        n = node_with_load(0, capacity=5.0, load=10.5)  # T=10
+        assert classify_node(n, LBI) is NodeClass.HEAVY
+
+    def test_light(self):
+        n = node_with_load(0, capacity=5.0, load=8.0)  # T-L = 2 >= L_min=1
+        assert classify_node(n, LBI) is NodeClass.LIGHT
+
+    def test_neutral(self):
+        n = node_with_load(0, capacity=5.0, load=9.5)  # 0 <= T-L=0.5 < 1
+        assert classify_node(n, LBI) is NodeClass.NEUTRAL
+
+    def test_exactly_at_target_not_heavy(self):
+        n = node_with_load(0, capacity=5.0, load=10.0)
+        assert classify_node(n, LBI) is not NodeClass.HEAVY
+
+    def test_spare_exactly_lmin_is_light(self):
+        n = node_with_load(0, capacity=5.0, load=9.0)  # T-L = 1 == L_min
+        assert classify_node(n, LBI) is NodeClass.LIGHT
+
+    def test_epsilon_moves_boundary(self):
+        n = node_with_load(0, capacity=5.0, load=10.5)
+        assert classify_node(n, LBI, epsilon=0.1) is NodeClass.NEUTRAL
+
+
+class TestClassifyAll:
+    def test_matches_scalar_classification(self):
+        nodes = [
+            node_with_load(0, 5.0, 10.5),
+            node_with_load(1, 5.0, 8.0),
+            node_with_load(2, 5.0, 9.5),
+        ]
+        result = classify_all(nodes, LBI)
+        for n in nodes:
+            assert result.classes[n.index] is classify_node(n, LBI)
+
+    def test_lists_partition_population(self):
+        nodes = [node_with_load(i, 5.0, float(i)) for i in range(20)]
+        result = classify_all(nodes, LBI)
+        assert sorted(result.heavy + result.light + result.neutral) == list(range(20))
+
+    def test_counts(self):
+        nodes = [
+            node_with_load(0, 5.0, 11.0),
+            node_with_load(1, 5.0, 1.0),
+        ]
+        counts = classify_all(nodes, LBI).counts()
+        assert counts == {"heavy": 1, "light": 1, "neutral": 0}
+
+    def test_targets_exposed(self):
+        nodes = [node_with_load(0, 5.0, 1.0)]
+        result = classify_all(nodes, LBI)
+        assert result.targets[0] == pytest.approx(10.0)
+
+    def test_dead_nodes_excluded(self):
+        nodes = [node_with_load(0, 5.0, 1.0), node_with_load(1, 5.0, 99.0)]
+        nodes[1].alive = False
+        result = classify_all(nodes, LBI)
+        assert 1 not in result.classes
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ConfigError):
+            classify_all([node_with_load(0, 1.0, 1.0)], LBI, epsilon=-1)

@@ -1,0 +1,101 @@
+"""Tests for protocol cost accounting."""
+
+import pytest
+
+from repro.core import BalancerConfig, LoadBalancer, cost_sheet, estimate_publication_hops
+from repro.dht import ObjectStore
+from repro.workloads import GaussianLoadModel, build_scenario
+from tests.conftest import MINI_TS
+
+
+@pytest.fixture(scope="module")
+def scenario_and_report():
+    sc = build_scenario(
+        GaussianLoadModel(mu=1e5, sigma=300.0),
+        num_nodes=36,
+        vs_per_node=3,
+        topology_params=MINI_TS,
+        rng=91,
+    )
+    lb = LoadBalancer(
+        sc.ring,
+        BalancerConfig(proximity_mode="aware", epsilon=0.05, grid_bits=3),
+        topology=sc.topology,
+        oracle=sc.oracle,
+        rng=2,
+    )
+    return sc, lb.run_round()
+
+
+class TestPublicationEstimate:
+    def test_zero_publications_zero_hops(self, scenario_and_report):
+        sc, _ = scenario_and_report
+        assert estimate_publication_hops(sc.ring, 0, rng=0) == 0
+
+    def test_scales_with_count(self, scenario_and_report):
+        sc, _ = scenario_and_report
+        h1 = estimate_publication_hops(sc.ring, 10, rng=0)
+        h2 = estimate_publication_hops(sc.ring, 1000, rng=0)
+        assert h2 > h1
+        # roughly linear scaling
+        assert h2 == pytest.approx(100 * h1, rel=0.6)
+
+    def test_per_publication_hops_logarithmic(self, scenario_and_report):
+        sc, _ = scenario_and_report
+        import math
+
+        per = estimate_publication_hops(sc.ring, 1000, rng=0) / 1000
+        assert per <= 2 * math.log2(sc.ring.num_virtual_servers)
+
+
+class TestCostSheet:
+    def test_fields_consistent(self, scenario_and_report):
+        sc, report = scenario_and_report
+        sheet = cost_sheet(report, sc.ring, rng=0)
+        assert sheet.transfers == len(report.transfers)
+        assert sheet.moved_load == pytest.approx(report.moved_load)
+        assert sheet.moved_bytes == pytest.approx(report.moved_load)  # no store
+        assert sheet.lbi_rounds == report.aggregation.total_rounds
+        assert sheet.control_messages >= sheet.lbi_messages
+
+    def test_aware_mode_pays_publication(self, scenario_and_report):
+        sc, report = scenario_and_report
+        sheet = cost_sheet(report, sc.ring, rng=0)
+        assert sheet.publication_messages > 0
+
+    def test_ignorant_mode_publication_free(self):
+        sc = build_scenario(
+            GaussianLoadModel(mu=1e5, sigma=300.0), num_nodes=48, vs_per_node=3, rng=91
+        )
+        lb = LoadBalancer(
+            sc.ring, BalancerConfig(proximity_mode="ignorant", epsilon=0.05), rng=2
+        )
+        report = lb.run_round()
+        sheet = cost_sheet(report, sc.ring, rng=0)
+        assert sheet.publication_messages == 0
+
+    def test_mean_distance(self, scenario_and_report):
+        sc, report = scenario_and_report
+        sheet = cost_sheet(report, sc.ring, rng=0)
+        if report.moved_load > 0:
+            assert sheet.mean_transfer_distance == pytest.approx(
+                sum(t.load * t.distance for t in report.transfers if t.has_distance)
+                / report.moved_load
+            )
+
+    def test_bytes_with_object_store(self):
+        sc = build_scenario(
+            GaussianLoadModel(mu=1e5, sigma=300.0), num_nodes=32, vs_per_node=3, rng=93
+        )
+        store = ObjectStore(sc.ring)
+        # Replace the synthetic VS loads with object-backed loads.
+        for vs in sc.ring.virtual_servers:
+            vs.load = 0.0
+        store.populate(600, mean_load=100.0, rng=5)
+        lb = LoadBalancer(
+            sc.ring, BalancerConfig(proximity_mode="ignorant", epsilon=0.05), rng=2
+        )
+        report = lb.run_round()
+        sheet = cost_sheet(report, sc.ring, store=store, rng=0)
+        # Object sizes equal loads in populate(), so bytes == moved load.
+        assert sheet.moved_bytes == pytest.approx(report.moved_load, rel=1e-6)

@@ -1,0 +1,157 @@
+"""Tests for the rendezvous pairing loop (Section 3.4 semantics)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ShedCandidate, SpareCapacity, pair_rendezvous
+
+
+def heavy(load, vs_id=0, node=0):
+    return ShedCandidate(load=load, vs_id=vs_id, node_index=node)
+
+
+def light(delta, node=100):
+    return SpareCapacity(delta=delta, node_index=node)
+
+
+class TestPairingRules:
+    def test_heaviest_first(self):
+        out = pair_rendezvous(
+            [heavy(1.0, 1), heavy(9.0, 2)],
+            [light(10.0, 50)],
+            min_vs_load=0.5,
+            level=0,
+        )
+        assert out.assignments[0].candidate.vs_id == 2
+
+    def test_best_fit_light_choice(self):
+        """Light node minimising delta subject to delta >= load."""
+        out = pair_rendezvous(
+            [heavy(5.0, 1)],
+            [light(100.0, 1), light(6.0, 2), light(4.0, 3)],
+            min_vs_load=1.0,
+            level=0,
+        )
+        assert out.assignments[0].target_node == 2
+
+    def test_remainder_reinserted_when_at_least_lmin(self):
+        out = pair_rendezvous(
+            [heavy(5.0, 1), heavy(3.0, 2)],
+            [light(9.0, 50)],
+            min_vs_load=2.0,
+            level=0,
+        )
+        # After taking 5, remainder 4 >= L_min=2 -> takes the 3 as well.
+        assert len(out.assignments) == 2
+        assert all(a.target_node == 50 for a in out.assignments)
+
+    def test_remainder_dropped_when_below_lmin(self):
+        out = pair_rendezvous(
+            [heavy(5.0, 1), heavy(3.0, 2)],
+            [light(9.0, 50)],
+            min_vs_load=5.0,
+            level=0,
+        )
+        # Remainder 4 < L_min=5: the light node leaves the list.
+        assert len(out.assignments) == 1
+        assert len(out.leftover_heavy) == 1
+
+    def test_zero_remainder_not_reinserted(self):
+        out = pair_rendezvous(
+            [heavy(5.0, 1), heavy(5.0, 2)],
+            [light(5.0, 50)],
+            min_vs_load=0.0,
+            level=0,
+        )
+        assert len(out.assignments) == 1
+
+    def test_unmatchable_heaviest_skipped_by_default(self):
+        out = pair_rendezvous(
+            [heavy(100.0, 1), heavy(2.0, 2)],
+            [light(5.0, 50)],
+            min_vs_load=1.0,
+            level=0,
+        )
+        assert len(out.assignments) == 1
+        assert out.assignments[0].candidate.vs_id == 2
+        assert out.leftover_heavy[0].vs_id == 1
+
+    def test_strict_mode_stops_at_first_unmatchable(self):
+        out = pair_rendezvous(
+            [heavy(100.0, 1), heavy(2.0, 2)],
+            [light(5.0, 50)],
+            min_vs_load=1.0,
+            level=0,
+            strict_heaviest_first=True,
+        )
+        assert len(out.assignments) == 0
+        assert len(out.leftover_heavy) == 2
+        assert len(out.leftover_light) == 1
+
+    def test_level_recorded(self):
+        out = pair_rendezvous([heavy(1.0)], [light(2.0)], 0.0, level=7)
+        assert out.assignments[0].level == 7
+
+    def test_empty_lists(self):
+        out = pair_rendezvous([], [], 0.0, level=0)
+        assert not out.assignments
+        assert not out.leftover_heavy
+        assert not out.leftover_light
+
+    def test_only_heavy(self):
+        out = pair_rendezvous([heavy(1.0)], [], 0.0, level=0)
+        assert len(out.leftover_heavy) == 1
+
+    def test_only_light(self):
+        out = pair_rendezvous([], [light(1.0)], 0.0, level=0)
+        assert len(out.leftover_light) == 1
+
+    def test_paired_load_property(self):
+        out = pair_rendezvous(
+            [heavy(3.0, 1), heavy(2.0, 2)], [light(10.0)], 0.0, level=0
+        )
+        assert out.paired_load == pytest.approx(5.0)
+
+
+class TestConservation:
+    @given(
+        heavy_loads=st.lists(st.floats(0.1, 50.0), max_size=15),
+        light_deltas=st.lists(st.floats(0.1, 80.0), max_size=15),
+        lmin=st.floats(0.0, 5.0),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_entries_conserved(self, heavy_loads, light_deltas, lmin):
+        hs = [heavy(l, vs_id=i, node=i) for i, l in enumerate(heavy_loads)]
+        ls = [light(d, node=100 + i) for i, d in enumerate(light_deltas)]
+        out = pair_rendezvous(hs, ls, lmin, level=0)
+        # Every heavy entry is either assigned or left over, exactly once.
+        assigned_ids = [a.candidate.vs_id for a in out.assignments]
+        leftover_ids = [c.vs_id for c in out.leftover_heavy]
+        assert sorted(assigned_ids + leftover_ids) == list(range(len(hs)))
+
+    @given(
+        heavy_loads=st.lists(st.floats(0.1, 50.0), max_size=12),
+        light_deltas=st.lists(st.floats(0.1, 80.0), max_size=12),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_no_light_node_over_committed(self, heavy_loads, light_deltas):
+        """Sum of loads assigned to a light node never exceeds its delta."""
+        hs = [heavy(l, vs_id=i, node=i) for i, l in enumerate(heavy_loads)]
+        ls = [light(d, node=100 + i) for i, d in enumerate(light_deltas)]
+        out = pair_rendezvous(hs, ls, 0.0, level=0)
+        committed = {}
+        for a in out.assignments:
+            committed[a.target_node] = committed.get(a.target_node, 0.0) + a.candidate.load
+        deltas = {100 + i: d for i, d in enumerate(light_deltas)}
+        for node, total in committed.items():
+            assert total <= deltas[node] + 1e-9
+
+    @given(
+        heavy_loads=st.lists(st.floats(0.1, 20.0), min_size=1, max_size=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_ample_capacity_pairs_everything(self, heavy_loads):
+        hs = [heavy(l, vs_id=i, node=i) for i, l in enumerate(heavy_loads)]
+        ls = [light(sum(heavy_loads) + 1.0, node=200)]
+        out = pair_rendezvous(hs, ls, 0.0, level=0)
+        assert len(out.assignments) == len(hs)

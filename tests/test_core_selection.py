@@ -1,0 +1,132 @@
+"""Tests for shed-subset selection (exact vs greedy vs brute force)."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import select_shed_subset
+from repro.exceptions import BalancerError
+
+
+def brute_force_optimum(loads, excess, max_shed):
+    """Reference: minimal (total, size) subset with total >= excess."""
+    best = None
+    for r in range(0, max_shed + 1):
+        for combo in combinations(range(len(loads)), r):
+            total = sum(loads[i] for i in combo)
+            if total >= excess:
+                key = (total, r)
+                if best is None or key < best[0]:
+                    best = (key, combo)
+    return best
+
+
+class TestBasics:
+    def test_zero_excess_sheds_nothing(self):
+        assert select_shed_subset([1.0, 2.0], 0.0) == []
+        assert select_shed_subset([1.0, 2.0], -5.0) == []
+
+    def test_empty_loads(self):
+        assert select_shed_subset([], 5.0) == []
+
+    def test_single_cover(self):
+        assert select_shed_subset([1.0, 5.0, 10.0], 4.0) == [1]
+
+    def test_exact_prefers_cheapest_combination(self):
+        # excess 6: {5, 1.5} = 6.5 beats {10} = 10.
+        assert select_shed_subset([1.5, 5.0, 10.0], 6.0) == [0, 1]
+
+    def test_keep_at_least_blocks_full_shed(self):
+        got = select_shed_subset([3.0, 4.0], 100.0, keep_at_least=1)
+        assert got == [1]  # best effort: shed the largest, keep one
+
+    def test_keep_at_least_all_blocked(self):
+        assert select_shed_subset([3.0], 1.0, keep_at_least=1) == []
+
+    def test_infeasible_best_effort_sheds_largest(self):
+        got = select_shed_subset([1.0, 2.0, 3.0], 100.0, keep_at_least=0)
+        assert got == [0, 1, 2]
+
+    def test_unknown_policy(self):
+        with pytest.raises(BalancerError):
+            select_shed_subset([1.0], 1.0, policy="bogus")
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(BalancerError):
+            select_shed_subset([-1.0], 1.0)
+
+    def test_negative_keep_rejected(self):
+        with pytest.raises(BalancerError):
+            select_shed_subset([1.0], 1.0, keep_at_least=-1)
+
+
+class TestExactOptimality:
+    @given(
+        loads=st.lists(st.floats(0.1, 100.0), min_size=1, max_size=10),
+        frac=st.floats(0.05, 0.95),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_exact_matches_brute_force_total(self, loads, frac):
+        excess = frac * sum(loads)
+        got = select_shed_subset(loads, excess, policy="exact", keep_at_least=0)
+        got_total = sum(loads[i] for i in got)
+        ref = brute_force_optimum(loads, excess, len(loads))
+        assert ref is not None
+        assert got_total >= excess
+        assert got_total == pytest.approx(ref[0][0])
+
+    @given(
+        loads=st.lists(st.floats(0.1, 50.0), min_size=2, max_size=8),
+        frac=st.floats(0.05, 0.9),
+        keep=st.integers(0, 2),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_exact_respects_keep_floor(self, loads, frac, keep):
+        excess = frac * sum(loads)
+        got = select_shed_subset(loads, excess, policy="exact", keep_at_least=keep)
+        assert len(got) <= len(loads) - keep
+
+    def test_indices_sorted_and_unique(self):
+        got = select_shed_subset([5.0, 1.0, 3.0, 2.0], 6.0)
+        assert got == sorted(set(got))
+
+
+class TestGreedy:
+    @given(
+        loads=st.lists(st.floats(0.1, 100.0), min_size=1, max_size=20),
+        frac=st.floats(0.05, 0.95),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_greedy_always_feasible_when_possible(self, loads, frac):
+        excess = frac * sum(loads)
+        got = select_shed_subset(loads, excess, policy="greedy", keep_at_least=0)
+        assert sum(loads[i] for i in got) >= excess
+
+    @given(
+        loads=st.lists(st.floats(0.1, 100.0), min_size=1, max_size=10),
+        frac=st.floats(0.05, 0.95),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_exact_never_worse_than_greedy(self, loads, frac):
+        excess = frac * sum(loads)
+        exact = select_shed_subset(loads, excess, policy="exact", keep_at_least=0)
+        greedy = select_shed_subset(loads, excess, policy="greedy", keep_at_least=0)
+        assert sum(loads[i] for i in exact) <= sum(loads[i] for i in greedy) + 1e-9
+
+    def test_large_vs_count_falls_back_to_greedy(self):
+        loads = [1.0] * 40
+        got = select_shed_subset(loads, 10.0, policy="exact", keep_at_least=0)
+        assert sum(loads[i] for i in got) >= 10.0
+
+
+class TestPaperSemantics:
+    def test_remaining_load_at_most_target(self):
+        """The constraint: L_i - shed_total <= T_i  <=>  shed_total >= excess."""
+        loads = [10.0, 20.0, 30.0, 40.0]
+        total = sum(loads)
+        target = 55.0
+        excess = total - target
+        got = select_shed_subset(loads, excess, keep_at_least=0)
+        remaining = total - sum(loads[i] for i in got)
+        assert remaining <= target + 1e-9

@@ -1,0 +1,96 @@
+"""Tests for balancing-trigger policies."""
+
+import pytest
+
+from repro.core import BalancerConfig, LoadBalancer
+from repro.core.trigger import (
+    ImbalanceTriggeredPolicy,
+    PeriodicPolicy,
+    run_with_policy,
+)
+from repro.exceptions import ConfigError
+from repro.sim import LoadDynamics
+from repro.workloads import GaussianLoadModel, build_scenario
+
+
+def make_balancer(rng=21):
+    sc = build_scenario(
+        GaussianLoadModel(mu=1e5, sigma=300.0), num_nodes=64, vs_per_node=4, rng=rng
+    )
+    return LoadBalancer(
+        sc.ring, BalancerConfig(proximity_mode="ignorant", epsilon=0.05), rng=3
+    )
+
+
+class TestPolicies:
+    def test_periodic_always_balances(self):
+        policy = PeriodicPolicy()
+        assert policy.should_balance(0.0)
+        assert policy.should_balance(1.0)
+
+    def test_triggered_threshold(self):
+        policy = ImbalanceTriggeredPolicy(threshold=0.2)
+        assert not policy.should_balance(0.2)
+        assert policy.should_balance(0.21)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigError):
+            ImbalanceTriggeredPolicy(threshold=1.5)
+
+
+class TestRunWithPolicy:
+    def test_periodic_runs_every_epoch(self):
+        balancer = make_balancer()
+        dynamics = LoadDynamics(drift_sigma=0.1, rng=5)
+        trace = run_with_policy(balancer, dynamics, PeriodicPolicy(), epochs=4)
+        assert trace.rounds_run == 4
+        assert len(trace.epochs) == 4
+
+    def test_triggered_skips_calm_epochs(self):
+        balancer = make_balancer()
+        # First epoch is wildly imbalanced (cold start); later epochs with
+        # zero drift stay calm, so a triggered policy skips them.
+        dynamics = LoadDynamics(drift_sigma=0.0, rng=5)
+        trace = run_with_policy(
+            balancer, dynamics, ImbalanceTriggeredPolicy(threshold=0.1), epochs=4
+        )
+        assert trace.epochs[0].balanced  # cold start exceeds threshold
+        assert not any(e.balanced for e in trace.epochs[1:])
+        assert trace.rounds_run == 1
+
+    def test_triggered_cheaper_than_periodic(self):
+        periodic = run_with_policy(
+            make_balancer(), LoadDynamics(drift_sigma=0.02, rng=6),
+            PeriodicPolicy(), epochs=5,
+        )
+        triggered = run_with_policy(
+            make_balancer(), LoadDynamics(drift_sigma=0.02, rng=6),
+            ImbalanceTriggeredPolicy(threshold=0.15), epochs=5,
+        )
+        assert triggered.rounds_run < periodic.rounds_run
+        assert triggered.total_control_messages < periodic.total_control_messages
+
+    def test_triggered_still_bounds_imbalance(self):
+        balancer = make_balancer()
+        dynamics = LoadDynamics(drift_sigma=0.15, rng=7)
+        trace = run_with_policy(
+            balancer, dynamics, ImbalanceTriggeredPolicy(threshold=0.25), epochs=6
+        )
+        # Whenever the fraction exceeded the threshold, balancing ran.
+        for e in trace.epochs:
+            if e.heavy_fraction > 0.25:
+                assert e.balanced
+
+    def test_invalid_epochs(self):
+        with pytest.raises(ConfigError):
+            run_with_policy(
+                make_balancer(), LoadDynamics(rng=0), PeriodicPolicy(), epochs=0
+            )
+
+    def test_measurement_cost_charged_every_epoch(self):
+        balancer = make_balancer()
+        dynamics = LoadDynamics(drift_sigma=0.0, rng=8)
+        trace = run_with_policy(
+            balancer, dynamics, ImbalanceTriggeredPolicy(threshold=0.99), epochs=3
+        )
+        assert all(e.control_messages > 0 for e in trace.epochs)

@@ -1,0 +1,185 @@
+"""Tests for virtual-server transfer execution."""
+
+import math
+
+import pytest
+
+from repro.core import Assignment, ShedCandidate, execute_transfers
+from repro.dht import ChordRing
+from repro.exceptions import BalancerError
+from repro.idspace import IdentifierSpace
+from repro.topology import DistanceOracle
+
+
+@pytest.fixture
+def ring():
+    r = ChordRing(IdentifierSpace(bits=12))
+    r.populate(6, 2, [1.0] * 6, rng=8)
+    for i, vs in enumerate(r.virtual_servers):
+        vs.load = float(i + 1)
+    return r
+
+
+def assignment_for(ring, vs, target_node, level=3):
+    return Assignment(
+        candidate=ShedCandidate(load=vs.load, vs_id=vs.vs_id, node_index=vs.owner.index),
+        target_node=target_node,
+        level=level,
+    )
+
+
+class TestExecution:
+    def test_ownership_moves(self, ring):
+        vs = ring.virtual_servers[0]
+        target = ring.nodes[(vs.owner.index + 1) % 6]
+        records = execute_transfers(ring, [assignment_for(ring, vs, target.index)])
+        assert vs.owner is target
+        assert len(records) == 1
+        assert records[0].load == vs.load
+
+    def test_distance_nan_without_topology(self, ring):
+        vs = ring.virtual_servers[0]
+        target = ring.nodes[(vs.owner.index + 1) % 6]
+        rec = execute_transfers(ring, [assignment_for(ring, vs, target.index)])[0]
+        assert math.isnan(rec.distance)
+        assert not rec.has_distance
+
+    def test_level_propagates(self, ring):
+        vs = ring.virtual_servers[0]
+        target = ring.nodes[(vs.owner.index + 1) % 6]
+        rec = execute_transfers(ring, [assignment_for(ring, vs, target.index, level=9)])[0]
+        assert rec.level == 9
+
+    def test_unknown_node_rejected(self, ring):
+        vs = ring.virtual_servers[0]
+        bad = Assignment(
+            candidate=ShedCandidate(1.0, vs.vs_id, vs.owner.index),
+            target_node=999,
+            level=0,
+        )
+        with pytest.raises(BalancerError):
+            execute_transfers(ring, [bad])
+
+    def test_stale_owner_rejected(self, ring):
+        vs = ring.virtual_servers[0]
+        wrong_owner = (vs.owner.index + 2) % 6
+        stale = Assignment(
+            candidate=ShedCandidate(1.0, vs.vs_id, wrong_owner),
+            target_node=(vs.owner.index + 1) % 6,
+            level=0,
+        )
+        with pytest.raises(BalancerError):
+            execute_transfers(ring, [stale])
+
+    def test_load_conserved(self, ring):
+        before = sum(n.load for n in ring.nodes)
+        vs = ring.virtual_servers[2]
+        target = ring.nodes[(vs.owner.index + 3) % 6]
+        execute_transfers(ring, [assignment_for(ring, vs, target.index)])
+        assert sum(n.load for n in ring.nodes) == pytest.approx(before)
+
+    def test_empty_assignments(self, ring):
+        assert execute_transfers(ring, []) == []
+
+
+class TestWithTopology:
+    def test_distances_resolved(self, mini_topology):
+        oracle = DistanceOracle(mini_topology)
+        ring = ChordRing(IdentifierSpace(bits=12))
+        stubs = mini_topology.stub_vertices
+        ring.populate(4, 1, [1.0] * 4, rng=1, sites=stubs[:4].tolist())
+        vs = ring.virtual_servers[0]
+        vs.load = 2.0
+        src = vs.owner
+        target = ring.nodes[(src.index + 1) % 4]
+        rec = execute_transfers(
+            ring, [assignment_for(ring, vs, target.index)], oracle
+        )[0]
+        assert rec.has_distance
+        assert rec.distance == pytest.approx(
+            oracle.distance(src.site, target.site)
+        )
+
+    def test_batched_distances_match_singletons(self, mini_topology):
+        oracle = DistanceOracle(mini_topology)
+        ring = ChordRing(IdentifierSpace(bits=14))
+        stubs = mini_topology.stub_vertices
+        ring.populate(8, 2, [1.0] * 8, rng=2, sites=stubs[:8].tolist())
+        assignments = []
+        expected = []
+        for i, vs in enumerate(ring.virtual_servers[:6]):
+            target = ring.nodes[(vs.owner.index + 1) % 8]
+            if target is vs.owner:
+                continue
+            assignments.append(assignment_for(ring, vs, target.index))
+            expected.append(oracle.distance(vs.owner.site, target.site))
+        records = execute_transfers(ring, assignments, oracle)
+        got = [r.distance for r in records]
+        assert got == pytest.approx(expected)
+
+
+class TestChurnTolerance:
+    """VST against assignments that went stale between VSA and VST."""
+
+    def _assignment(self, ring, vs, target_idx, source_idx=None):
+        return Assignment(
+            candidate=ShedCandidate(
+                load=vs.load,
+                vs_id=vs.vs_id,
+                node_index=vs.owner.index if source_idx is None else source_idx,
+            ),
+            target_node=target_idx,
+            level=0,
+        )
+
+    def test_stale_owner_skipped_when_requested(self, ring):
+        vs = ring.virtual_servers[0]
+        wrong_owner = (vs.owner.index + 2) % 6
+        stale = self._assignment(ring, vs, (vs.owner.index + 1) % 6, source_idx=wrong_owner)
+        skipped = []
+        records = execute_transfers(ring, [stale], skipped=skipped)
+        assert records == []
+        assert skipped == [stale]
+
+    def test_dead_target_skipped(self, ring):
+        vs = ring.virtual_servers[0]
+        target = ring.nodes[(vs.owner.index + 1) % 6]
+        target.alive = False
+        skipped = []
+        records = execute_transfers(
+            ring, [self._assignment(ring, vs, target.index)], skipped=skipped
+        )
+        assert records == []
+        assert len(skipped) == 1
+        assert vs.owner is not target
+
+    def test_vanished_vs_skipped(self, ring):
+        vs = ring.virtual_servers[0]
+        target_idx = (vs.owner.index + 1) % 6
+        assignment = self._assignment(ring, vs, target_idx)
+        ring.remove_virtual_server(vs)
+        skipped = []
+        records = execute_transfers(ring, [assignment], skipped=skipped)
+        assert records == []
+        assert len(skipped) == 1
+
+    def test_mixed_batch_executes_valid_part(self, ring):
+        good_vs = ring.virtual_servers[1]
+        bad_vs = ring.virtual_servers[2]
+        good = self._assignment(ring, good_vs, (good_vs.owner.index + 1) % 6)
+        bad = self._assignment(
+            ring, bad_vs, (bad_vs.owner.index + 1) % 6,
+            source_idx=(bad_vs.owner.index + 3) % 6,
+        )
+        skipped = []
+        records = execute_transfers(ring, [good, bad], skipped=skipped)
+        assert len(records) == 1
+        assert len(skipped) == 1
+        assert records[0].vs_id == good_vs.vs_id
+
+    def test_without_skip_list_still_raises(self, ring):
+        vs = ring.virtual_servers[0]
+        target = ring.nodes[(vs.owner.index + 1) % 6]
+        target.alive = False
+        with pytest.raises(BalancerError):
+            execute_transfers(ring, [self._assignment(ring, vs, target.index)])

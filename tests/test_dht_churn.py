@@ -1,0 +1,96 @@
+"""Tests for join/leave/crash churn primitives."""
+
+import pytest
+
+from repro.dht import ChordRing, ChurnStats, crash_node, join_node, leave_node
+from repro.exceptions import DHTError
+from repro.idspace import IdentifierSpace
+
+
+@pytest.fixture
+def ring():
+    r = ChordRing(IdentifierSpace(bits=16))
+    r.populate(8, 3, [1.0] * 8, rng=5)
+    for vs in r.virtual_servers:
+        vs.load = 10.0
+    return r
+
+
+class TestJoin:
+    def test_adds_node_and_vs(self, ring):
+        before_vs = ring.num_virtual_servers
+        node = join_node(ring, capacity=2.0, vs_count=3, rng=1)
+        assert node in ring.nodes
+        assert ring.num_virtual_servers == before_vs + 3
+        assert len(node.virtual_servers) == 3
+
+    def test_load_conserved(self, ring):
+        total_before = sum(vs.load for vs in ring.virtual_servers)
+        join_node(ring, capacity=1.0, vs_count=2, rng=2)
+        total_after = sum(vs.load for vs in ring.virtual_servers)
+        assert total_after == pytest.approx(total_before)
+
+    def test_new_vs_takes_proportional_share(self, ring):
+        node = join_node(ring, capacity=1.0, vs_count=1, rng=3)
+        vs = node.virtual_servers[0]
+        # The new VS owns part of what was the successor's region; it must
+        # have received a proportional, positive share of a loaded region.
+        assert vs.load > 0
+
+    def test_stats_recorded(self, ring):
+        stats = ChurnStats()
+        join_node(ring, capacity=1.0, vs_count=2, rng=4, stats=stats)
+        assert stats.joins == 1
+        assert stats.vs_created == 2
+
+    def test_invalid_vs_count(self, ring):
+        with pytest.raises(DHTError):
+            join_node(ring, capacity=1.0, vs_count=0, rng=0)
+
+    def test_invariants_after_join(self, ring):
+        join_node(ring, capacity=1.0, vs_count=4, rng=6)
+        ring.check_invariants()
+
+
+class TestLeaveCrash:
+    def test_leave_removes_all_vs(self, ring):
+        victim = ring.nodes[2]
+        leave_node(ring, victim)
+        assert not victim.alive
+        assert not victim.virtual_servers
+        assert all(vs.owner is not victim for vs in ring.virtual_servers)
+
+    def test_leave_hands_load_to_successors(self, ring):
+        total_before = sum(vs.load for vs in ring.virtual_servers)
+        leave_node(ring, ring.nodes[0])
+        total_after = sum(vs.load for vs in ring.virtual_servers)
+        assert total_after == pytest.approx(total_before)
+
+    def test_crash_also_conserves_load(self, ring):
+        total_before = sum(vs.load for vs in ring.virtual_servers)
+        stats = ChurnStats()
+        crash_node(ring, ring.nodes[3], stats=stats)
+        assert stats.crashes == 1
+        assert sum(vs.load for vs in ring.virtual_servers) == pytest.approx(total_before)
+
+    def test_double_departure_rejected(self, ring):
+        leave_node(ring, ring.nodes[1])
+        with pytest.raises(DHTError):
+            leave_node(ring, ring.nodes[1])
+
+    def test_cannot_remove_last_node(self):
+        ring = ChordRing(IdentifierSpace(bits=8))
+        ring.populate(1, 2, [1.0], rng=0)
+        with pytest.raises(DHTError):
+            leave_node(ring, ring.nodes[0])
+
+    def test_alive_nodes_shrinks(self, ring):
+        crash_node(ring, ring.nodes[4])
+        assert len(ring.alive_nodes) == 7
+
+    def test_invariants_after_churn_sequence(self, ring):
+        join_node(ring, 1.0, 2, rng=8)
+        leave_node(ring, ring.nodes[0])
+        join_node(ring, 2.0, 3, rng=9)
+        crash_node(ring, ring.nodes[5])
+        ring.check_invariants()

@@ -1,0 +1,157 @@
+"""Tests for the Pastry-style prefix router."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import BalancerConfig, LoadBalancer
+from repro.dht import ChordRing
+from repro.dht.pastry import PastryRouter
+from repro.exceptions import DHTError
+from repro.idspace import IdentifierSpace
+from repro.workloads import GaussianLoadModel, build_scenario
+
+
+@pytest.fixture(scope="module")
+def ring():
+    r = ChordRing(IdentifierSpace(bits=16))
+    r.populate(64, 2, [1.0] * 64, rng=7)
+    return r
+
+
+@pytest.fixture(scope="module")
+def router(ring):
+    return PastryRouter(ring, digit_bits=4, leaf_set_size=8)
+
+
+class TestConstruction:
+    def test_digit_layout(self, router):
+        assert router.num_digits == 4  # 16 bits / 4-bit digits
+
+    def test_digit_bits_must_divide_width(self, ring):
+        with pytest.raises(DHTError):
+            PastryRouter(ring, digit_bits=5)
+
+    def test_leaf_set_size_validated(self, ring):
+        with pytest.raises(DHTError):
+            PastryRouter(ring, leaf_set_size=3)
+
+    def test_digits_of_roundtrip(self, router):
+        ident = 0xA3F1
+        assert router.digits_of(ident) == (0xA, 0x3, 0xF, 0x1)
+
+    def test_shared_prefix(self, router):
+        assert router.shared_prefix_len(0xA3F1, 0xA3C0) == 2
+        assert router.shared_prefix_len(0xA3F1, 0xA3F1) == 4
+        assert router.shared_prefix_len(0x0000, 0x8000) == 0
+
+
+class TestOwnership:
+    def test_owner_is_numerically_closest(self, ring, router):
+        gen = np.random.default_rng(0)
+        ids = [vs.vs_id for vs in ring.virtual_servers]
+        for key in gen.integers(0, ring.space.size, size=60).tolist():
+            owner = router.owner(int(key))
+            best = min(ids, key=lambda v: router.numeric_distance(v, int(key)))
+            assert router.numeric_distance(owner.vs_id, int(key)) == (
+                router.numeric_distance(best, int(key))
+            )
+
+    def test_exact_id_owns_itself(self, ring, router):
+        vs = ring.virtual_servers[3]
+        assert router.owner(vs.vs_id) is vs
+
+
+class TestLeafSet:
+    def test_leaf_set_size(self, ring, router):
+        vs = ring.virtual_servers[0]
+        assert len(router.leaf_set(vs)) == 8
+
+    def test_leaves_are_ring_adjacent(self, ring, router):
+        vss = ring.virtual_servers
+        vs = vss[10]
+        expected = {vss[(10 + off) % len(vss)].vs_id for off in (-4, -3, -2, -1, 1, 2, 3, 4)}
+        assert set(router.leaf_set(vs)) == expected
+
+    def test_unknown_vs_rejected(self, router):
+        with pytest.raises(DHTError):
+            router.leaf_set(123456789 % (1 << 16) + 1)
+
+
+class TestRoutingTable:
+    def test_entry_shares_prefix_and_digit(self, ring, router):
+        vs = ring.virtual_servers[0]
+        for row in range(router.num_digits):
+            for digit in range(4):
+                entry = router.routing_table_entry(vs.vs_id, row, digit)
+                if entry is None:
+                    continue
+                assert router.shared_prefix_len(entry, vs.vs_id) >= row
+                assert router.digits_of(entry)[row] == digit
+
+    def test_invalid_row_digit(self, router, ring):
+        vs = ring.virtual_servers[0]
+        with pytest.raises(DHTError):
+            router.routing_table_entry(vs.vs_id, 99, 0)
+        with pytest.raises(DHTError):
+            router.routing_table_entry(vs.vs_id, 0, 999)
+
+
+class TestRouting:
+    def test_route_reaches_owner(self, ring, router):
+        gen = np.random.default_rng(1)
+        for _ in range(80):
+            start = ring.virtual_servers[int(gen.integers(128))]
+            key = int(gen.integers(0, ring.space.size))
+            path = router.route(start, key)
+            assert path[0] == start.vs_id
+            assert path[-1] == router.owner(key).vs_id
+
+    def test_route_to_self(self, ring, router):
+        vs = ring.virtual_servers[5]
+        assert router.route_hops(vs, vs.vs_id) == 0
+
+    def test_logarithmic_hops(self, ring, router):
+        """Pastry bound: O(log_2^b N) hops (+ leaf-set last hop)."""
+        gen = np.random.default_rng(2)
+        n = ring.num_virtual_servers
+        bound = math.ceil(math.log(n, 16)) + 3
+        hops = []
+        for _ in range(60):
+            start = ring.virtual_servers[int(gen.integers(n))]
+            key = int(gen.integers(0, ring.space.size))
+            hops.append(router.route_hops(start, key))
+        assert max(hops) <= bound
+
+    def test_paths_visit_valid_nodes(self, ring, router):
+        path = router.route(ring.virtual_servers[0], 0x8F21)
+        for vs_id in path:
+            ring.vs(vs_id)
+
+
+class TestBalancerOnPastry:
+    def test_balancer_agnostic_to_routing_substrate(self):
+        """The paper's claim: the scheme adapts to Pastry.
+
+        The balancer consumes ownership, which Chord and Pastry both
+        derive from the same ring; a Pastry router over the balanced ring
+        must still resolve every key, and the balance outcome is
+        unchanged because transfers never alter identifiers.
+        """
+        sc = build_scenario(
+            GaussianLoadModel(mu=1e5, sigma=300.0), num_nodes=128, vs_per_node=3, rng=11
+        )
+        router_before = PastryRouter(sc.ring, digit_bits=4)
+        lb = LoadBalancer(
+            sc.ring, BalancerConfig(proximity_mode="ignorant", epsilon=0.05), rng=3
+        )
+        report = lb.run_round()
+        assert report.heavy_after <= report.heavy_before // 10
+        # Identifiers unchanged by VST => the same router still routes.
+        gen = np.random.default_rng(4)
+        for _ in range(20):
+            key = int(gen.integers(0, sc.ring.space.size))
+            start = sc.ring.virtual_servers[int(gen.integers(128))]
+            path = router_before.route(start, key)
+            assert path[-1] == router_before.owner(key).vs_id

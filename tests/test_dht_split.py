@@ -1,0 +1,109 @@
+"""Tests for virtual-server splitting."""
+
+import pytest
+
+from repro.dht import ChordRing, ObjectStore, split_until_movable, split_virtual_server
+from repro.exceptions import DHTError
+from repro.idspace import IdentifierSpace
+
+
+@pytest.fixture
+def ring():
+    r = ChordRing(IdentifierSpace(bits=16))
+    r.populate(6, 2, [1.0] * 6, rng=9)
+    for vs in r.virtual_servers:
+        vs.load = 100.0
+    return r
+
+
+class TestSplit:
+    def test_split_preserves_owner_and_coverage(self, ring):
+        vs = max(ring.virtual_servers, key=lambda v: ring.region_of(v).length)
+        owner = vs.owner
+        old_region = ring.region_of(vs)
+        new_vs = split_virtual_server(ring, vs)
+        assert new_vs.owner is owner
+        ring.check_invariants()
+        # The two pieces tile the old region.
+        assert (
+            ring.region_of(new_vs).length + ring.region_of(vs).length
+            == old_region.length
+        )
+
+    def test_split_preserves_load(self, ring):
+        vs = ring.virtual_servers[0]
+        before = vs.load
+        new_vs = split_virtual_server(ring, vs)
+        assert vs.load + new_vs.load == pytest.approx(before)
+
+    def test_proportional_load_split(self, ring):
+        vs = max(ring.virtual_servers, key=lambda v: ring.region_of(v).length)
+        total_len = ring.region_of(vs).length
+        new_vs = split_virtual_server(ring, vs)
+        frac = ring.region_of(new_vs).length / total_len
+        assert new_vs.load == pytest.approx(100.0 * frac)
+
+    def test_split_with_object_store_exact(self):
+        ring = ChordRing(IdentifierSpace(bits=16))
+        ring.populate(4, 2, [1.0] * 4, rng=2)
+        store = ObjectStore(ring)
+        store.populate(200, mean_load=1.0, rng=3)
+        vs = max(ring.virtual_servers, key=lambda v: v.load)
+        total = vs.load
+        new_vs = split_virtual_server(ring, vs, store=store)
+        store.check_consistency()
+        assert vs.load + new_vs.load == pytest.approx(total)
+
+    def test_single_identifier_region_rejected(self):
+        ring = ChordRing(IdentifierSpace(bits=4))
+        node_ids = [0, 1]  # region of 1 is (0,1] -> single identifier
+        from repro.dht import PhysicalNode
+
+        n = PhysicalNode(0, 1.0)
+        ring.nodes.append(n)
+        for vid in node_ids:
+            ring.add_virtual_server(n, vid)
+        with pytest.raises(DHTError):
+            split_virtual_server(ring, 1)
+
+    def test_length_two_region_split(self):
+        ring = ChordRing(IdentifierSpace(bits=4))
+        from repro.dht import PhysicalNode
+
+        n = PhysicalNode(0, 1.0)
+        ring.nodes.append(n)
+        ring.add_virtual_server(n, 0)
+        ring.add_virtual_server(n, 2)  # region of 2 = (0, 2] = {1, 2}
+        ring.vs(2).load = 10.0
+        new_vs = split_virtual_server(ring, 2)
+        assert new_vs.vs_id == 1
+        ring.check_invariants()
+
+
+class TestSplitUntilMovable:
+    def test_all_pieces_under_cap(self, ring):
+        vs = max(ring.virtual_servers, key=lambda v: ring.region_of(v).length)
+        pieces = split_until_movable(ring, vs, max_piece_load=30.0)
+        assert all(p.load <= 30.0 + 1e-9 for p in pieces)
+        assert sum(p.load for p in pieces) == pytest.approx(100.0)
+        ring.check_invariants()
+
+    def test_no_split_needed(self, ring):
+        vs = ring.virtual_servers[0]
+        pieces = split_until_movable(ring, vs, max_piece_load=1000.0)
+        assert pieces == [vs]
+
+    def test_max_splits_respected(self, ring):
+        vs = max(ring.virtual_servers, key=lambda v: ring.region_of(v).length)
+        pieces = split_until_movable(ring, vs, max_piece_load=0.001, max_splits=3)
+        assert len(pieces) <= 4
+
+    def test_invalid_cap(self, ring):
+        with pytest.raises(DHTError):
+            split_until_movable(ring, ring.virtual_servers[0], max_piece_load=0.0)
+
+    def test_pieces_all_same_owner(self, ring):
+        vs = max(ring.virtual_servers, key=lambda v: ring.region_of(v).length)
+        owner = vs.owner
+        pieces = split_until_movable(ring, vs, max_piece_load=20.0)
+        assert all(p.owner is owner for p in pieces)

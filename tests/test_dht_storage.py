@@ -1,0 +1,155 @@
+"""Tests for the object-level storage substrate."""
+
+import numpy as np
+import pytest
+
+from repro.dht import ChordRing, ObjectStore, StoredObject, join_node
+from repro.exceptions import DHTError
+from repro.idspace import IdentifierSpace
+
+
+@pytest.fixture
+def ring():
+    r = ChordRing(IdentifierSpace(bits=16))
+    r.populate(8, 3, [1.0] * 8, rng=4)
+    return r
+
+
+@pytest.fixture
+def store(ring):
+    return ObjectStore(ring)
+
+
+class TestPutGetDelete:
+    def test_put_places_on_key_owner(self, ring, store):
+        obj = store.put("alpha", load=3.0)
+        owner = ring.successor(obj.key)
+        assert obj in store.objects_on(owner)
+        assert owner.load == pytest.approx(3.0)
+
+    def test_get_roundtrip(self, store):
+        store.put("alpha", load=3.0, size=7.0)
+        got = store.get("alpha")
+        assert got.load == 3.0
+        assert got.size == 7.0
+
+    def test_get_missing_raises(self, store):
+        with pytest.raises(DHTError):
+            store.get("ghost")
+
+    def test_replace_adjusts_load(self, ring, store):
+        store.put("alpha", load=3.0)
+        store.put("alpha", load=5.0)
+        owner = ring.successor(store.get("alpha").key)
+        assert owner.load == pytest.approx(5.0)
+        assert store.num_objects == 1
+
+    def test_delete_restores_load(self, ring, store):
+        obj = store.put("alpha", load=3.0)
+        owner = ring.successor(obj.key)
+        store.delete("alpha")
+        assert owner.load == pytest.approx(0.0)
+        assert store.num_objects == 0
+
+    def test_colliding_keys_coexist(self):
+        # On a tiny ring, different names hash to the same key; both live.
+        tiny = ChordRing(IdentifierSpace(bits=4))
+        tiny.populate(2, 2, [1.0, 1.0], rng=0)
+        s = ObjectStore(tiny)
+        for i in range(40):
+            s.put(f"n{i}", load=1.0)
+        assert s.num_objects == 40
+        s.check_consistency()
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(DHTError):
+            StoredObject(key=0, name="x", load=-1.0, size=0.0)
+
+
+class TestPopulate:
+    def test_uniform_population(self, ring, store):
+        store.populate(200, mean_load=2.0, rng=1)
+        assert store.num_objects == 200
+        assert store.total_load == pytest.approx(
+            sum(vs.load for vs in ring.virtual_servers)
+        )
+        store.check_consistency()
+
+    def test_zipf_population_skewed(self, ring, store):
+        objs = store.populate(500, mean_load=1.0, rng=2, popularity="zipf")
+        loads = np.array([o.load for o in objs])
+        assert loads.max() > 20 * np.median(loads)
+        assert loads.mean() == pytest.approx(1.0, rel=0.01)
+
+    def test_unknown_popularity(self, store):
+        with pytest.raises(DHTError):
+            store.populate(5, mean_load=1.0, popularity="bogus")
+
+    def test_negative_count(self, store):
+        with pytest.raises(DHTError):
+            store.populate(-1, mean_load=1.0)
+
+
+class TestRehome:
+    def test_rehome_after_join(self, ring, store):
+        store.populate(300, mean_load=1.0, rng=3)
+        join_node(ring, capacity=1.0, vs_count=3, rng=5)
+        moved = store.rehome()
+        assert moved > 0
+        store.check_consistency()
+        assert store.total_load == pytest.approx(
+            sum(vs.load for vs in ring.virtual_servers)
+        )
+
+    def test_rehome_idempotent(self, ring, store):
+        store.populate(100, mean_load=1.0, rng=6)
+        store.rehome()
+        assert store.rehome() == 0
+
+    def test_consistency_detects_drift(self, ring, store):
+        store.populate(50, mean_load=1.0, rng=7)
+        ring.virtual_servers[0].load += 99.0
+        with pytest.raises(DHTError):
+            store.check_consistency()
+
+
+class TestTransferBytes:
+    def test_sum_of_sizes(self, ring, store):
+        store.put("a", load=1.0, size=10.0)
+        vs = ring.successor(store.get("a").key)
+        assert store.transfer_bytes(vs) >= 10.0
+
+    def test_empty_vs_zero_bytes(self, ring, store):
+        empty = next(
+            vs for vs in ring.virtual_servers if not store.objects_on(vs)
+        )
+        assert store.transfer_bytes(empty) == 0.0
+
+
+class TestAddLoad:
+    def test_accrues_on_object_and_host(self, ring, store):
+        store.put("q", load=1.0)
+        store.add_load("q", 4.0)
+        assert store.get("q").load == 5.0
+        owner = ring.successor(store.get("q").key)
+        assert owner.load == pytest.approx(5.0)
+        store.check_consistency()
+
+    def test_survives_rehome(self, ring, store):
+        from repro.dht import join_node
+
+        store.put("q", load=1.0)
+        store.add_load("q", 9.0)
+        join_node(ring, capacity=1.0, vs_count=3, rng=44)
+        store.rehome()
+        assert store.get("q").load == 10.0
+        store.check_consistency()
+
+    def test_negative_result_rejected(self, store):
+        store.put("q", load=1.0)
+        with pytest.raises(DHTError):
+            store.add_load("q", -2.0)
+
+    def test_unknown_object_rejected(self, store):
+        with pytest.raises(DHTError):
+            store.add_load("ghost", 1.0)

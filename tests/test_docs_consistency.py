@@ -1,0 +1,97 @@
+"""Meta-tests: documentation references must match the repository.
+
+These keep DESIGN.md / EXPERIMENTS.md / README.md honest: every bench
+file they name exists, every registered experiment has a bench or
+driver, and every example the README advertises is a runnable file.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def referenced_files(text: str, pattern: str) -> set[str]:
+    return set(re.findall(pattern, text))
+
+
+class TestExperimentsDoc:
+    @pytest.fixture(scope="class")
+    def text(self):
+        return (REPO / "EXPERIMENTS.md").read_text()
+
+    def test_all_named_benches_exist(self, text):
+        for name in referenced_files(text, r"bench_[a-z0-9_]+\.py"):
+            assert (REPO / "benchmarks" / name).exists(), f"missing {name}"
+
+    def test_all_named_test_files_exist(self, text):
+        for name in referenced_files(text, r"tests/test_[a-z0-9_]+\.py"):
+            assert (REPO / name).exists(), f"missing {name}"
+
+    def test_every_figure_has_a_section(self, text):
+        for fig in ("Figure 4", "Figure 5", "Figure 6", "Figure 7", "Figure 8"):
+            assert fig in text
+
+
+class TestDesignDoc:
+    @pytest.fixture(scope="class")
+    def text(self):
+        return (REPO / "DESIGN.md").read_text()
+
+    def test_all_named_benches_exist(self, text):
+        for name in referenced_files(text, r"bench_[a-z0-9_]+\.py"):
+            assert (REPO / "benchmarks" / name).exists(), f"missing {name}"
+
+    def test_named_packages_exist(self, text):
+        for pkg in referenced_files(text, r"`repro\.([a-z_.]+)`"):
+            path = REPO / "src" / "repro" / Path(*pkg.split("."))
+            assert (
+                path.with_suffix(".py").exists() or (path / "__init__.py").exists()
+            ), f"missing repro.{pkg}"
+
+    def test_paper_identity_check_present(self, text):
+        assert "Paper identity check" in text
+
+
+class TestReadme:
+    @pytest.fixture(scope="class")
+    def text(self):
+        return (REPO / "README.md").read_text()
+
+    def test_advertised_examples_exist(self, text):
+        for name in referenced_files(text, r"`([a-z_]+\.py)`"):
+            assert any(
+                (REPO / d / name).exists()
+                for d in ("examples", "scripts", "benchmarks")
+            ), f"missing {name}"
+
+    def test_docs_links_exist(self, text):
+        for name in referenced_files(text, r"docs/[a-z-]+\.md"):
+            assert (REPO / name).exists(), f"missing {name}"
+
+
+class TestRegistryCoverage:
+    def test_every_figure_experiment_has_a_bench(self):
+        from repro.experiments.registry import EXPERIMENTS
+
+        bench_text = "\n".join(
+            p.read_text() for p in (REPO / "benchmarks").glob("bench_*.py")
+        )
+        for name in EXPERIMENTS:
+            assert (
+                f"experiments import {name}" in bench_text
+                or f"experiments.{name}" in bench_text
+                or f"import {name}" in bench_text
+                or name in bench_text
+            ), f"experiment {name} has no benchmark"
+
+    def test_all_benches_collected_by_pytest_config(self):
+        import tomllib
+
+        cfg = tomllib.loads((REPO / "pyproject.toml").read_text())
+        patterns = cfg["tool"]["pytest"]["ini_options"]["python_files"]
+        assert "bench_*.py" in patterns

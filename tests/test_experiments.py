@@ -1,0 +1,78 @@
+"""Smoke + shape tests for the experiment drivers (reduced scale)."""
+
+import pytest
+
+from repro.experiments import ExperimentSettings, get_experiment, list_experiments
+from repro.experiments import fig4, fig5, fig6, fig7, timing
+from repro.exceptions import ReproError
+
+SMALL = ExperimentSettings(num_nodes=128, seed=42)
+
+
+class TestRegistry:
+    def test_all_experiments_listed(self):
+        names = [n for n, _ in list_experiments()]
+        assert names == [
+            "convergence", "fig4", "fig5", "fig6", "fig7", "fig8",
+            "timing", "variance",
+        ]
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ReproError):
+            get_experiment("fig99")
+
+    def test_get_returns_callable(self):
+        assert callable(get_experiment("fig4"))
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig4.run(SMALL)
+
+    def test_heavy_fraction_near_paper(self, result):
+        """Paper: ~75% of nodes heavy before balancing."""
+        assert 0.6 <= result.data.heavy_fraction_before <= 0.9
+
+    def test_all_heavy_resolved(self, result):
+        """Paper: all heavy nodes become light after balancing."""
+        assert result.data.heavy_after == 0
+
+    def test_format_rows(self, result):
+        text = result.format_rows()
+        assert "Figure 4" in text and "paper" in text
+
+
+class TestFig56:
+    def test_fig5_alignment(self):
+        result = fig5.run(SMALL)
+        means = result.data.mean_loads_after()
+        assert all(a <= b + 1e-9 for a, b in zip(means, means[1:]))
+        assert "capacity" in result.format_rows()
+
+    def test_fig6_pareto_alignment_mostly_holds(self):
+        result = fig6.run(SMALL)
+        d = result.data
+        # Highest-capacity category must end with the largest mean load.
+        means = d.mean_loads_after()
+        assert means[-1] == max(means)
+        assert result.report.heavy_after <= max(2, result.report.heavy_before // 20)
+
+
+class TestTiming:
+    def test_rounds_logarithmic(self):
+        result = timing.run(ExperimentSettings(num_nodes=256), sizes=[64, 256])
+        by_k = {}
+        for t in result.timings:
+            by_k.setdefault(t.tree_degree, []).append(t)
+        for k, ts in by_k.items():
+            small, large = ts[0], ts[-1]
+            # 4x the nodes must not even double the rounds.
+            assert large.vsa_rounds < 2 * small.vsa_rounds
+        assert "Timing claim" in result.format_rows()
+
+    def test_k8_shallower(self):
+        result = timing.run(ExperimentSettings(num_nodes=128), sizes=[128])
+        k2 = [t for t in result.timings if t.tree_degree == 2][0]
+        k8 = [t for t in result.timings if t.tree_degree == 8][0]
+        assert k8.tree_height < k2.tree_height

@@ -1,0 +1,79 @@
+"""Golden regression tests: exact headline numbers for fixed seeds.
+
+These pin the *behaviour* of the full pipeline: any change to RNG
+consumption order, classification, selection, pairing or transfer logic
+shifts these numbers and must be a conscious decision (update the
+constants in the same commit that changes behaviour, with a rationale).
+
+Scalars only — no large snapshot files.  Tolerances are tight relative
+(1e-9) because every computation here is deterministic given the seed.
+"""
+
+import pytest
+
+from repro.core import BalancerConfig, LoadBalancer
+from repro.workloads import GaussianLoadModel, ParetoLoadModel, build_scenario
+
+
+def run_gaussian():
+    sc = build_scenario(
+        GaussianLoadModel(mu=1e6, sigma=2e3), num_nodes=512, vs_per_node=5, rng=42
+    )
+    lb = LoadBalancer(
+        sc.ring, BalancerConfig(proximity_mode="ignorant", epsilon=0.05), rng=7
+    )
+    return lb.run_round()
+
+
+class TestGoldenGaussian:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_gaussian()
+
+    def test_heavy_before(self, report):
+        assert report.heavy_before == 401
+
+    def test_heavy_after(self, report):
+        assert report.heavy_after == 0
+
+    def test_transfer_count(self, report):
+        assert len(report.transfers) == 1426
+
+    def test_moved_load(self, report):
+        assert report.moved_load == pytest.approx(666589.0128607354, rel=1e-9)
+
+    def test_system_lbi(self, report):
+        assert report.system_lbi.total_load == pytest.approx(
+            995299.0012687388, rel=1e-9
+        )
+        assert report.system_lbi.total_capacity == pytest.approx(58472.0)
+
+    def test_tree_height(self, report):
+        assert report.tree_height == 20
+
+    def test_repeatability(self, report):
+        again = run_gaussian()
+        assert again.moved_load == pytest.approx(report.moved_load, rel=1e-12)
+        assert len(again.transfers) == len(report.transfers)
+
+
+class TestGoldenPareto:
+    @pytest.fixture(scope="class")
+    def report(self):
+        sc = build_scenario(
+            ParetoLoadModel(mu=1e6), num_nodes=256, vs_per_node=5, rng=13
+        )
+        lb = LoadBalancer(
+            sc.ring, BalancerConfig(proximity_mode="ignorant", epsilon=0.05), rng=7
+        )
+        return lb.run_round()
+
+    def test_counts_stable(self, report):
+        # One Pareto giant exceeds every spare capacity and stays heavy.
+        assert (report.heavy_before, report.heavy_after) == (180, 1)
+
+    def test_transfer_count_stable(self, report):
+        assert len(report.transfers) == 579
+
+    def test_moved_load_stable(self, report):
+        assert report.moved_load == pytest.approx(691331.5860312285, rel=1e-9)

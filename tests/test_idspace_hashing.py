@@ -1,0 +1,36 @@
+"""Tests for deterministic name hashing onto the ring."""
+
+import numpy as np
+
+from repro.idspace import IdentifierSpace, hash_bytes_to_id, hash_to_id
+
+
+class TestHashing:
+    def test_deterministic(self, space16):
+        assert hash_to_id("x", space16) == hash_to_id("x", space16)
+
+    def test_in_range(self, space16):
+        for name in ["a", "b", "node-17", ""]:
+            assert 0 <= hash_to_id(name, space16) < space16.size
+
+    def test_int_and_str_agree(self, space16):
+        assert hash_to_id(5, space16) == hash_to_id("5", space16)
+
+    def test_different_names_differ(self, space16):
+        # SHA-1 on a 16-bit ring: collisions possible but not for these.
+        ids = {hash_to_id(f"name-{i}", space16) for i in range(50)}
+        assert len(ids) > 40
+
+    def test_bytes_hashing(self, space16):
+        assert hash_bytes_to_id(b"abc", space16) == hash_bytes_to_id(b"abc", space16)
+        assert 0 <= hash_bytes_to_id(b"abc", space16) < space16.size
+
+    def test_roughly_uniform(self):
+        space = IdentifierSpace(bits=8)
+        ids = np.array([hash_to_id(f"k{i}", space) for i in range(2000)])
+        # Mean of uniform [0,255] is 127.5; loose 10% tolerance.
+        assert 110 < ids.mean() < 145
+
+    def test_space_width_respected(self):
+        small = IdentifierSpace(bits=4)
+        assert all(hash_to_id(f"n{i}", small) < 16 for i in range(100))

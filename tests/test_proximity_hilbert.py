@@ -1,0 +1,135 @@
+"""Property and unit tests for the m-dimensional Hilbert curve.
+
+The two load-bearing properties:
+
+* **bijectivity** — encode/decode are exact inverses over the whole grid;
+* **unit-step adjacency** — consecutive curve indices map to grid points
+  differing by exactly 1 in exactly one coordinate (the locality property
+  the paper's key mapping relies on).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import HilbertError
+from repro.proximity import HilbertCurve
+
+
+class TestConstruction:
+    def test_properties(self):
+        hc = HilbertCurve(dims=3, bits=4)
+        assert hc.index_bits == 12
+        assert hc.max_index == 4095
+        assert hc.side == 16
+
+    @pytest.mark.parametrize("dims,bits", [(0, 4), (3, 0), (-1, 2)])
+    def test_invalid_params(self, dims, bits):
+        with pytest.raises(HilbertError):
+            HilbertCurve(dims=dims, bits=bits)
+
+    def test_too_large(self):
+        with pytest.raises(HilbertError):
+            HilbertCurve(dims=64, bits=32)
+
+
+class TestBijectivity:
+    @pytest.mark.parametrize("dims,bits", [(1, 4), (2, 3), (3, 2), (4, 2), (5, 1)])
+    def test_exhaustive_roundtrip(self, dims, bits):
+        hc = HilbertCurve(dims=dims, bits=bits)
+        seen = set()
+        for idx in range(hc.max_index + 1):
+            point = hc.decode(idx)
+            assert hc.encode(point) == idx
+            assert point not in seen
+            seen.add(point)
+        assert len(seen) == hc.max_index + 1
+
+    @given(
+        dims=st.integers(2, 10),
+        bits=st.integers(1, 6),
+        data=st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_random_roundtrip_high_dims(self, dims, bits, data):
+        hc = HilbertCurve(dims=dims, bits=bits)
+        point = tuple(
+            data.draw(st.integers(0, hc.side - 1)) for _ in range(dims)
+        )
+        assert hc.decode(hc.encode(point)) == point
+
+    def test_paper_scale_dimensions(self):
+        """15 landmarks x 4 bits: 60-bit indices round-trip."""
+        hc = HilbertCurve(dims=15, bits=4)
+        gen = np.random.default_rng(0)
+        for _ in range(50):
+            point = tuple(int(x) for x in gen.integers(0, 16, size=15))
+            idx = hc.encode(point)
+            assert 0 <= idx <= hc.max_index
+            assert hc.decode(idx) == point
+
+
+class TestAdjacency:
+    @pytest.mark.parametrize("dims,bits", [(2, 4), (3, 3), (4, 2), (6, 1)])
+    def test_consecutive_indices_are_grid_neighbours(self, dims, bits):
+        hc = HilbertCurve(dims=dims, bits=bits)
+        prev = np.asarray(hc.decode(0))
+        for idx in range(1, hc.max_index + 1):
+            cur = np.asarray(hc.decode(idx))
+            diff = np.abs(cur - prev)
+            assert diff.sum() == 1, f"jump at index {idx}"
+            prev = cur
+
+    def test_curve_starts_at_origin(self):
+        hc = HilbertCurve(dims=3, bits=3)
+        assert hc.decode(0) == (0, 0, 0)
+
+
+class TestValidation:
+    def test_wrong_dimension_count(self):
+        hc = HilbertCurve(dims=3, bits=2)
+        with pytest.raises(HilbertError):
+            hc.encode([1, 2])
+
+    def test_coordinate_out_of_range(self):
+        hc = HilbertCurve(dims=2, bits=2)
+        with pytest.raises(HilbertError):
+            hc.encode([4, 0])
+
+    def test_index_out_of_range(self):
+        hc = HilbertCurve(dims=2, bits=2)
+        with pytest.raises(HilbertError):
+            hc.decode(16)
+        with pytest.raises(HilbertError):
+            hc.decode(-1)
+
+    def test_encode_many_shape_check(self):
+        hc = HilbertCurve(dims=3, bits=2)
+        with pytest.raises(HilbertError):
+            hc.encode_many(np.zeros((4, 2), dtype=int))
+
+    def test_encode_many_matches_scalar(self):
+        hc = HilbertCurve(dims=3, bits=3)
+        gen = np.random.default_rng(1)
+        pts = gen.integers(0, 8, size=(20, 3))
+        batch = hc.encode_many(pts)
+        for row, idx in zip(pts, batch):
+            assert hc.encode([int(v) for v in row]) == idx
+
+
+class TestLocality:
+    def test_nearby_points_have_nearby_indices_on_average(self):
+        """Statistical locality: neighbours in space are closer on the curve
+        than random pairs, on average (the converse of adjacency is not
+        guaranteed pointwise, but must hold in aggregate)."""
+        hc = HilbertCurve(dims=2, bits=5)
+        gen = np.random.default_rng(3)
+        side = hc.side
+        neighbour_gaps, random_gaps = [], []
+        for _ in range(300):
+            x, y = int(gen.integers(side - 1)), int(gen.integers(side - 1))
+            i0 = hc.encode([x, y])
+            neighbour_gaps.append(abs(hc.encode([x + 1, y]) - i0))
+            rx, ry = int(gen.integers(side)), int(gen.integers(side))
+            random_gaps.append(abs(hc.encode([rx, ry]) - i0))
+        assert np.mean(neighbour_gaps) < np.mean(random_gaps) / 4

@@ -1,0 +1,100 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim import EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.push(2.0, lambda s: None, "b")
+        q.push(1.0, lambda s: None, "a")
+        assert q.pop().label == "a"
+        assert q.pop().label == "b"
+
+    def test_ties_break_by_insertion(self):
+        q = EventQueue()
+        q.push(1.0, lambda s: None, "first")
+        q.push(1.0, lambda s: None, "second")
+        assert q.pop().label == "first"
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(-1.0, lambda s: None)
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        q.push(0.0, lambda s: None)
+        assert len(q) == 1 and q
+
+
+class TestSimulator:
+    def test_runs_in_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda s: order.append(3))
+        sim.schedule(1.0, lambda s: order.append(1))
+        sim.schedule(2.0, lambda s: order.append(2))
+        sim.run()
+        assert order == [1, 2, 3]
+        assert sim.now == 3.0
+        assert sim.events_processed == 3
+
+    def test_until_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda s: fired.append(1))
+        sim.schedule(5.0, lambda s: fired.append(5))
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+        sim.run()  # remaining event still fires
+        assert fired == [1, 5]
+
+    def test_event_at_horizon_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda s: fired.append(2))
+        sim.run(until=2.0)
+        assert fired == [2]
+
+    def test_actions_can_schedule_more(self):
+        sim = Simulator()
+        ticks = []
+
+        def tick(s):
+            ticks.append(s.now)
+            if len(ticks) < 5:
+                s.schedule(1.0, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        assert ticks == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda s: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda s: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda s: None)
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def forever(s):
+            s.schedule(1.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)

@@ -1,0 +1,141 @@
+"""Stateful property tests: random operation sequences vs invariants.
+
+Hypothesis drives random interleavings of the system's mutating
+operations — virtual-server add/remove/transfer, node join/leave/crash,
+object put/delete, splitting, rehoming — and checks after every step
+that the cross-referenced state stays coherent:
+
+* ring invariants (ownership symmetry, regions tile the ring);
+* object-store consistency (per-VS loads equal object sums, placement
+  matches ownership);
+* global load conservation across ownership-only operations.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import settings as h_settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.dht import ChordRing, ObjectStore, crash_node, join_node, leave_node
+from repro.dht.split import split_virtual_server
+from repro.exceptions import DHTError
+from repro.idspace import IdentifierSpace
+
+
+class RingStateMachine(RuleBasedStateMachine):
+    """Random walks over the full DHT + storage state space."""
+
+    @initialize(seed=st.integers(0, 2**16))
+    def setup(self, seed):
+        self.ring = ChordRing(IdentifierSpace(bits=12))
+        self.ring.populate(4, 2, [1.0, 2.0, 4.0, 8.0], rng=seed)
+        self.store = ObjectStore(self.ring)
+        self.counter = 0
+        for i in range(12):
+            self.store.put(f"seed-{i}", load=float(i + 1))
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _alive(self):
+        return [n for n in self.ring.nodes if n.alive]
+
+    def _removable(self):
+        return [
+            n
+            for n in self._alive()
+            if n.virtual_servers
+            and len(n.virtual_servers) < self.ring.num_virtual_servers
+        ]
+
+    # ------------------------------------------------------------------
+    # rules
+    # ------------------------------------------------------------------
+    @rule(cap=st.sampled_from([1.0, 10.0, 100.0]), k=st.integers(1, 3))
+    def join(self, cap, k):
+        join_node(self.ring, capacity=cap, vs_count=k, rng=self.counter)
+        self.counter += 1
+        self.store.rehome()
+
+    @precondition(lambda self: len(self._removable()) > 1)
+    @rule(idx=st.integers(0, 10**6), graceful=st.booleans())
+    def depart(self, idx, graceful):
+        victims = self._removable()
+        victim = victims[idx % len(victims)]
+        if graceful:
+            leave_node(self.ring, victim)
+        else:
+            crash_node(self.ring, victim)
+        self.store.rehome()
+
+    @rule(idx=st.integers(0, 10**6), dest=st.integers(0, 10**6))
+    def transfer(self, idx, dest):
+        vss = self.ring.virtual_servers
+        vs = vss[idx % len(vss)]
+        alive = self._alive()
+        node = alive[dest % len(alive)]
+        self.ring.transfer_virtual_server(vs, node)
+
+    @rule(load=st.floats(0.1, 50.0))
+    def put_object(self, load):
+        self.store.put(f"obj-{self.counter}", load=load)
+        self.counter += 1
+
+    @precondition(lambda self: self.store.num_objects > 1)
+    @rule(idx=st.integers(0, 10**6))
+    def delete_object(self, idx):
+        names = sorted(
+            n for vs in self.ring.virtual_servers
+            for n in (o.name for o in self.store.objects_on(vs))
+        )
+        if names:
+            self.store.delete(names[idx % len(names)])
+
+    @rule(idx=st.integers(0, 10**6))
+    def split(self, idx):
+        vss = self.ring.virtual_servers
+        vs = vss[idx % len(vss)]
+        try:
+            split_virtual_server(self.ring, vs, store=self.store)
+        except DHTError:
+            pass  # single-identifier regions cannot split; fine
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+    @invariant()
+    def ring_is_coherent(self):
+        self.ring.check_invariants()
+
+    @invariant()
+    def store_is_coherent(self):
+        self.store.check_consistency()
+
+    @invariant()
+    def loads_match_objects(self):
+        total_vs = sum(vs.load for vs in self.ring.virtual_servers)
+        assert math.isclose(
+            total_vs, self.store.total_load, rel_tol=1e-9, abs_tol=1e-6
+        )
+
+    @invariant()
+    def regions_tile_ring(self):
+        total = sum(
+            self.ring.region_of(vs).length for vs in self.ring.virtual_servers
+        )
+        assert total == self.ring.space.size
+
+
+RingStateMachine.TestCase.settings = h_settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestRingStateMachine = RingStateMachine.TestCase

@@ -1,0 +1,89 @@
+"""Tests for landmark selection and landmark-vector computation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology import DistanceOracle, landmark_vectors, select_landmarks
+
+
+class TestSelection:
+    def test_count_and_range(self, mini_oracle):
+        lm = select_landmarks(mini_oracle, 5, rng=0)
+        assert len(lm) == 5
+        assert all(0 <= v < mini_oracle.topology.num_vertices for v in lm)
+
+    def test_unique(self, mini_oracle):
+        lm = select_landmarks(mini_oracle, 8, rng=1)
+        assert len(set(lm.tolist())) == 8
+
+    def test_random_strategy(self, mini_oracle):
+        lm = select_landmarks(mini_oracle, 6, rng=2, strategy="random")
+        assert len(set(lm.tolist())) == 6
+
+    def test_unknown_strategy(self, mini_oracle):
+        with pytest.raises(TopologyError):
+            select_landmarks(mini_oracle, 3, rng=0, strategy="bogus")
+
+    def test_too_many_landmarks(self, mini_oracle):
+        with pytest.raises(TopologyError):
+            select_landmarks(mini_oracle, mini_oracle.topology.num_vertices + 1)
+
+    def test_spread_beats_random_on_min_separation(self, mini_oracle):
+        def min_sep(landmarks):
+            d = mini_oracle.distances_from_many(landmarks)
+            sep = np.inf
+            for i in range(len(landmarks)):
+                for j in range(i + 1, len(landmarks)):
+                    sep = min(sep, d[i][landmarks[j]])
+            return sep
+
+        spread = select_landmarks(mini_oracle, 4, rng=3, strategy="spread")
+        random_sel = select_landmarks(mini_oracle, 4, rng=3, strategy="random")
+        assert min_sep(spread) >= min_sep(random_sel)
+
+    def test_deterministic(self, mini_oracle):
+        a = select_landmarks(mini_oracle, 4, rng=7)
+        b = select_landmarks(mini_oracle, 4, rng=7)
+        assert np.array_equal(a, b)
+
+
+class TestVectors:
+    def test_shape(self, mini_oracle):
+        lm = select_landmarks(mini_oracle, 5, rng=0)
+        sites = mini_oracle.topology.stub_vertices[:10]
+        vecs = landmark_vectors(mini_oracle, lm, sites)
+        assert vecs.shape == (10, 5)
+
+    def test_landmark_distance_to_itself_zero(self, mini_oracle):
+        lm = select_landmarks(mini_oracle, 3, rng=0)
+        vecs = landmark_vectors(mini_oracle, lm, lm)
+        assert np.allclose(np.diag(vecs), 0.0)
+
+    def test_values_match_oracle(self, mini_oracle):
+        lm = select_landmarks(mini_oracle, 3, rng=1)
+        sites = [0, 1]
+        vecs = landmark_vectors(mini_oracle, lm, sites)
+        for i, s in enumerate(sites):
+            for j, l in enumerate(lm):
+                assert vecs[i, j] == pytest.approx(mini_oracle.distance(int(l), s))
+
+    def test_same_stub_domain_similar_vectors(self, mini_topology, mini_oracle):
+        """The clustering premise: same-stub nodes have close vectors."""
+        import collections
+        lm = select_landmarks(mini_oracle, 5, rng=2)
+        by_domain = collections.defaultdict(list)
+        for v in mini_topology.stub_vertices:
+            by_domain[mini_topology.info[v].stub_domain].append(int(v))
+        # Compare intra-domain vs cross-domain vector distances.
+        domains = [d for d, vs in by_domain.items() if len(vs) >= 2]
+        d0, d1 = domains[0], domains[1]
+        vecs0 = landmark_vectors(mini_oracle, lm, by_domain[d0][:2])
+        vecs1 = landmark_vectors(mini_oracle, lm, by_domain[d1][:1])
+        intra = np.linalg.norm(vecs0[0] - vecs0[1])
+        cross = np.linalg.norm(vecs0[0] - vecs1[0])
+        assert intra <= cross
+
+    def test_empty_landmarks_rejected(self, mini_oracle):
+        with pytest.raises(TopologyError):
+            landmark_vectors(mini_oracle, [], [0])

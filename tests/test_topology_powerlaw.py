@@ -1,0 +1,84 @@
+"""Tests for the power-law topology generator."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core import BalancerConfig, LoadBalancer
+from repro.exceptions import TopologyError
+from repro.topology import DistanceOracle, generate_power_law
+from repro.workloads import GaussianLoadModel, build_scenario
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def topo(self):
+        return generate_power_law(300, attach_edges=2, rng=3)
+
+    def test_connected(self, topo):
+        assert nx.is_connected(topo.graph)
+
+    def test_vertex_count(self, topo):
+        assert topo.num_vertices == 300
+
+    def test_all_vertices_are_stub(self, topo):
+        assert len(topo.stub_vertices) == 300
+
+    def test_heavy_tailed_degrees(self, topo):
+        degrees = np.asarray([d for _, d in topo.graph.degree()])
+        # Hubs exist: max degree far above the median.
+        assert degrees.max() >= 5 * np.median(degrees)
+
+    def test_weights_in_range(self, topo):
+        for _, _, w in topo.graph.edges(data="weight"):
+            assert 1 <= w <= 4
+
+    def test_deterministic(self):
+        a = generate_power_law(100, rng=7)
+        b = generate_power_law(100, rng=7)
+        assert sorted(a.graph.edges) == sorted(b.graph.edges)
+
+    def test_cluster_labels_assigned(self, topo):
+        clusters = {topo.info[v].stub_domain for v in range(topo.num_vertices)}
+        assert 1 < len(clusters) < topo.num_vertices
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(num_vertices=1),
+            dict(num_vertices=10, attach_edges=0),
+            dict(num_vertices=10, attach_edges=10),
+            dict(num_vertices=10, weight_range=(3, 2)),
+        ],
+    )
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(TopologyError):
+            generate_power_law(**kwargs)
+
+
+class TestBalancerOnPowerLaw:
+    def test_aware_still_at_least_matches_ignorant(self):
+        """Robustness beyond the paper: on a non-hierarchical topology the
+        proximity win shrinks, but aware must never be *worse* on mean
+        transfer distance."""
+        topo = generate_power_law(600, attach_edges=2, rng=11)
+        means = {}
+        for mode in ("aware", "ignorant"):
+            sc = build_scenario(
+                GaussianLoadModel(mu=1e5, sigma=300.0),
+                num_nodes=256,
+                vs_per_node=4,
+                topology=generate_power_law(600, attach_edges=2, rng=11),
+                rng=13,
+            )
+            lb = LoadBalancer(
+                sc.ring,
+                BalancerConfig(proximity_mode=mode, epsilon=0.05, grid_bits=3),
+                topology=sc.topology,
+                oracle=sc.oracle,
+                rng=5,
+            )
+            report = lb.run_round()
+            assert report.heavy_after <= report.heavy_before // 10
+            means[mode] = report.transfer_distances.mean()
+        assert means["aware"] <= means["ignorant"] * 1.05

@@ -1,0 +1,98 @@
+"""Tests for the cached Dijkstra distance oracle."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology import DistanceOracle, Topology
+from repro.topology.graph import VertexInfo
+
+
+@pytest.fixture
+def path_topology():
+    """0 -1- 1 -2- 2 -3- 3 (weighted path graph)."""
+    g = nx.Graph()
+    g.add_edge(0, 1, weight=1)
+    g.add_edge(1, 2, weight=2)
+    g.add_edge(2, 3, weight=3)
+    info = [VertexInfo("stub", 0, i) for i in range(4)]
+    return Topology(graph=g, info=info)
+
+
+class TestDistances:
+    def test_known_distances(self, path_topology):
+        oracle = DistanceOracle(path_topology)
+        assert oracle.distance(0, 3) == 6.0
+        assert oracle.distance(1, 3) == 5.0
+
+    def test_symmetry(self, path_topology):
+        oracle = DistanceOracle(path_topology)
+        assert oracle.distance(0, 2) == oracle.distance(2, 0)
+
+    def test_self_distance_zero(self, path_topology):
+        oracle = DistanceOracle(path_topology)
+        assert oracle.distance(2, 2) == 0.0
+
+    def test_distances_from_row(self, path_topology):
+        oracle = DistanceOracle(path_topology)
+        row = oracle.distances_from(0)
+        assert list(row) == [0.0, 1.0, 3.0, 6.0]
+
+    def test_out_of_range_vertex(self, path_topology):
+        oracle = DistanceOracle(path_topology)
+        with pytest.raises(TopologyError):
+            oracle.distance(0, 4)
+
+    def test_matches_networkx(self, mini_topology):
+        oracle = DistanceOracle(mini_topology)
+        expected = nx.single_source_dijkstra_path_length(
+            mini_topology.graph, 0, weight="weight"
+        )
+        row = oracle.distances_from(0)
+        for v, d in expected.items():
+            assert row[v] == pytest.approx(d)
+
+
+class TestCaching:
+    def test_row_cached(self, path_topology):
+        oracle = DistanceOracle(path_topology)
+        oracle.distances_from(0)
+        runs = oracle.dijkstra_runs
+        oracle.distances_from(0)
+        assert oracle.dijkstra_runs == runs
+
+    def test_distance_reuses_reverse_row(self, path_topology):
+        oracle = DistanceOracle(path_topology)
+        oracle.distances_from(3)
+        runs = oracle.dijkstra_runs
+        assert oracle.distance(0, 3) == 6.0  # uses row of 3 backwards
+        assert oracle.dijkstra_runs == runs
+
+    def test_lru_eviction(self, path_topology):
+        oracle = DistanceOracle(path_topology, max_cached_rows=2)
+        oracle.distances_from(0)
+        oracle.distances_from(1)
+        oracle.distances_from(2)
+        assert oracle.cached_sources == 2
+
+    def test_many_sources_single_call(self, path_topology):
+        oracle = DistanceOracle(path_topology)
+        rows = oracle.distances_from_many([0, 1, 2])
+        assert rows.shape == (3, 4)
+        assert oracle.dijkstra_runs == 3  # one per source, batched in one scipy call
+
+    def test_distances_between_batches(self, path_topology):
+        oracle = DistanceOracle(path_topology)
+        pairs = [(0, 3), (1, 2), (0, 2)]
+        out = oracle.distances_between(pairs)
+        assert list(out) == [6.0, 2.0, 3.0]
+        # 0 and 1 are the only sources needed (0 used twice).
+        assert oracle.dijkstra_runs <= 2
+
+    def test_distances_between_uses_cached_reverse(self, path_topology):
+        oracle = DistanceOracle(path_topology)
+        oracle.distances_from(3)
+        out = oracle.distances_between([(0, 3)])
+        assert out[0] == 6.0
+        assert oracle.dijkstra_runs == 1

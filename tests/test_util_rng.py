@@ -1,0 +1,43 @@
+"""Tests for RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_seed_determinism(self):
+        a = ensure_rng(42).integers(0, 1000, size=5)
+        b = ensure_rng(42).integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+class TestSpawn:
+    def test_children_independent(self):
+        kids = spawn_rngs(1, 2)
+        a = kids[0].integers(0, 10**9, size=10)
+        b = kids[1].integers(0, 10**9, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic_given_parent_seed(self):
+        a = spawn_rngs(7, 3)[2].integers(0, 10**9, size=4)
+        b = spawn_rngs(7, 3)[2].integers(0, 10**9, size=4)
+        assert np.array_equal(a, b)
+
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)

@@ -1,0 +1,105 @@
+"""Tests for capacity-proportional VS provisioning."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workloads import (
+    GaussianLoadModel,
+    build_scenario,
+    proportional_vs_counts,
+)
+
+
+class TestProportionalCounts:
+    def test_mean_matches_request(self):
+        caps = np.array([1.0, 10.0, 100.0, 1000.0] * 100)
+        counts = proportional_vs_counts(caps, mean_vs_per_node=5)
+        # Means agree loosely (floor/cap quantisation biases small draws).
+        assert 1 <= np.mean(counts) <= 25
+
+    def test_floor_of_one(self):
+        caps = np.array([1.0, 1e6])
+        counts = proportional_vs_counts(caps, mean_vs_per_node=5)
+        assert counts[0] == 1
+
+    def test_cap_respected(self):
+        caps = np.array([1.0] * 99 + [1e6])
+        counts = proportional_vs_counts(caps, mean_vs_per_node=5, max_vs_per_node=64)
+        # raw count for the big node is ~5 * 1e6 / mean(caps) >> 64
+        assert counts[-1] == 64
+
+    def test_monotone_in_capacity(self):
+        caps = np.array([1.0, 10.0, 100.0, 1000.0])
+        counts = proportional_vs_counts(caps, mean_vs_per_node=4)
+        assert counts == sorted(counts)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(WorkloadError):
+            proportional_vs_counts(np.array([]), 5)
+        with pytest.raises(WorkloadError):
+            proportional_vs_counts(np.array([0.0, 1.0]), 5)
+        with pytest.raises(WorkloadError):
+            proportional_vs_counts(np.array([1.0]), 0)
+
+
+class TestScenarioIntegration:
+    def test_proportional_scenario(self):
+        sc = build_scenario(
+            GaussianLoadModel(mu=1e4, sigma=10.0),
+            num_nodes=64,
+            vs_per_node=4,
+            vs_allocation="proportional",
+            rng=5,
+        )
+        counts = {n.index: len(n.virtual_servers) for n in sc.ring.nodes}
+        caps = {n.index: n.capacity for n in sc.ring.nodes}
+        # Higher-capacity nodes host at least as many virtual servers.
+        top = max(caps, key=caps.get)
+        bottom = min(caps, key=caps.get)
+        assert counts[top] >= counts[bottom]
+        sc.ring.check_invariants()
+
+    def test_unknown_allocation_rejected(self):
+        with pytest.raises(WorkloadError):
+            build_scenario(
+                GaussianLoadModel(mu=1.0, sigma=0.0),
+                num_nodes=4,
+                vs_allocation="bogus",
+                rng=0,
+            )
+
+    def test_uniform_unchanged_default(self):
+        sc = build_scenario(
+            GaussianLoadModel(mu=1e4, sigma=10.0), num_nodes=16, vs_per_node=3, rng=6
+        )
+        assert all(len(n.virtual_servers) == 3 for n in sc.ring.nodes)
+
+
+class TestPerNodeCountsOnRing:
+    def test_populate_with_sequence(self):
+        from repro.dht import ChordRing
+        from repro.idspace import IdentifierSpace
+
+        ring = ChordRing(IdentifierSpace(bits=14))
+        ring.populate(3, [1, 2, 3], [1.0, 1.0, 1.0], rng=1)
+        assert [len(n.virtual_servers) for n in ring.nodes] == [1, 2, 3]
+        ring.check_invariants()
+
+    def test_length_mismatch_rejected(self):
+        from repro.dht import ChordRing
+        from repro.exceptions import DHTError
+        from repro.idspace import IdentifierSpace
+
+        ring = ChordRing(IdentifierSpace(bits=14))
+        with pytest.raises(DHTError):
+            ring.populate(3, [1, 2], [1.0] * 3, rng=1)
+
+    def test_zero_count_rejected(self):
+        from repro.dht import ChordRing
+        from repro.exceptions import DHTError
+        from repro.idspace import IdentifierSpace
+
+        ring = ChordRing(IdentifierSpace(bits=14))
+        with pytest.raises(DHTError):
+            ring.populate(2, [0, 2], [1.0, 1.0], rng=1)

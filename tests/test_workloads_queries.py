@@ -1,0 +1,93 @@
+"""Tests for the query workload model."""
+
+import pytest
+
+from repro.core import BalancerConfig, LoadBalancer
+from repro.dht import ChordRing, ObjectStore
+from repro.exceptions import WorkloadError
+from repro.idspace import IdentifierSpace
+from repro.workloads import QueryWorkload
+
+
+@pytest.fixture
+def store():
+    ring = ChordRing(IdentifierSpace(bits=14))
+    ring.populate(12, 3, [1.0] * 12, rng=6)
+    s = ObjectStore(ring)
+    for i in range(100):
+        s.put(f"item-{i}", load=0.0)
+    return s
+
+
+class TestValidation:
+    def test_empty_store_rejected(self):
+        ring = ChordRing(IdentifierSpace(bits=10))
+        ring.populate(2, 1, [1.0, 1.0], rng=0)
+        with pytest.raises(WorkloadError):
+            QueryWorkload(ObjectStore(ring))
+
+    def test_invalid_params(self, store):
+        with pytest.raises(WorkloadError):
+            QueryWorkload(store, zipf_s=0.0)
+        with pytest.raises(WorkloadError):
+            QueryWorkload(store, service_cost=-1.0)
+
+    def test_negative_queries(self, store):
+        wl = QueryWorkload(store, rng=1)
+        with pytest.raises(WorkloadError):
+            wl.run(-1)
+
+
+class TestServiceLoad:
+    def test_load_conservation(self, store):
+        wl = QueryWorkload(store, service_cost=2.0, rng=1)
+        trace = wl.run(500)
+        assert trace.total_service_load == pytest.approx(1000.0)
+        total_on_ring = sum(vs.load for vs in store.ring.virtual_servers)
+        assert total_on_ring == pytest.approx(1000.0)
+
+    def test_dry_run_leaves_ring_untouched(self, store):
+        wl = QueryWorkload(store, rng=2)
+        wl.run(200, apply_loads=False)
+        assert sum(vs.load for vs in store.ring.virtual_servers) == 0.0
+
+    def test_zipf_concentrates_load(self, store):
+        wl = QueryWorkload(store, zipf_s=1.4, rng=3)
+        trace = wl.run(2000)
+        # The hottest VS takes far more than a fair share.
+        fair = trace.total_service_load / store.ring.num_virtual_servers
+        assert trace.hottest_vs_load > 5 * fair
+
+    def test_deterministic(self, store):
+        t1 = QueryWorkload(store, rng=4).run(100, apply_loads=False)
+        t2 = QueryWorkload(store, rng=4).run(100, apply_loads=False)
+        assert t1.hottest_vs_load == t2.hottest_vs_load
+
+
+class TestRoutingLoad:
+    def test_routing_costs_accounted(self, store):
+        wl = QueryWorkload(store, service_cost=1.0, routing_cost=0.1, rng=5)
+        trace = wl.run(100)
+        assert trace.routing_hops > 0
+        assert trace.total_routing_load == pytest.approx(0.1 * trace.routing_hops)
+        assert 0 < trace.mean_hops < 12
+
+    def test_zero_routing_cost_skips_paths(self, store):
+        wl = QueryWorkload(store, routing_cost=0.0, rng=6)
+        trace = wl.run(100)
+        assert trace.routing_hops == 0
+
+
+class TestBalancingQueryLoad:
+    def test_balancer_absorbs_query_hotspots(self, store):
+        """End to end: query-induced load is balanceable like any other."""
+        QueryWorkload(store, zipf_s=1.3, service_cost=5.0, rng=7).run(3000)
+        ring = store.ring
+        lb = LoadBalancer(
+            ring, BalancerConfig(proximity_mode="ignorant", epsilon=0.05), rng=8
+        )
+        report = lb.run_round()
+        assert report.heavy_after <= report.heavy_before
+        assert (
+            report.unit_loads_after.max() <= report.unit_loads_before.max()
+        )
