@@ -5,9 +5,18 @@ about a minute; set ``REPRO_SCALE=paper`` to run everything at the
 paper's 4096-node scale.  Every figure bench prints a paper-vs-measured
 table through the ``figure_table`` helper so ``pytest benchmarks/
 --benchmark-only -s`` regenerates the evaluation section.
+
+Observability hook (opt-in): set ``REPRO_OBS_OUT=DIR`` and the session
+installs a process-wide :class:`repro.obs.MetricsRegistry` that every
+balancer built by a benchmark reports into; at session end the
+accumulated snapshot is written to ``DIR/bench-metrics.json``.  Unset,
+nothing is installed and benchmark timings are untouched.
 """
 
 from __future__ import annotations
+
+import os
+from pathlib import Path
 
 import pytest
 
@@ -17,6 +26,27 @@ from repro.experiments.common import ExperimentSettings
 @pytest.fixture(scope="session")
 def settings() -> ExperimentSettings:
     return ExperimentSettings.from_env()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def obs_metrics():
+    """Install a session metrics registry when REPRO_OBS_OUT is set."""
+    out_dir = os.environ.get("REPRO_OBS_OUT")
+    if not out_dir:
+        yield None
+        return
+    from repro.obs import MetricsRegistry, set_metrics
+
+    registry = MetricsRegistry()
+    previous = set_metrics(registry)
+    try:
+        yield registry
+    finally:
+        set_metrics(previous)
+        target = Path(out_dir)
+        target.mkdir(parents=True, exist_ok=True)
+        path = registry.write_json(target / "bench-metrics.json")
+        print(f"\n[obs] wrote {path}")
 
 
 @pytest.fixture(scope="session")

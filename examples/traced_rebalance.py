@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""A fully traced balancing round, with the paper's per-phase cost table.
+
+Runs one proximity-aware round over a transit-stub topology with three
+observers attached:
+
+* a JSONL tracer (``traced_rebalance.jsonl``) — the structured record
+  stream described in docs/observability.md;
+* a metrics registry — cumulative counters/histograms, printed at the
+  end;
+* the round profile every ``BalanceReport`` carries — per-phase seconds
+  and messages;
+
+and finishes with the protocol cost sheet of ``repro.core.costs``
+(control messages vs data moved over distance — the paper's two cost
+axes), cross-checked against the trace on disk.
+
+Run:  python examples/traced_rebalance.py
+"""
+
+import json
+from pathlib import Path
+
+from repro import BalancerConfig, GaussianLoadModel, LoadBalancer, build_scenario
+from repro.core.costs import cost_sheet
+from repro.obs import MetricsRegistry, Tracer
+from repro.topology import TransitStubParams
+
+TRACE_PATH = Path("traced_rebalance.jsonl")
+
+# 1. A proximity-aware scenario: 128 nodes on a small transit-stub
+#    topology so transfers carry real latency-unit distances.
+scenario = build_scenario(
+    GaussianLoadModel(mu=1_000_000, sigma=2_000),
+    num_nodes=128,
+    vs_per_node=5,
+    topology_params=TransitStubParams(
+        transit_domains=2, transit_nodes_per_domain=4,
+        stub_domains_per_transit=3, stub_nodes_mean=6,
+    ),
+    rng=42,
+)
+
+# 2. Attach the observers.  Tracing costs nothing until a tracer with a
+#    real sink is passed, so this is where observability switches on.
+tracer = Tracer.to_file(TRACE_PATH)
+metrics = MetricsRegistry()
+balancer = LoadBalancer(
+    scenario.ring,
+    BalancerConfig(proximity_mode="aware", epsilon=0.05, rendezvous_threshold=10),
+    topology=scenario.topology,
+    oracle=scenario.oracle,
+    rng=7,
+    tracer=tracer,
+    metrics=metrics,
+)
+
+# 3. One round: LBI aggregation -> classification -> VSA -> VST.
+report = balancer.run_round()
+tracer.close()
+
+print(report.summary_text())
+
+# 4. The per-phase profile (carried by every report, traced or not).
+print()
+print("per-phase profile")
+print(report.profile.table())
+
+# 5. The paper's cost model over the same round: control messages
+#    (tree + publication hops) vs data cost (bytes x distance).
+sheet = cost_sheet(report, scenario.ring, rng=0)
+print()
+print("cost sheet (repro.core.costs)")
+print(f"  control messages      : {sheet.control_messages}")
+print(f"    lbi (both sweeps)   : {sheet.lbi_messages}")
+print(f"    vsa upward          : {sheet.vsa_upward_messages}")
+print(f"    publication (est.)  : {sheet.publication_messages}")
+print(f"  transfers             : {sheet.transfers}")
+print(f"  moved load            : {sheet.moved_load:.4g}")
+print(f"  mean transfer distance: {sheet.mean_transfer_distance:.2f}")
+print(f"  bytes x distance      : {sheet.bytes_distance_product:.4g}")
+
+# 6. The cumulative metrics the registry accumulated.
+print()
+print("metrics registry")
+print(metrics.format_text())
+
+# 7. Reconcile the JSONL trace on disk with the report — the trace is
+#    an exact, replayable account of the round.
+records = [json.loads(line) for line in TRACE_PATH.read_text().splitlines()]
+traced_load = sum(
+    r["fields"]["load"] for r in records if r["name"] == "vst.transfer"
+)
+traced_pairs = sum(
+    r["fields"]["paired"] for r in records if r["name"] == "vsa.rendezvous"
+)
+print()
+print(f"wrote {TRACE_PATH} ({len(records)} records)")
+print(f"  traced moved load {traced_load:.6g} == report {report.moved_load:.6g}: "
+      f"{abs(traced_load - report.moved_load) < 1e-6}")
+print(f"  traced pairings {traced_pairs} == report {len(report.vsa.assignments)}: "
+      f"{traced_pairs == len(report.vsa.assignments)}")

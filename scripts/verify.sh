@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Repository verify path: tier-1 tests, the observability suite (which
+# includes the repro.obs docstring-coverage lint), and the generated-API
+# freshness check.  Run from the repository root:
+#
+#   bash scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: full test suite =="
+python -m pytest -x -q
+
+echo "== observability suite (unit + integration + docstring lint) =="
+python -m pytest -q tests/test_obs*.py
+
+echo "== generated API docs freshness =="
+python scripts/gen_api_docs.py --check
+
+echo "verify: OK"

@@ -38,6 +38,9 @@ from repro.dht.replication import ReplicationManager
 from repro.dht.storage import ObjectStore, StoredObject
 from repro.exceptions import DHTError, ReproError
 from repro.idspace import IdentifierSpace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.runtime import current_metrics, current_tracer
+from repro.obs.trace import Tracer
 from repro.topology.graph import Topology
 from repro.topology.routing import DistanceOracle
 from repro.util.rng import ensure_rng, spawn_rngs
@@ -78,6 +81,9 @@ class SystemStats:
     load_per_capacity: float
     unit_load_gini: float
     heavy_fraction: float
+    #: Full observability snapshot (counters / gauges / histogram
+    #: summaries accumulated by the system's :class:`MetricsRegistry`).
+    metrics: dict = field(default_factory=dict)
 
 
 class P2PSystem:
@@ -88,8 +94,21 @@ class P2PSystem:
         config: SystemConfig | None = None,
         topology: Topology | None = None,
         capacities: list[float] | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.config = config if config is not None else SystemConfig()
+        # Observability: an explicit tracer/registry wins; otherwise the
+        # process-wide ones (CLI --trace/--metrics-out) apply; the system
+        # always owns *some* registry so stats() can report cumulative
+        # protocol counters.
+        self.tracer = tracer if tracer is not None else current_tracer()
+        ambient = current_metrics()
+        self.metrics = (
+            metrics
+            if metrics is not None
+            else (ambient if ambient is not None else MetricsRegistry())
+        )
         root = ensure_rng(self.config.seed)
         self._ring_rng, self._cap_rng, self._site_rng, self._balancer_rng, self._churn_rng = (
             spawn_rngs(root, 5)
@@ -137,6 +156,8 @@ class P2PSystem:
             topology=topology,
             oracle=self.oracle,
             rng=self._balancer_rng,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
         self.reports: list[BalanceReport] = []
 
@@ -146,12 +167,15 @@ class P2PSystem:
     def put(self, name: str, load: float, size: float | None = None) -> StoredObject:
         """Store (or replace) an object; its load lands on the key owner."""
         obj = self.store.put(name, load=load, size=load if size is None else size)
+        self.metrics.counter("store.puts").inc()
         return obj
 
     def get(self, name: str) -> StoredObject:
+        self.metrics.counter("store.gets").inc()
         return self.store.get(name)
 
     def delete(self, name: str) -> StoredObject:
+        self.metrics.counter("store.deletes").inc()
         return self.store.delete(name)
 
     # ------------------------------------------------------------------
@@ -168,6 +192,7 @@ class P2PSystem:
         )
         self.store.rehome()
         self.replication.refresh()
+        self.metrics.counter("membership.joins").inc()
         return node
 
     def remove_node(self, node: PhysicalNode | int) -> None:
@@ -198,6 +223,9 @@ class P2PSystem:
             leave_node(self.ring, node_obj)
         self.store.rehome()
         self.replication.refresh()
+        self.metrics.counter(
+            "membership.crashes" if crash else "membership.leaves"
+        ).inc()
 
     # ------------------------------------------------------------------
     # balancing API
@@ -240,6 +268,7 @@ class P2PSystem:
             load_per_capacity=ratio,
             unit_load_gini=gini_coefficient(unit) if len(unit) else 0.0,
             heavy_fraction=heavy,
+            metrics=self.metrics.snapshot(),
         )
 
     def verify(self) -> None:

@@ -54,6 +54,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="render the figure as ASCII art in the terminal",
     )
+    run.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a structured JSONL trace of every balancing round to FILE",
+    )
+    run.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write the accumulated metrics snapshot to FILE as JSON",
+    )
 
     report = sub.add_parser(
         "report", help="run every experiment and write one markdown report"
@@ -126,6 +138,40 @@ def _export_result(experiment: str, result, directory: str) -> list[str]:
     return written
 
 
+def _run_observed(runner, settings, trace_path: str | None, metrics_path: str | None):
+    """Run ``runner(settings)``, optionally under process-wide observability.
+
+    ``--trace FILE`` installs a JSONL tracer and ``--metrics-out FILE`` a
+    metrics registry for the duration of the run; every balancer the
+    experiment constructs picks them up via :mod:`repro.obs.runtime`.
+    """
+    if trace_path is None and metrics_path is None:
+        return runner(settings)
+
+    from pathlib import Path
+
+    from repro.obs import NULL_TRACER, MetricsRegistry, Tracer, observe
+
+    tracer = Tracer.to_file(trace_path) if trace_path else None
+    metrics = MetricsRegistry() if metrics_path else None
+    if metrics_path:
+        # Fail fast on an unwritable path instead of after the whole run.
+        Path(metrics_path).touch()
+    try:
+        # NULL_TRACER keeps tracing off when only --metrics-out was given.
+        with observe(tracer=tracer if tracer is not None else NULL_TRACER,
+                     metrics=metrics):
+            result = runner(settings)
+    finally:
+        if tracer is not None:
+            tracer.close()
+            print(f"[wrote {trace_path} ({tracer.sink.lines_written} records)]")
+        if metrics is not None and metrics_path:
+            metrics.write_json(metrics_path)
+            print(f"[wrote {metrics_path}]")
+    return result
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -171,7 +217,7 @@ def main(argv: list[str] | None = None) -> int:
 
     runner = get_experiment(args.experiment)
     start = time.perf_counter()
-    result = runner(settings)
+    result = _run_observed(runner, settings, args.trace, args.metrics_out)
     elapsed = time.perf_counter() - start
     print(result.format_rows())
     if args.plot:

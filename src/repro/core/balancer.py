@@ -36,6 +36,10 @@ from repro.core.vst import execute_transfers
 from repro.dht.chord import ChordRing
 from repro.exceptions import ConfigError
 from repro.ktree.tree import KnaryTree
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import profile_from_report
+from repro.obs.runtime import current_metrics, current_tracer
+from repro.obs.trace import Tracer
 from repro.proximity.mapping import ProximityMapper
 from repro.topology.graph import Topology
 from repro.topology.landmarks import landmark_vectors, select_landmarks
@@ -67,6 +71,15 @@ class LoadBalancer:
     rng:
         Seed or generator; all internal randomness (report VS choice,
         random placement, landmark choice) derives from it.
+    tracer:
+        Structured tracer for per-phase spans and events.  Defaults to
+        the process-wide tracer from :mod:`repro.obs.runtime`, which is
+        the disabled :data:`~repro.obs.trace.NULL_TRACER` unless the
+        CLI's ``--trace`` flag (or :func:`repro.obs.observe`) installed
+        one — so tracing costs nothing until switched on.
+    metrics:
+        Metrics registry accumulating cross-round counters/histograms.
+        Defaults to the process-wide registry (``None`` = off).
     """
 
     def __init__(
@@ -78,9 +91,13 @@ class LoadBalancer:
         landmarks: np.ndarray | None = None,
         placement: PlacementStrategy | None = None,
         rng: int | None | np.random.Generator = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.ring = ring
         self.config = config if config is not None else BalancerConfig()
+        self.tracer = tracer if tracer is not None else current_tracer()
+        self.metrics = metrics if metrics is not None else current_metrics()
         self.topology = topology
         if topology is not None and oracle is None:
             oracle = DistanceOracle(topology)
@@ -136,26 +153,39 @@ class LoadBalancer:
         """Execute one full LBI -> classify -> VSA -> VST cycle."""
         cfg = self.config
         ring = self.ring
+        tracer = self.tracer
         alive = ring.alive_nodes
         node_indices = np.asarray([n.index for n in alive], dtype=np.int64)
         capacities = np.asarray([n.capacity for n in alive], dtype=np.float64)
         loads_before = np.asarray([n.load for n in alive], dtype=np.float64)
         phase_seconds: dict[str, float] = {}
+        round_span = tracer.span(
+            "round",
+            mode=cfg.proximity_mode,
+            nodes=len(alive),
+            virtual_servers=ring.num_virtual_servers,
+            tree_degree=cfg.tree_degree,
+        )
         t0 = time.perf_counter()
 
         # Phase 1: tree + LBI aggregation/dissemination.
-        tree = KnaryTree(ring, cfg.tree_degree)
-        reports = collect_lbi_reports(ring, tree, rng=self._lbi_rng)
-        system, agg_trace = aggregate_lbi(tree, reports)
+        with tracer.span("lbi"):
+            tree = KnaryTree(ring, cfg.tree_degree, metrics=self.metrics)
+            reports = collect_lbi_reports(ring, tree, rng=self._lbi_rng)
+            system, agg_trace = aggregate_lbi(tree, reports, tracer=tracer)
         phase_seconds["lbi"] = time.perf_counter() - t0
         t0 = time.perf_counter()
 
         # Phase 2: classification.
-        classification_before = classify_all(alive, system, cfg.epsilon)
+        with tracer.span("classification"):
+            classification_before = classify_all(
+                alive, system, cfg.epsilon, tracer=tracer, stage="before"
+            )
         phase_seconds["classification"] = time.perf_counter() - t0
         t0 = time.perf_counter()
 
         # Phase 3a: build VSA entries.
+        vsa_span = tracer.span("vsa")
         published: list[tuple[int, ShedCandidate | SpareCapacity]] = []
         assert self._placement is not None
         for node in alive:
@@ -199,23 +229,34 @@ class LoadBalancer:
             threshold=cfg.rendezvous_threshold,
             min_vs_load=system.min_vs_load,
             strict_heaviest_first=cfg.strict_heaviest_first,
+            tracer=tracer,
         )
         vsa_result = sweep.run(published)
+        vsa_span.end()
         phase_seconds["vsa"] = time.perf_counter() - t0
         t0 = time.perf_counter()
 
         # Phase 4: execute transfers.  Assignments that went stale because
         # churn interleaved between VSA and VST are dropped, not fatal.
         skipped: list = []
-        transfers = execute_transfers(
-            ring, vsa_result.assignments, self.oracle, skipped=skipped
-        )
+        with tracer.span("vst"):
+            transfers = execute_transfers(
+                ring, vsa_result.assignments, self.oracle, skipped=skipped,
+                tracer=tracer,
+            )
         phase_seconds["vst"] = time.perf_counter() - t0
 
         loads_after = np.asarray([n.load for n in alive], dtype=np.float64)
-        classification_after = classify_all(alive, system, cfg.epsilon)
+        classification_after = classify_all(
+            alive, system, cfg.epsilon, tracer=tracer, stage="after"
+        )
+        round_span.end(
+            transfers=len(transfers),
+            moved_load=float(sum(t.load for t in transfers)),
+            heavy_after=len(classification_after.heavy),
+        )
 
-        return BalanceReport(
+        report = BalanceReport(
             config=cfg,
             system_lbi=system,
             num_nodes=len(alive),
@@ -234,6 +275,31 @@ class LoadBalancer:
             tree_nodes_materialized=tree.node_count,
             phase_seconds=phase_seconds,
         )
+        report.profile = profile_from_report(report)
+        if self.metrics is not None:
+            self._record_metrics(report)
+        return report
+
+    def _record_metrics(self, report: BalanceReport) -> None:
+        """Fold one round's profile into the attached registry."""
+        m = self.metrics
+        assert m is not None
+        m.counter("balancer.rounds").inc()
+        assert report.profile is not None
+        for phase in report.profile.phases:
+            m.counter(f"{phase.name}.messages").inc(phase.messages)
+            m.histogram(f"{phase.name}.seconds").observe(phase.seconds)
+        m.counter("lbi.reports").inc(report.aggregation.reports)
+        m.counter("vsa.entries_published").inc(report.vsa.entries_published)
+        m.counter("vsa.pairings").inc(len(report.vsa.assignments))
+        m.counter("vst.transfers").inc(len(report.transfers))
+        m.counter("vst.skipped").inc(len(report.skipped_assignments))
+        m.counter("vst.moved_load").inc(report.moved_load)
+        m.gauge("balancer.heavy_after").set(report.heavy_after)
+        m.gauge("ktree.height").set(report.tree_height)
+        for t in report.transfers:
+            if t.has_distance:
+                m.histogram("vst.distance").observe(t.distance)
 
     def run(self, max_rounds: int = 1, stop_when_balanced: bool = True) -> list[BalanceReport]:
         """Run up to ``max_rounds`` rounds, stopping once no node is heavy."""

@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.records import NodeClass, SystemLBI
 from repro.dht.node import PhysicalNode
 from repro.exceptions import ConfigError
+from repro.obs.trace import Tracer
 
 
 def target_load(capacity: float, lbi: SystemLBI, epsilon: float = 0.0) -> float:
@@ -72,9 +73,18 @@ class ClassificationResult:
 
 
 def classify_all(
-    nodes: list[PhysicalNode], lbi: SystemLBI, epsilon: float = 0.0
+    nodes: list[PhysicalNode],
+    lbi: SystemLBI,
+    epsilon: float = 0.0,
+    tracer: Tracer | None = None,
+    stage: str = "",
 ) -> ClassificationResult:
-    """Classify every alive node; vectorised over the population."""
+    """Classify every alive node; vectorised over the population.
+
+    With an enabled ``tracer``, emits one ``classification.counts``
+    event carrying the heavy/light/neutral totals; ``stage`` labels the
+    event (the balancer classifies twice per round, "before"/"after").
+    """
     alive = [n for n in nodes if n.alive]
     caps = np.asarray([n.capacity for n in alive], dtype=np.float64)
     loads = np.asarray([n.load for n in alive], dtype=np.float64)
@@ -94,4 +104,12 @@ def classify_all(
             cls = NodeClass.NEUTRAL
         classes[node.index] = cls
         target_map[node.index] = float(targets[i])
-    return ClassificationResult(classes=classes, targets=target_map)
+    result = ClassificationResult(classes=classes, targets=target_map)
+    if tracer is not None and tracer.enabled:
+        tracer.event(
+            "classification.counts",
+            stage=stage,
+            epsilon=epsilon,
+            **result.counts(),
+        )
+    return result

@@ -14,6 +14,7 @@ counts so experiments can verify the bound empirically.
 from __future__ import annotations
 
 import math
+from collections import Counter
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -25,6 +26,7 @@ from repro.exceptions import BalancerError
 from repro.idspace.hashing import hash_to_id
 from repro.ktree.node import KTNode
 from repro.ktree.tree import KnaryTree
+from repro.obs.trace import Tracer
 from repro.util.rng import ensure_rng
 
 
@@ -87,16 +89,24 @@ def collect_lbi_reports(
 def aggregate_lbi(
     tree: KnaryTree,
     reports_by_leaf: dict[int, tuple[KTNode, list[LBIRecord]]],
+    tracer: Tracer | None = None,
 ) -> tuple[SystemLBI, AggregationTrace]:
     """Run the bottom-up aggregation sweep and the top-down dissemination.
 
     Returns the root aggregate and the cost trace.  Raises
     :class:`BalancerError` when no reports were supplied (an empty system
     has no meaningful ``<L, C, L_min>``).
+
+    With an enabled ``tracer``, one ``lbi.level`` event is emitted per
+    tree level of the upward sweep (child-to-parent messages entering
+    that level) plus one ``lbi.aggregate`` summary whose counts equal
+    the returned :class:`AggregationTrace` exactly.
     """
     trace = AggregationTrace()
     if not reports_by_leaf:
         raise BalancerError("no LBI reports to aggregate")
+    tracing = tracer is not None and tracer.enabled
+    messages_at_level: Counter | None = Counter() if tracing else None
 
     # Bottom-up merge over the materialised tree.
     partial: dict[int, LBIRecord] = {}
@@ -115,6 +125,8 @@ def aggregate_lbi(
             if child_val is not None:
                 acc = child_val if acc is None else acc.merge(child_val)
                 trace.upward_messages += 1
+                if messages_at_level is not None:
+                    messages_at_level[node.level] += 1
         if acc is not None:
             partial[id(node)] = acc
 
@@ -128,6 +140,24 @@ def aggregate_lbi(
     trace.upward_rounds = trace.tree_height
     trace.downward_rounds = trace.tree_height
     trace.downward_messages = trace.upward_messages
+
+    if tracing:
+        assert tracer is not None and messages_at_level is not None
+        for level in sorted(messages_at_level, reverse=True):
+            tracer.event(
+                "lbi.level", level=level, messages_up=messages_at_level[level]
+            )
+        tracer.event(
+            "lbi.aggregate",
+            reports=trace.reports,
+            messages_up=trace.upward_messages,
+            messages_down=trace.downward_messages,
+            rounds=trace.total_rounds,
+            tree_height=trace.tree_height,
+            total_load=system.total_load,
+            total_capacity=system.total_capacity,
+            min_vs_load=system.min_vs_load,
+        )
     return system, trace
 
 

@@ -12,6 +12,7 @@ from repro.core.lbi import AggregationTrace
 from repro.core.records import SystemLBI
 from repro.core.vsa import VSAResult
 from repro.core.vst import TransferRecord
+from repro.obs.profile import RoundProfile
 from repro.util.stats import summary, weighted_fraction_within
 
 
@@ -42,6 +43,9 @@ class BalanceReport:
     #: Wall-clock seconds per phase ("lbi", "classification", "vsa", "vst") —
     #: simulator execution time, not the protocol's simulated time.
     phase_seconds: dict = field(default_factory=dict)
+    #: Per-phase cost profile (seconds, messages, phase detail); populated
+    #: by the balancer for every round, tracing enabled or not.
+    profile: RoundProfile | None = None
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -140,4 +144,5 @@ class BalanceReport:
             "tree_height": self.tree_height,
             "moved_within_2": self.moved_load_within(2),
             "moved_within_10": self.moved_load_within(10),
+            "phases": self.profile.to_dict() if self.profile is not None else None,
         }

@@ -25,6 +25,7 @@ from repro.core.records import Assignment, ShedCandidate, SpareCapacity
 from repro.core.rendezvous import pair_rendezvous
 from repro.exceptions import BalancerError
 from repro.ktree.tree import KnaryTree
+from repro.obs.trace import Tracer
 
 
 @dataclass
@@ -64,6 +65,12 @@ class VSASweep:
         System-wide ``L_min`` from the LBI phase (remainder rule).
     strict_heaviest_first:
         See :func:`repro.core.rendezvous.pair_rendezvous`.
+    tracer:
+        Optional structured tracer; with an enabled one the sweep emits
+        a ``vsa.publish`` event per delivered entry batch, one
+        ``vsa.rendezvous`` event per pairing attempt (KT level, pairs
+        made, leftovers) and a ``vsa.sweep`` summary matching the
+        returned :class:`VSAResult`.
     """
 
     def __init__(
@@ -72,6 +79,7 @@ class VSASweep:
         threshold: int,
         min_vs_load: float,
         strict_heaviest_first: bool = False,
+        tracer: Tracer | None = None,
     ):
         if threshold < 0:
             raise BalancerError(f"threshold must be >= 0, got {threshold}")
@@ -79,6 +87,7 @@ class VSASweep:
         self.threshold = threshold
         self.min_vs_load = min_vs_load
         self.strict_heaviest_first = strict_heaviest_first
+        self.tracer = tracer
 
     def run(
         self,
@@ -86,6 +95,8 @@ class VSASweep:
     ) -> VSAResult:
         """Run the sweep over ``(key, entry)`` publications."""
         result = VSAResult(entries_published=len(published))
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
 
         # Deliver entries to their leaves (materialising paths as needed).
         pending: dict[int, tuple[list[ShedCandidate], list[SpareCapacity]]] = {}
@@ -106,6 +117,22 @@ class VSASweep:
                 light.append(entry)
             else:
                 raise BalancerError(f"unknown VSA entry type {type(entry)!r}")
+            if tracing:
+                assert tracer is not None
+                tracer.event(
+                    "vsa.publish",
+                    key=key,
+                    leaf_level=leaf.level,
+                    entry_kind=(
+                        "shed" if isinstance(entry, ShedCandidate) else "spare"
+                    ),
+                    node=entry.node_index,
+                    load=(
+                        entry.load
+                        if isinstance(entry, ShedCandidate)
+                        else entry.delta
+                    ),
+                )
 
         # Bottom-up sweep over every materialised node.  Materialisation
         # is frozen now: iterate a snapshot sorted deepest-first.
@@ -129,6 +156,18 @@ class VSASweep:
                 result.assignments.extend(outcome.assignments)
                 result.pairings_by_level[node.level] += len(outcome.assignments)
                 up_heavy, up_light = outcome.leftover_heavy, outcome.leftover_light
+                if tracing:
+                    assert tracer is not None
+                    tracer.event(
+                        "vsa.rendezvous",
+                        level=node.level,
+                        is_root=is_root,
+                        heavy_in=len(heavy),
+                        light_in=len(light),
+                        paired=len(outcome.assignments),
+                        leftover_heavy=len(up_heavy),
+                        leftover_light=len(up_light),
+                    )
             else:
                 up_heavy, up_light = heavy, light
 
@@ -143,4 +182,15 @@ class VSASweep:
 
         if pending:  # pragma: no cover - sweep covers all materialised nodes
             raise BalancerError("VSA sweep left undelivered entries")
+        if tracing:
+            assert tracer is not None
+            tracer.event(
+                "vsa.sweep",
+                entries_published=result.entries_published,
+                pairings=len(result.assignments),
+                messages_up=result.upward_messages,
+                rounds=result.rounds,
+                unassigned_heavy=len(result.unassigned_heavy),
+                unassigned_light=len(result.unassigned_light),
+            )
         return result

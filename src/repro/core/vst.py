@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from repro.core.records import Assignment
 from repro.dht.chord import ChordRing
 from repro.exceptions import BalancerError, DHTError
+from repro.obs.trace import Tracer
 from repro.topology.routing import DistanceOracle
 
 
@@ -40,6 +41,7 @@ def execute_transfers(
     assignments: list[Assignment],
     oracle: DistanceOracle | None = None,
     skipped: list[Assignment] | None = None,
+    tracer: Tracer | None = None,
 ) -> list[TransferRecord]:
     """Apply ``assignments`` to the ring and account their costs.
 
@@ -59,6 +61,7 @@ def execute_transfers(
     records: list[TransferRecord] = []
     pairs: list[tuple[int, int]] = []
     pending: list[tuple[Assignment, int, int]] = []
+    tracing = tracer is not None and tracer.enabled
 
     for a in assignments:
         source = node_by_index.get(a.candidate.node_index)
@@ -73,12 +76,30 @@ def execute_transfers(
         except DHTError:
             if skipped is not None:
                 skipped.append(a)
+                if tracing:
+                    assert tracer is not None
+                    tracer.event(
+                        "vst.skip",
+                        reason="vs_gone",
+                        vs_id=a.candidate.vs_id,
+                        source=a.candidate.node_index,
+                        target=a.target_node,
+                    )
                 continue
             raise
         stale = vs.owner is not source or not target.alive or not source.alive
         if stale:
             if skipped is not None:
                 skipped.append(a)
+                if tracing:
+                    assert tracer is not None
+                    tracer.event(
+                        "vst.skip",
+                        reason="stale",
+                        vs_id=a.candidate.vs_id,
+                        source=a.candidate.node_index,
+                        target=a.target_node,
+                    )
                 continue
             raise BalancerError(
                 f"assignment is stale: virtual server {a.candidate.vs_id} owned "
@@ -114,5 +135,17 @@ def execute_transfers(
                     distance=float(dist),
                     level=a.level,
                 )
+            )
+    if tracing:
+        assert tracer is not None
+        for r in records:
+            tracer.event(
+                "vst.transfer",
+                vs_id=r.vs_id,
+                load=r.load,
+                source=r.source_node,
+                target=r.target_node,
+                distance=r.distance,
+                level=r.level,
             )
     return records

@@ -31,6 +31,7 @@ from repro.dht.chord import ChordRing
 from repro.exceptions import TreeError
 from repro.idspace import Region
 from repro.ktree.node import KTNode
+from repro.obs.metrics import MetricsRegistry
 
 
 class KnaryTree:
@@ -42,13 +43,18 @@ class KnaryTree:
         The Chord ring the tree is built on.
     k:
         Tree degree (the paper evaluates K=2 and K=8).
+    metrics:
+        Optional metrics registry; when attached, the tree counts node
+        materialisations (``ktree.materialized``) and self-repair work
+        (``ktree.replanted`` / ``ktree.pruned`` / ``ktree.grown``).
     """
 
-    def __init__(self, ring: ChordRing, k: int = 2):
+    def __init__(self, ring: ChordRing, k: int = 2, metrics: MetricsRegistry | None = None):
         if not isinstance(k, int) or k < 2:
             raise TreeError(f"tree degree must be an integer >= 2, got {k!r}")
         self.ring = ring
         self.k = k
+        self.metrics = metrics
         self.root = self._make_node(Region.full(ring.space), level=0, parent=None)
         self._node_count = 1
 
@@ -82,6 +88,8 @@ class KnaryTree:
         child = self._make_node(child_region, level=node.level + 1, parent=node)
         node.children[index] = child
         self._node_count += 1
+        if self.metrics is not None:
+            self.metrics.counter("ktree.materialized").inc()
         return child
 
     # ------------------------------------------------------------------
@@ -185,6 +193,10 @@ class KnaryTree:
                 node.children = [None] * self.k
                 grown += 1
             stack.extend(node.materialized_children())
+        if self.metrics is not None:
+            self.metrics.counter("ktree.replanted").inc(replanted)
+            self.metrics.counter("ktree.pruned").inc(pruned)
+            self.metrics.counter("ktree.grown").inc(grown)
         return {"replanted": replanted, "pruned": pruned, "grown": grown}
 
     def _count_subtree(self, node: KTNode) -> Iterator[KTNode]:

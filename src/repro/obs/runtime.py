@@ -1,0 +1,84 @@
+"""Process-wide observability defaults (the CLI's entry point).
+
+Experiments construct their balancers internally, so the CLI cannot
+thread a tracer through every call signature.  Instead this module
+holds one process-wide default tracer and metrics registry;
+:class:`~repro.core.balancer.LoadBalancer` and
+:class:`~repro.app.system.P2PSystem` fall back to these whenever no
+explicit ``tracer=``/``metrics=`` was passed.
+
+The defaults start as :data:`~repro.obs.trace.NULL_TRACER` and ``None``,
+preserving the zero-overhead contract.  Enable observability for a
+scoped block with::
+
+    with observe(tracer=Tracer.to_file("round.jsonl")) as (tracer, _):
+        balancer.run_round()      # any balancer built inside observes
+
+or permanently with :func:`set_tracer` / :func:`set_metrics`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
+
+_tracer: Tracer = NULL_TRACER
+_metrics: MetricsRegistry | None = None
+
+
+def current_tracer() -> Tracer:
+    """The process-wide default tracer (disabled unless configured)."""
+    return _tracer
+
+
+def current_metrics() -> MetricsRegistry | None:
+    """The process-wide default metrics registry (``None`` unless set)."""
+    return _metrics
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer:
+    """Install ``tracer`` as the process default; ``None`` resets.
+
+    Returns the previously installed tracer so callers can restore it.
+    """
+    global _tracer
+    previous = _tracer
+    _tracer = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+def set_metrics(metrics: MetricsRegistry | None) -> MetricsRegistry | None:
+    """Install ``metrics`` as the process default; ``None`` resets.
+
+    Returns the previously installed registry.
+    """
+    global _metrics
+    previous = _metrics
+    _metrics = metrics
+    return previous
+
+
+@contextmanager
+def observe(
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> Iterator[tuple[Tracer, MetricsRegistry]]:
+    """Scoped observability: install defaults, restore them on exit.
+
+    Omitted arguments get fresh defaults (an in-memory tracer / a new
+    registry) so ``with observe() as (tracer, metrics):`` always yields
+    usable instruments.  The tracer is *not* closed on exit — the caller
+    may still want to read an in-memory sink or keep a file open.
+    """
+    active_tracer = tracer if tracer is not None else Tracer.in_memory()
+    active_metrics = metrics if metrics is not None else MetricsRegistry()
+    prev_tracer = set_tracer(active_tracer)
+    prev_metrics = set_metrics(active_metrics)
+    try:
+        yield active_tracer, active_metrics
+    finally:
+        set_tracer(prev_tracer)
+        set_metrics(prev_metrics)

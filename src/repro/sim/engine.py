@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.exceptions import SimulationError
+from repro.obs.trace import NULL_TRACER, Tracer
 
 
 @dataclass(frozen=True, slots=True)
@@ -57,6 +58,11 @@ class EventQueue:
 class Simulator:
     """Drives an :class:`EventQueue` until exhaustion or a time horizon.
 
+    An enabled ``tracer`` receives one ``sim.event`` record per
+    processed event (simulated time, label, sequence number); the
+    default :data:`~repro.obs.trace.NULL_TRACER` keeps the hot loop
+    unchanged.
+
     Examples
     --------
     >>> sim = Simulator()
@@ -68,10 +74,11 @@ class Simulator:
     (['a', 'b'], 2.0)
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tracer: Tracer | None = None) -> None:
         self.queue = EventQueue()
         self.now = 0.0
         self.events_processed = 0
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def schedule(self, delay: float, action: Callable[["Simulator"], None], label: str = "") -> Event:
         """Schedule ``action`` to run ``delay`` time units from now."""
@@ -90,12 +97,17 @@ class Simulator:
 
         Events scheduled exactly at ``until`` still execute.
         """
+        tracing = self.tracer.enabled
         while self.queue:
             next_time = self.queue._heap[0][0]
             if until is not None and next_time > until:
                 break
             event = self.queue.pop()
             self.now = event.time
+            if tracing:
+                self.tracer.event(
+                    "sim.event", time=event.time, label=event.label, seq=event.seq
+                )
             event.action(self)
             self.events_processed += 1
             if self.events_processed > max_events:

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.balancer import LoadBalancer
 from repro.core.config import BalancerConfig
+from repro.obs.trace import Tracer
 from repro.workloads.loads import GaussianLoadModel
 from repro.workloads.scenario import build_scenario
 
@@ -49,8 +50,13 @@ def measure_phase_rounds(
     vs_per_node: int = 5,
     epsilon: float = 0.05,
     rng: int = 0,
+    tracer: Tracer | None = None,
 ) -> PhaseTimings:
-    """Run one balancing round and extract the phase round counts."""
+    """Run one balancing round and extract the phase round counts.
+
+    ``tracer`` is forwarded to the balancer, so a timing sweep can dump
+    a structured trace of every measured round.
+    """
     scenario = build_scenario(
         GaussianLoadModel(mu=1e6, sigma=2e3),
         num_nodes=num_nodes,
@@ -63,6 +69,7 @@ def measure_phase_rounds(
             proximity_mode="ignorant", epsilon=epsilon, tree_degree=tree_degree
         ),
         rng=rng + 1,
+        tracer=tracer,
     )
     report = balancer.run_round()
     return PhaseTimings(
@@ -81,6 +88,7 @@ def sweep_phase_rounds(
     tree_degrees: list[int] = (2, 8),
     vs_per_node: int = 5,
     rng: int = 0,
+    tracer: Tracer | None = None,
 ) -> list[PhaseTimings]:
     """Measure phase rounds across system sizes and tree degrees."""
     out: list[PhaseTimings] = []
@@ -88,7 +96,8 @@ def sweep_phase_rounds(
         for n in sizes:
             out.append(
                 measure_phase_rounds(
-                    n, tree_degree=k, vs_per_node=vs_per_node, rng=rng
+                    n, tree_degree=k, vs_per_node=vs_per_node, rng=rng,
+                    tracer=tracer,
                 )
             )
     return out

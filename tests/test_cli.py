@@ -76,3 +76,38 @@ class TestPlotAndReport:
     def test_plot_for_experiment_without_figure(self, capsys):
         rc = main(["run", "timing", "--nodes", "96", "--plot"])
         assert rc == 0  # silently no plot for table-only experiments
+
+
+class TestObservabilityFlags:
+    def test_trace_flag_writes_jsonl(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "fig4.jsonl"
+        rc = main(["run", "fig4", "--nodes", "96", "--trace", str(trace)])
+        assert rc == 0
+        assert f"wrote {trace}" in capsys.readouterr().out
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert any(r["name"] == "round" and r["kind"] == "span_start" for r in records)
+        assert any(r["name"] == "vst.transfer" for r in records)
+
+    def test_metrics_out_flag_writes_snapshot(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "metrics.json"
+        rc = main(["run", "fig4", "--nodes", "96", "--metrics-out", str(out)])
+        assert rc == 0
+        snap = json.loads(out.read_text())
+        assert snap["counters"]["balancer.rounds"] >= 1
+        assert snap["histograms"]["lbi.seconds"]["count"] >= 1
+
+    def test_flags_restore_process_defaults(self, capsys, tmp_path):
+        from repro.obs import NULL_TRACER, current_metrics, current_tracer
+
+        rc = main(
+            ["run", "fig4", "--nodes", "96",
+             "--trace", str(tmp_path / "t.jsonl"),
+             "--metrics-out", str(tmp_path / "m.json")]
+        )
+        assert rc == 0
+        assert current_tracer() is NULL_TRACER
+        assert current_metrics() is None
