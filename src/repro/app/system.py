@@ -30,7 +30,7 @@ import numpy as np
 
 from repro.core.balancer import LoadBalancer
 from repro.core.config import BalancerConfig
-from repro.core.report import BalanceReport
+from repro.core.report import BalanceReport, check_conservation
 from repro.dht.chord import ChordRing
 from repro.dht.churn import crash_node, join_node, leave_node
 from repro.dht.node import PhysicalNode
@@ -231,8 +231,16 @@ class P2PSystem:
     # balancing API
     # ------------------------------------------------------------------
     def rebalance(self) -> BalanceReport:
-        """One four-phase balancing round; replicas refresh afterwards."""
+        """One four-phase balancing round; replicas refresh afterwards.
+
+        Every round is checked against the load-conservation invariant
+        (:func:`~repro.core.report.check_conservation`) before the
+        report is recorded; a drifted total raises
+        :class:`~repro.exceptions.ConservationError` rather than letting
+        a corrupted round feed the analysis layer.
+        """
         report = self._balancer.run_round()
+        check_conservation(report)
         self.replication.refresh()
         self.reports.append(report)
         return report

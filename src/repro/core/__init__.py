@@ -17,12 +17,14 @@ The four phases (Section 1.2):
 """
 
 from repro.core.records import (
+    CONSERVATION_RTOL,
     Assignment,
     LBIRecord,
     NodeClass,
     ShedCandidate,
     SpareCapacity,
     SystemLBI,
+    assert_loads_conserved,
 )
 from repro.core.classification import classify_node, classify_all, target_load
 from repro.core.config import BalancerConfig
@@ -33,10 +35,13 @@ from repro.core.vst import TransferRecord, execute_transfers
 from repro.core.placement import ProximityPlacement, RandomVSPlacement
 from repro.core.balancer import LoadBalancer
 from repro.core.costs import CostSheet, cost_sheet, estimate_publication_hops
-from repro.core.report import BalanceReport
+from repro.core.report import BalanceReport, check_conservation
 
 __all__ = [
+    "CONSERVATION_RTOL",
     "Assignment",
+    "assert_loads_conserved",
+    "check_conservation",
     "LBIRecord",
     "NodeClass",
     "ShedCandidate",

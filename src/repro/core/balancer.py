@@ -16,8 +16,6 @@ then carry real topology distances.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.core.classification import classify_all
@@ -28,7 +26,7 @@ from repro.core.placement import (
     ProximityPlacement,
     RandomVSPlacement,
 )
-from repro.core.records import NodeClass, ShedCandidate, SpareCapacity
+from repro.core.records import Assignment, NodeClass, ShedCandidate, SpareCapacity
 from repro.core.report import BalanceReport
 from repro.core.selection import select_shed_subset
 from repro.core.vsa import VSASweep
@@ -37,7 +35,7 @@ from repro.dht.chord import ChordRing
 from repro.exceptions import ConfigError
 from repro.ktree.tree import KnaryTree
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.profile import profile_from_report
+from repro.obs.profile import PhaseClock, profile_from_report
 from repro.obs.runtime import current_metrics, current_tracer
 from repro.obs.trace import Tracer
 from repro.proximity.mapping import ProximityMapper
@@ -158,7 +156,7 @@ class LoadBalancer:
         node_indices = np.asarray([n.index for n in alive], dtype=np.int64)
         capacities = np.asarray([n.capacity for n in alive], dtype=np.float64)
         loads_before = np.asarray([n.load for n in alive], dtype=np.float64)
-        phase_seconds: dict[str, float] = {}
+        clock = PhaseClock()
         round_span = tracer.span(
             "round",
             mode=cfg.proximity_mode,
@@ -166,85 +164,80 @@ class LoadBalancer:
             virtual_servers=ring.num_virtual_servers,
             tree_degree=cfg.tree_degree,
         )
-        t0 = time.perf_counter()
 
         # Phase 1: tree + LBI aggregation/dissemination.
-        with tracer.span("lbi"):
+        with clock.phase("lbi"), tracer.span("lbi"):
             tree = KnaryTree(ring, cfg.tree_degree, metrics=self.metrics)
-            reports = collect_lbi_reports(ring, tree, rng=self._lbi_rng)
+            reports = collect_lbi_reports(
+                ring, tree, rng=self._lbi_rng, tracer=tracer
+            )
             system, agg_trace = aggregate_lbi(tree, reports, tracer=tracer)
-        phase_seconds["lbi"] = time.perf_counter() - t0
-        t0 = time.perf_counter()
 
         # Phase 2: classification.
-        with tracer.span("classification"):
+        with clock.phase("classification"), tracer.span("classification"):
             classification_before = classify_all(
                 alive, system, cfg.epsilon, tracer=tracer, stage="before"
             )
-        phase_seconds["classification"] = time.perf_counter() - t0
-        t0 = time.perf_counter()
 
-        # Phase 3a: build VSA entries.
-        vsa_span = tracer.span("vsa")
-        published: list[tuple[int, ShedCandidate | SpareCapacity]] = []
-        assert self._placement is not None
-        for node in alive:
-            cls = classification_before.classes[node.index]
-            if cls is NodeClass.HEAVY:
-                target = classification_before.targets[node.index]
-                vs_list = node.virtual_servers
-                loads = [vs.load for vs in vs_list]
-                shed = select_shed_subset(
-                    loads,
-                    excess=node.load - target,
-                    policy=cfg.selection_policy,
-                    keep_at_least=cfg.keep_at_least,
-                )
-                if not shed:
-                    continue
-                key = self._placement.key_for(node)
-                for idx in shed:
-                    published.append(
-                        (
-                            key,
-                            ShedCandidate(
-                                load=vs_list[idx].load,
-                                vs_id=vs_list[idx].vs_id,
-                                node_index=node.index,
-                            ),
-                        )
+        with clock.phase("vsa"):
+            # Phase 3a: build VSA entries.
+            vsa_span = tracer.span("vsa")
+            published: list[tuple[int, ShedCandidate | SpareCapacity]] = []
+            assert self._placement is not None
+            for node in alive:
+                cls = classification_before.classes[node.index]
+                if cls is NodeClass.HEAVY:
+                    target = classification_before.targets[node.index]
+                    vs_list = node.virtual_servers
+                    loads = [vs.load for vs in vs_list]
+                    shed = select_shed_subset(
+                        loads,
+                        excess=node.load - target,
+                        policy=cfg.selection_policy,
+                        keep_at_least=cfg.keep_at_least,
                     )
-            elif cls is NodeClass.LIGHT:
-                delta = classification_before.targets[node.index] - node.load
-                if delta <= 0:
-                    continue
-                key = self._placement.key_for(node)
-                published.append(
-                    (key, SpareCapacity(delta=delta, node_index=node.index))
-                )
+                    if not shed:
+                        continue
+                    key = self._placement.key_for(node)
+                    for idx in shed:
+                        published.append(
+                            (
+                                key,
+                                ShedCandidate(
+                                    load=vs_list[idx].load,
+                                    vs_id=vs_list[idx].vs_id,
+                                    node_index=node.index,
+                                ),
+                            )
+                        )
+                elif cls is NodeClass.LIGHT:
+                    delta = classification_before.targets[node.index] - node.load
+                    if delta <= 0:
+                        continue
+                    key = self._placement.key_for(node)
+                    published.append(
+                        (key, SpareCapacity(delta=delta, node_index=node.index))
+                    )
 
-        # Phase 3b: bottom-up VSA sweep.
-        sweep = VSASweep(
-            tree,
-            threshold=cfg.rendezvous_threshold,
-            min_vs_load=system.min_vs_load,
-            strict_heaviest_first=cfg.strict_heaviest_first,
-            tracer=tracer,
-        )
-        vsa_result = sweep.run(published)
-        vsa_span.end()
-        phase_seconds["vsa"] = time.perf_counter() - t0
-        t0 = time.perf_counter()
+            # Phase 3b: bottom-up VSA sweep.
+            sweep = VSASweep(
+                tree,
+                threshold=cfg.rendezvous_threshold,
+                min_vs_load=system.min_vs_load,
+                strict_heaviest_first=cfg.strict_heaviest_first,
+                tracer=tracer,
+            )
+            vsa_result = sweep.run(published)
+            vsa_span.end()
 
         # Phase 4: execute transfers.  Assignments that went stale because
         # churn interleaved between VSA and VST are dropped, not fatal.
-        skipped: list = []
-        with tracer.span("vst"):
+        skipped: list[Assignment] = []
+        with clock.phase("vst"), tracer.span("vst"):
             transfers = execute_transfers(
                 ring, vsa_result.assignments, self.oracle, skipped=skipped,
                 tracer=tracer,
             )
-        phase_seconds["vst"] = time.perf_counter() - t0
 
         loads_after = np.asarray([n.load for n in alive], dtype=np.float64)
         classification_after = classify_all(
@@ -273,7 +266,7 @@ class LoadBalancer:
             skipped_assignments=skipped,
             tree_height=tree.height(),
             tree_nodes_materialized=tree.node_count,
-            phase_seconds=phase_seconds,
+            phase_seconds=clock.seconds,
         )
         report.profile = profile_from_report(report)
         if self.metrics is not None:

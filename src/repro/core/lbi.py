@@ -54,6 +54,7 @@ def collect_lbi_reports(
     ring: ChordRing,
     tree: KnaryTree,
     rng: int | None | np.random.Generator = None,
+    tracer: Tracer | None = None,
 ) -> dict[int, tuple[KTNode, list[LBIRecord]]]:
     """Leaf-indexed LBI reports for every alive node of ``ring``.
 
@@ -61,9 +62,15 @@ def collect_lbi_reports(
     virtual server.  Keys of the returned mapping are ``id(leaf)`` (KT
     nodes are unhashable by content on purpose); values carry the leaf
     itself plus its reports.
+
+    With an enabled ``tracer``, one ``lbi.collect`` event summarises the
+    collection (reports filed, distinct leaves, nodes with no virtual
+    servers reporting through their notional position).
     """
     gen = ensure_rng(rng)
     by_leaf: dict[int, tuple[KTNode, list[LBIRecord]]] = {}
+    reports = 0
+    vsless = 0
     for node in ring.alive_nodes:
         if node.virtual_servers:
             reporter = node.virtual_servers[int(gen.integers(len(node.virtual_servers)))]
@@ -80,9 +87,18 @@ def collect_lbi_reports(
             # position and contributes no minimum-VS-load.
             key = hash_to_id(f"node-{node.index}", ring.space)
             min_vs = math.inf
+            vsless += 1
         leaf = tree.ensure_leaf_for_key(key)
         record = LBIRecord(load=node.load, capacity=node.capacity, min_vs_load=min_vs)
         by_leaf.setdefault(id(leaf), (leaf, []))[1].append(record)
+        reports += 1
+    if tracer is not None and tracer.enabled:
+        tracer.event(
+            "lbi.collect",
+            reports=reports,
+            leaves=len(by_leaf),
+            vsless_nodes=vsless,
+        )
     return by_leaf
 
 
@@ -106,7 +122,7 @@ def aggregate_lbi(
     if not reports_by_leaf:
         raise BalancerError("no LBI reports to aggregate")
     tracing = tracer is not None and tracer.enabled
-    messages_at_level: Counter | None = Counter() if tracing else None
+    messages_at_level: Counter[int] | None = Counter() if tracing else None
 
     # Bottom-up merge over the materialised tree.
     partial: dict[int, LBIRecord] = {}

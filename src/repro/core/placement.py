@@ -54,7 +54,7 @@ class ProximityPlacement:
         mapper: ProximityMapper,
         vectors_by_node: dict[int, np.ndarray],
         space: IdentifierSpace,
-    ):
+    ) -> None:
         self.mapper = mapper
         self.space = space
         self._keys: dict[int, int] = {}
@@ -83,7 +83,9 @@ class RandomVSPlacement:
     ring's full bit width (a 1-identifier dyadic interval).
     """
 
-    def __init__(self, ring: "ChordRing", rng: int | None | np.random.Generator = None):
+    def __init__(
+        self, ring: "ChordRing", rng: int | None | np.random.Generator = None
+    ) -> None:
         self._ring = ring
         self._gen = ensure_rng(rng)
 

@@ -7,12 +7,50 @@ These model the wire-level tuples of the paper:
 * ``ShedCandidate`` — a heavy node's ``<L_{i,k}, v_{i,k}, ip_addr(i)>``;
 * ``SpareCapacity`` — a light node's ``<delta_L_j, ip_addr(j)>``;
 * ``Assignment`` — a paired VSA decision sent to both endpoints.
+
+The scalar conservation guard :func:`assert_loads_conserved` lives here
+too: it is the leaf-level check behind the protocol invariant that
+VSA/VST *move* load without creating or destroying it, and ``records``
+is the one core module with no intra-core imports, so every phase can
+use it without cycles.
 """
 
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, replace
+
+from repro.exceptions import ConservationError
+
+#: Default relative tolerance for load-conservation checks.  Transfers
+#: subtract and re-add the same float quantities along different orders,
+#: so totals agree only to rounding; 1e-9 relative is ~1e6 ULPs of
+#: headroom at double precision while still catching any real leak
+#: (the smallest object load is ~1e-5 of a typical system load).
+CONSERVATION_RTOL = 1e-9
+
+
+def assert_loads_conserved(
+    before: float,
+    after: float,
+    *,
+    context: str,
+    rtol: float = CONSERVATION_RTOL,
+) -> None:
+    """Raise :class:`ConservationError` unless ``after`` ≈ ``before``.
+
+    ``context`` names the operation being checked (it prefixes the error
+    message, e.g. ``"vst.execute_transfers"``).  The comparison is
+    ``math.isclose`` with relative tolerance ``rtol`` and an absolute
+    floor of the same magnitude, so exact-zero totals compare clean.
+    """
+    if math.isclose(before, after, rel_tol=rtol, abs_tol=rtol):
+        return
+    raise ConservationError(
+        f"{context}: load not conserved: total was {before!r} before and "
+        f"{after!r} after (drift {after - before:+.6g}, rtol {rtol:g})"
+    )
 
 
 class NodeClass(enum.Enum):

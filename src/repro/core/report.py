@@ -1,15 +1,26 @@
-"""The result object produced by one load-balancing round."""
+"""The result object produced by one load-balancing round.
+
+Also home of :func:`check_conservation`, the round-level runtime guard
+for the protocol's load-conservation invariant: a round may *move* load
+between nodes but never create or destroy it.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
 from repro.core.classification import ClassificationResult
 from repro.core.config import BalancerConfig
 from repro.core.lbi import AggregationTrace
-from repro.core.records import SystemLBI
+from repro.core.records import (
+    CONSERVATION_RTOL,
+    Assignment,
+    SystemLBI,
+    assert_loads_conserved,
+)
 from repro.core.vsa import VSAResult
 from repro.core.vst import TransferRecord
 from repro.obs.profile import RoundProfile
@@ -37,12 +48,12 @@ class BalanceReport:
     aggregation: AggregationTrace
     vsa: VSAResult
     transfers: list[TransferRecord] = field(default_factory=list)
-    skipped_assignments: list = field(default_factory=list)
+    skipped_assignments: list[Assignment] = field(default_factory=list)
     tree_height: int = 0
     tree_nodes_materialized: int = 0
     #: Wall-clock seconds per phase ("lbi", "classification", "vsa", "vst") —
     #: simulator execution time, not the protocol's simulated time.
-    phase_seconds: dict = field(default_factory=dict)
+    phase_seconds: dict[str, float] = field(default_factory=dict)
     #: Per-phase cost profile (seconds, messages, phase detail); populated
     #: by the balancer for every round, tracing enabled or not.
     profile: RoundProfile | None = None
@@ -127,7 +138,7 @@ class BalanceReport:
             )
         return "\n".join(lines)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """JSON-friendly digest (scalars only; arrays summarised)."""
         return {
             "mode": self.config.proximity_mode,
@@ -146,3 +157,21 @@ class BalanceReport:
             "moved_within_10": self.moved_load_within(10),
             "phases": self.profile.to_dict() if self.profile is not None else None,
         }
+
+
+def check_conservation(
+    report: BalanceReport, *, rtol: float = CONSERVATION_RTOL
+) -> None:
+    """Verify the round described by ``report`` conserved total load.
+
+    Sums the before/after load vectors in index order (both arrays are
+    snapshots over the same alive-node list, so the orders match) and
+    raises :class:`~repro.exceptions.ConservationError` if the totals
+    drifted beyond ``rtol``.  Called by
+    :meth:`repro.app.system.P2PSystem.rebalance` after every round; call
+    it directly when driving :class:`~repro.core.balancer.LoadBalancer`
+    by hand.
+    """
+    before = float(np.sum(report.loads_before))
+    after = float(np.sum(report.loads_after))
+    assert_loads_conserved(before, after, context="balance round", rtol=rtol)

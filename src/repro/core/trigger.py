@@ -19,6 +19,7 @@ epoch actually cost, so the policies can be compared head to head.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Protocol
 
 from repro.core.balancer import LoadBalancer
 from repro.core.classification import classify_all
@@ -62,6 +63,14 @@ class PolicyTrace:
         return max((e.heavy_fraction for e in self.epochs), default=0.0)
 
 
+class BalancingPolicy(Protocol):
+    """Anything that can decide whether an epoch should run VSA/VST."""
+
+    def should_balance(self, heavy_fraction: float) -> bool:
+        """Whether the full balancing machinery should run this epoch."""
+        ...
+
+
 class PeriodicPolicy:
     """Balance unconditionally every epoch."""
 
@@ -72,7 +81,7 @@ class PeriodicPolicy:
 class ImbalanceTriggeredPolicy:
     """Balance only when the heavy fraction exceeds ``threshold``."""
 
-    def __init__(self, threshold: float = 0.1):
+    def __init__(self, threshold: float = 0.1) -> None:
         if not 0.0 <= threshold <= 1.0:
             raise ConfigError(f"threshold must be in [0, 1], got {threshold}")
         self.threshold = threshold
@@ -84,7 +93,7 @@ class ImbalanceTriggeredPolicy:
 def run_with_policy(
     balancer: LoadBalancer,
     dynamics: LoadDynamics,
-    policy,
+    policy: BalancingPolicy,
     epochs: int,
 ) -> PolicyTrace:
     """Drive load dynamics under a balancing policy.

@@ -38,7 +38,7 @@ class VSAResult:
     rounds: int = 0
     upward_messages: int = 0
     entries_published: int = 0
-    pairings_by_level: Counter = field(default_factory=Counter)
+    pairings_by_level: Counter[int] = field(default_factory=Counter)
 
     @property
     def assigned_load(self) -> float:

@@ -13,7 +13,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.core.records import Assignment
+from repro.core.records import Assignment, assert_loads_conserved
 from repro.dht.chord import ChordRing
 from repro.exceptions import BalancerError, DHTError
 from repro.obs.trace import Tracer
@@ -56,7 +56,14 @@ def execute_transfers(
     error but a casualty of asynchrony; pass a ``skipped`` list to
     collect such assignments instead of raising, mirroring how a real
     deployment simply drops stale pair decisions.
+
+    Conservation: transfers re-home virtual servers without touching
+    their loads, so the ring's total load must be identical before and
+    after; the totals are checked via
+    :func:`~repro.core.records.assert_loads_conserved` and a violation
+    raises :class:`~repro.exceptions.ConservationError`.
     """
+    total_before = sum(n.load for n in ring.nodes)
     node_by_index = {n.index: n for n in ring.nodes}
     records: list[TransferRecord] = []
     pairs: list[tuple[int, int]] = []
@@ -148,4 +155,8 @@ def execute_transfers(
                 distance=r.distance,
                 level=r.level,
             )
+    total_after = sum(n.load for n in ring.nodes)
+    assert_loads_conserved(
+        total_before, total_after, context="vst.execute_transfers"
+    )
     return records

@@ -184,7 +184,9 @@ class ObjectStore:
             old = self._by_vs.get(vs.vs_id, set())
             new = new_by_vs.get(vs.vs_id, set())
             moved += len(new - old)
-            vs.load = sum(self._objects[n].load for n in new)
+            # Sum in sorted-name order: float addition is order-sensitive,
+            # and set order varies with insertion history.
+            vs.load = sum(self._objects[n].load for n in sorted(new))
         self._by_vs = new_by_vs
         return moved
 
@@ -192,14 +194,15 @@ class ObjectStore:
         """Verify placement and load accounting; raises on drift."""
         for vs in self.ring.virtual_servers:
             expected = sum(
-                self._objects[n].load for n in self._by_vs.get(vs.vs_id, ())
+                self._objects[n].load
+                for n in sorted(self._by_vs.get(vs.vs_id, ()))
             )
             if abs(vs.load - expected) > 1e-6 * max(1.0, expected):
                 raise DHTError(
                     f"vs {vs.vs_id} load {vs.load} != object sum {expected}"
                 )
             region = self.ring.region_of(vs)
-            for n in self._by_vs.get(vs.vs_id, ()):
+            for n in sorted(self._by_vs.get(vs.vs_id, ())):
                 if not region.contains(self._objects[n].key):
                     raise DHTError(
                         f"object {n!r} stored on vs {vs.vs_id} outside its region"
@@ -208,4 +211,6 @@ class ObjectStore:
     def transfer_bytes(self, vs: VirtualServer | int) -> float:
         """Bytes that moving ``vs`` would put on the wire (object sizes)."""
         vs_id = vs.vs_id if isinstance(vs, VirtualServer) else int(vs)
-        return sum(self._objects[n].size for n in self._by_vs.get(vs_id, ()))
+        return sum(
+            self._objects[n].size for n in sorted(self._by_vs.get(vs_id, ()))
+        )

@@ -55,9 +55,17 @@ class ConfigError(BalancerError):
     """A configuration value is out of its documented range."""
 
 
+class ConservationError(BalancerError):
+    """A balancing step created or destroyed load instead of moving it."""
+
+
 class SimulationError(ReproError):
     """The discrete-event simulation engine hit an invalid state."""
 
 
 class WorkloadError(ReproError):
     """Workload generation received invalid parameters."""
+
+
+class LintError(ReproError):
+    """The static-analysis engine received invalid input or configuration."""

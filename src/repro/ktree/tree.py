@@ -28,6 +28,7 @@ from collections import deque
 from typing import Iterator
 
 from repro.dht.chord import ChordRing
+from repro.dht.virtual_server import VirtualServer
 from repro.exceptions import TreeError
 from repro.idspace import Region
 from repro.ktree.node import KTNode
@@ -49,7 +50,9 @@ class KnaryTree:
         (``ktree.replanted`` / ``ktree.pruned`` / ``ktree.grown``).
     """
 
-    def __init__(self, ring: ChordRing, k: int = 2, metrics: MetricsRegistry | None = None):
+    def __init__(
+        self, ring: ChordRing, k: int = 2, metrics: MetricsRegistry | None = None
+    ) -> None:
         if not isinstance(k, int) or k < 2:
             raise TreeError(f"tree degree must be an integer >= 2, got {k!r}")
         self.ring = ring
@@ -66,7 +69,7 @@ class KnaryTree:
         is_leaf = self._is_leaf_region(region, host)
         return KTNode(region=region, level=level, parent=parent, host_vs=host, is_leaf=is_leaf, k=self.k)
 
-    def _is_leaf_region(self, region: Region, host_vs) -> bool:
+    def _is_leaf_region(self, region: Region, host_vs: VirtualServer) -> bool:
         """The paper's leaf rule, plus the integer-arithmetic floor.
 
         A KT node is a leaf when its region is completely covered by the

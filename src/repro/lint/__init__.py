@@ -1,0 +1,47 @@
+"""Domain-aware static analysis for the load-balancing reproduction.
+
+The linter encodes the repository's three non-negotiable invariants as
+AST rules and runs them over the source tree:
+
+* **determinism** — no unseeded RNG, no wall-clock reads in protocol
+  code, no order-sensitive iteration over sets, no exact float
+  equality on load quantities;
+* **conservation** — every function that moves virtual-server load
+  must call a conservation/invariant guard;
+* **observability** — core phase entry points must emit tracer spans,
+  and the operator-facing packages must be fully documented.
+
+Run it as ``python -m repro.lint [paths] [--baseline FILE]``; see
+``docs/static_analysis.md`` for the rule catalog and the baseline
+workflow.  Programmatic use::
+
+    from repro.lint import LintEngine, Baseline
+
+    engine = LintEngine(baseline=Baseline.load("lint-baseline.json"))
+    findings = engine.lint_paths(["src/repro"])
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import (
+    DOCUMENTED_PACKAGES,
+    PROTOCOL_PACKAGES,
+    Baseline,
+    FileContext,
+    Finding,
+    LintEngine,
+    Severity,
+)
+from repro.lint.rules import ALL_RULES, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "DOCUMENTED_PACKAGES",
+    "FileContext",
+    "Finding",
+    "LintEngine",
+    "PROTOCOL_PACKAGES",
+    "Rule",
+    "Severity",
+]

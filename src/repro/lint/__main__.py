@@ -1,0 +1,11 @@
+"""Entry point for ``python -m repro.lint``.
+
+Guarded so that module walkers (e.g. ``scripts/gen_api_docs.py``,
+which imports every ``repro`` module) can import this file without
+triggering a lint run.
+"""
+
+from repro.lint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

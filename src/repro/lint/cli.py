@@ -1,0 +1,161 @@
+"""Command-line front end for :mod:`repro.lint`.
+
+Usage (see ``docs/static_analysis.md`` for the workflow)::
+
+    python -m repro.lint [paths ...] [options]
+
+Options:
+
+``--baseline FILE``
+    Suppress findings fingerprinted in ``FILE`` (the committed debt
+    register, usually ``lint-baseline.json``).
+``--write-baseline FILE``
+    Instead of failing, write every current finding into ``FILE`` and
+    exit 0.  Used once to grandfather existing debt; re-running the
+    linter with ``--baseline FILE`` is then clean.
+``--format {text,jsonl}``
+    Output format.  ``jsonl`` emits one JSON object per finding —
+    machine-readable, stable keys (see :meth:`Finding.to_dict`).
+``--out FILE``
+    With ``--format jsonl``, write the stream to ``FILE`` through
+    :class:`repro.obs.sinks.JSONLSink` instead of stdout.
+``--show-suppressed``
+    Also print findings that the baseline suppressed (marked).
+``--list-rules``
+    Print the rule catalog and exit.
+
+Exit codes: **0** clean, **1** findings reported, **2** usage or I/O
+error (bad path, unreadable baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.exceptions import LintError
+from repro.lint.engine import Baseline, Finding, LintEngine
+from repro.lint.rules import ALL_RULES
+
+#: Exit statuses (kept as names so tests read well).
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``python -m repro.lint``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Domain-aware static analysis for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppress findings recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write current findings to FILE as a new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "jsonl"),
+        default="text",
+        dest="fmt",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        help="with --format jsonl, write findings to FILE via JSONLSink",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print baseline-suppressed findings",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _list_rules() -> int:
+    width = max(len(rule.name) for rule in ALL_RULES)
+    for rule in ALL_RULES:
+        print(f"{rule.name:<{width}}  [{rule.severity.value}]  {rule.description}")
+    return EXIT_CLEAN
+
+
+def _emit_jsonl(findings: Sequence[Finding], out: str | None) -> None:
+    if out is not None:
+        from repro.obs.sinks import JSONLSink
+
+        sink = JSONLSink(out)
+        try:
+            for finding in findings:
+                # JSONLSink duck-types on to_dict(); Finding provides it.
+                sink.emit(finding)  # type: ignore[arg-type]
+        finally:
+            sink.close()
+    else:
+        for finding in findings:
+            print(json.dumps(finding.to_dict(), sort_keys=True))
+
+
+def _emit_text(
+    findings: Sequence[Finding],
+    suppressed: Sequence[Finding],
+    show_suppressed: bool,
+) -> None:
+    for finding in findings:
+        print(finding.format_text())
+    if show_suppressed:
+        for finding in suppressed:
+            print(f"{finding.format_text()} (baseline-suppressed)")
+    n, s = len(findings), len(suppressed)
+    tail = f" ({s} baseline-suppressed)" if s else ""
+    print(f"repro.lint: {n} finding{'s' if n != 1 else ''}{tail}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the linter; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        return _list_rules()
+    if args.out is not None and args.fmt != "jsonl":
+        parser.error("--out requires --format jsonl")
+    try:
+        baseline = Baseline.load(args.baseline) if args.baseline else None
+        engine = LintEngine(baseline=baseline)
+        findings = engine.lint_paths(args.paths)
+    except LintError as exc:
+        print(f"repro.lint: error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    if args.write_baseline:
+        all_findings = [*findings, *engine.suppressed]
+        path = Baseline.from_findings(all_findings).save(args.write_baseline)
+        print(f"repro.lint: wrote {len(all_findings)} fingerprints to {path}")
+        return EXIT_CLEAN
+    if args.fmt == "jsonl":
+        _emit_jsonl(findings, args.out)
+    else:
+        _emit_text(findings, engine.suppressed, args.show_suppressed)
+    return EXIT_FINDINGS if findings else EXIT_CLEAN
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,48 @@
+"""The rule registry for :mod:`repro.lint`.
+
+:data:`ALL_RULES` is the canonical ordered tuple of rule instances the
+engine runs by default.  Order matters only for readability of output
+when several rules fire on one line (findings are ultimately sorted by
+location); keep determinism rules first, hygiene rules last, and add
+new rules by appending an instance here.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules.base import Rule
+from repro.lint.rules.conservation import ConservationGuardRule
+from repro.lint.rules.defaults import MutableDefaultArgsRule
+from repro.lint.rules.docstrings import DocstringCoverageRule
+from repro.lint.rules.exceptions import ExceptionHygieneRule
+from repro.lint.rules.floats import NoFloatEqualityRule
+from repro.lint.rules.iteration import NoUnorderedIterationRule
+from repro.lint.rules.rng import NoUnseededRngRule
+from repro.lint.rules.spans import ObsSpanCoverageRule
+from repro.lint.rules.wallclock import NoWallclockRule
+
+#: Every built-in rule, in default execution order.
+ALL_RULES: tuple[Rule, ...] = (
+    NoUnseededRngRule(),
+    NoWallclockRule(),
+    NoUnorderedIterationRule(),
+    NoFloatEqualityRule(),
+    ConservationGuardRule(),
+    ObsSpanCoverageRule(),
+    ExceptionHygieneRule(),
+    MutableDefaultArgsRule(),
+    DocstringCoverageRule(),
+)
+
+__all__ = [
+    "ALL_RULES",
+    "Rule",
+    "ConservationGuardRule",
+    "DocstringCoverageRule",
+    "ExceptionHygieneRule",
+    "MutableDefaultArgsRule",
+    "NoFloatEqualityRule",
+    "NoUnorderedIterationRule",
+    "NoUnseededRngRule",
+    "NoWallclockRule",
+    "ObsSpanCoverageRule",
+]

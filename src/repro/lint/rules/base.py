@@ -1,0 +1,110 @@
+"""The :class:`Rule` base class all lint rules derive from.
+
+A rule is a named check over one :class:`~repro.lint.engine.FileContext`.
+Subclasses set the three class attributes and implement :meth:`check`
+as a generator of findings; the engine handles suppression (inline
+pragmas, the baseline), ordering and output.
+
+Shared AST helpers used by several rules live here too: resolving
+dotted attribute chains (``np.random.default_rng`` ->
+``("np", "random", "default_rng")``) and walking function bodies
+without descending into nested ``def``/``class`` scopes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence
+
+from repro.lint.engine import FileContext, Finding, Severity
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Attributes
+    ----------
+    name:
+        Kebab-case rule identifier (finding + pragma + baseline key).
+    severity:
+        Default severity of the rule's findings.
+    description:
+        One-line summary shown by ``--list-rules`` and in the docs.
+    """
+
+    name: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield every violation of this rule found in ``ctx``."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes the override a generator
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r})"
+
+
+def dotted_name(node: ast.AST) -> tuple[str, ...]:
+    """The dotted chain of an attribute/name expression, outermost first.
+
+    ``np.random.default_rng`` yields ``("np", "random", "default_rng")``;
+    anything that is not a pure Name/Attribute chain yields ``()``.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+def iter_function_defs(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, ast.ClassDef | None]]:
+    """Every function/method definition with its enclosing class (if any).
+
+    Nested functions are yielded too, attributed to the class of their
+    outermost enclosing method.
+    """
+    stack: list[tuple[ast.AST, ast.ClassDef | None]] = [(tree, None)]
+    while stack:
+        node, owner = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                stack.append((child, child))
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, owner
+                stack.append((child, owner))
+
+
+def walk_body(nodes: Sequence[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk statements without descending into nested def/class scopes."""
+    stack: list[ast.AST] = list(nodes)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            stack.append(child)
+
+
+def called_names(body: Sequence[ast.stmt]) -> set[str]:
+    """Terminal names of every call made directly inside ``body``.
+
+    ``self.ring.check_invariants()`` contributes ``"check_invariants"``;
+    ``check_conservation(report)`` contributes ``"check_conservation"``.
+    Nested function/class scopes are not descended into.
+    """
+    out: set[str] = set()
+    for node in walk_body(body):
+        if isinstance(node, ast.Call):
+            chain = dotted_name(node.func)
+            if chain:
+                out.add(chain[-1])
+    return out

@@ -1,0 +1,75 @@
+"""Rule ``conservation-guard``: load-moving code runs an invariant check.
+
+VSA/VST *move* load; they must never create or destroy it.  The runtime
+checks live in :mod:`repro.core.report` (``check_conservation`` over a
+:class:`~repro.core.report.BalanceReport`) and
+:mod:`repro.core.records` (``assert_loads_conserved`` over two scalar
+totals); this rule makes wiring them non-optional.
+
+A function in ``core``/``dht``/``app`` counts as a **load mutator**
+when it calls ``transfer_virtual_server`` (the ring's move primitive)
+or is itself named ``rebalance``.  Every load mutator must, somewhere
+in its own body, call one of the recognised guards:
+
+* ``check_conservation`` / ``assert_loads_conserved`` — the dedicated
+  conservation checks;
+* ``check_invariants`` — the ring's structural validator (which
+  includes load-accounting consistency);
+* ``rebalance`` — delegating to the guarded round entry point counts.
+
+The definition of ``transfer_virtual_server`` itself is exempt: it is
+the conserving primitive the guards are defined against (its own
+correctness is covered by ring invariants and the stateful test suite).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Finding, Severity
+from repro.lint.rules.base import Rule, called_names, iter_function_defs
+
+_MUTATOR_CALLS = frozenset({"transfer_virtual_server"})
+_MUTATOR_NAMES = frozenset({"rebalance"})
+_GUARD_CALLS = frozenset(
+    {
+        "check_conservation",
+        "assert_loads_conserved",
+        "check_invariants",
+        "rebalance",
+    }
+)
+_EXEMPT_DEFS = frozenset({"transfer_virtual_server"})
+
+
+class ConservationGuardRule(Rule):
+    """Require an invariant check in functions that move load."""
+
+    name = "conservation-guard"
+    severity = Severity.ERROR
+    description = (
+        "functions that move virtual-server load (transfer_virtual_server "
+        "callers, rebalance) must call a conservation/invariant check"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield one finding per unguarded load mutator in ``ctx``."""
+        if not ctx.in_package("core", "dht", "app"):
+            return
+        for fn, owner in iter_function_defs(ctx.tree):
+            if fn.name in _EXEMPT_DEFS:
+                continue
+            calls = called_names(fn.body)
+            is_mutator = fn.name in _MUTATOR_NAMES or bool(calls & _MUTATOR_CALLS)
+            if not is_mutator:
+                continue
+            if calls & _GUARD_CALLS:
+                continue
+            where = f"{owner.name}.{fn.name}" if owner is not None else fn.name
+            yield ctx.finding(
+                self,
+                fn,
+                f"{where} moves virtual-server load but never calls a "
+                "conservation guard (check_conservation / "
+                "assert_loads_conserved / check_invariants)",
+            )

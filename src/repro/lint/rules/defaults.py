@@ -1,0 +1,81 @@
+"""Rule ``mutable-default-args``: no shared mutable default values.
+
+A mutable default (``def f(x, acc=[])``) is evaluated once at ``def``
+time and shared across every call.  In this codebase the classic
+failure mode is an accumulator threaded through the K-nary tree
+aggregation or a per-round scratch set on a balancer helper: state from
+round *N* silently leaks into round *N+1*, which breaks both
+correctness and the determinism contract (results start depending on
+call history instead of the scenario seed).
+
+Flagged everywhere in ``src/repro``, for both positional and
+keyword-only defaults:
+
+* ``list``/``dict``/``set`` displays and comprehensions;
+* bare constructor calls ``list()`` / ``dict()`` / ``set()`` /
+  ``bytearray()`` / ``collections.defaultdict(...)`` / ``Counter()``.
+
+Use ``None`` as the default and materialise inside the body
+(``acc = [] if acc is None else acc``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Finding, Severity
+from repro.lint.rules.base import Rule, dotted_name, iter_function_defs
+
+_MUTABLE_CALLS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "Counter", "deque"}
+)
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(
+        node,
+        (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+    ):
+        return True
+    if isinstance(node, ast.Call):
+        chain = dotted_name(node.func)
+        return bool(chain) and chain[-1] in _MUTABLE_CALLS
+    return False
+
+
+class MutableDefaultArgsRule(Rule):
+    """Forbid mutable default argument values."""
+
+    name = "mutable-default-args"
+    severity = Severity.ERROR
+    description = (
+        "mutable defaults are shared across calls and leak state between "
+        "rounds; default to None and materialise in the body"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield one finding per mutable default in ``ctx``."""
+        for fn, owner in iter_function_defs(ctx.tree):
+            where = f"{owner.name}.{fn.name}" if owner is not None else fn.name
+            args = fn.args
+            positional = [*args.posonlyargs, *args.args]
+            # Defaults align with the *tail* of the positional parameters.
+            offset = len(positional) - len(args.defaults)
+            pairs = [
+                (positional[offset + i], default)
+                for i, default in enumerate(args.defaults)
+            ]
+            pairs.extend(
+                (arg, default)
+                for arg, default in zip(args.kwonlyargs, args.kw_defaults)
+                if default is not None
+            )
+            for arg, default in pairs:
+                if _is_mutable_default(default):
+                    yield ctx.finding(
+                        self,
+                        default,
+                        f"mutable default for parameter '{arg.arg}' of "
+                        f"{where}; use None and materialise in the body",
+                    )

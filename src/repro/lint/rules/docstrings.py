@@ -1,0 +1,107 @@
+"""Rule ``docstring-coverage``: the operator-facing API is documented.
+
+``repro.obs`` and ``repro.lint`` are the packages operators script
+against directly (wiring sinks, registering rules), so their public
+surface carries a hard docstring requirement — previously enforced at
+runtime by ``tests/test_obs_docstrings.py``, now enforced statically
+here (the test remains as a thin wrapper over this rule).
+
+For every module in a documented package (:data:`DOCUMENTED_PACKAGES`
+on the engine), the rule requires a docstring on:
+
+* the module itself;
+* every public (non-underscore) class, function and method —
+  including ``__init__`` when it takes parameters beyond ``self``
+  (construction arguments are API);
+* overload stubs and ``...``-bodied protocol members are exempt.
+
+Private names (leading underscore) and dunders other than a
+parameterised ``__init__`` are not required to carry docstrings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Finding, Severity
+from repro.lint.rules.base import Rule
+
+
+def _has_docstring(node: ast.Module | ast.ClassDef | ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    return ast.get_docstring(node) is not None
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _is_stub_body(body: list[ast.stmt]) -> bool:
+    """Whether the body is ``...``/``pass`` only (a protocol/overload stub)."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            if stmt.value.value is Ellipsis:
+                continue
+        return False
+    return True
+
+
+def _requires_doc(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    if _is_stub_body(fn.body):
+        return False
+    for deco in fn.decorator_list:
+        if isinstance(deco, ast.Name) and deco.id == "overload":
+            return False
+    if _is_public(fn.name):
+        return True
+    if fn.name == "__init__":
+        params = [*fn.args.posonlyargs, *fn.args.args, *fn.args.kwonlyargs]
+        params = [p for p in params if p.arg not in ("self", "cls")]
+        return bool(params) or fn.args.vararg is not None or fn.args.kwarg is not None
+    return False
+
+
+class DocstringCoverageRule(Rule):
+    """Require docstrings on the public surface of documented packages."""
+
+    name = "docstring-coverage"
+    severity = Severity.ERROR
+    description = (
+        "modules and public classes/functions/methods in repro.obs and "
+        "repro.lint must carry docstrings"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield one finding per missing docstring in ``ctx``."""
+        if not ctx.is_documented_api:
+            return
+        if not _has_docstring(ctx.tree):
+            yield ctx.finding(self, None, f"module {ctx.module} has no docstring")
+        yield from self._check_body(ctx, ctx.tree.body, prefix="")
+
+    def _check_body(
+        self, ctx: FileContext, body: list[ast.stmt], prefix: str
+    ) -> Iterator[Finding]:
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                if not _is_public(node.name):
+                    continue
+                qualname = f"{prefix}{node.name}"
+                if not _has_docstring(node):
+                    yield ctx.finding(
+                        self, node, f"public class {qualname} has no docstring"
+                    )
+                yield from self._check_body(ctx, node.body, prefix=f"{qualname}.")
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not _requires_doc(node):
+                    continue
+                qualname = f"{prefix}{node.name}"
+                if not _has_docstring(node):
+                    kind = "method" if prefix else "function"
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"public {kind} {qualname} has no docstring",
+                    )

@@ -1,0 +1,92 @@
+"""Rule ``exception-hygiene``: no bare or blind exception handlers.
+
+A load-balancing round that swallows an exception mid-phase leaves the
+ring in a half-mutated state — assignments moved but loads not
+re-homed, a report claiming transfers that never executed.  The repo's
+error taxonomy (:mod:`repro.exceptions`) exists precisely so callers
+can catch *specific* failures; handlers that catch everything defeat
+it and hide conservation bugs.
+
+Flagged everywhere in ``src/repro``:
+
+* ``except:`` with no exception type (also traps ``KeyboardInterrupt``
+  and ``SystemExit``);
+* ``except Exception`` / ``except BaseException`` (bare or in a tuple)
+  whose body neither re-raises (``raise``) nor stores the exception for
+  structured handling (binds it with ``as`` and *uses* the name).
+
+A blind handler that re-raises is fine: catch-log-reraise is the one
+legitimate use of ``except Exception``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Finding, Severity
+from repro.lint.rules.base import Rule, dotted_name, walk_body
+
+_BLIND_TYPES = frozenset({"Exception", "BaseException"})
+
+
+def _names_blind_type(node: ast.expr | None) -> bool:
+    """Whether an ``except`` clause type includes Exception/BaseException."""
+    if node is None:
+        return True  # bare except
+    if isinstance(node, ast.Tuple):
+        return any(_names_blind_type(elt) for elt in node.elts)
+    chain = dotted_name(node)
+    return bool(chain) and chain[-1] in _BLIND_TYPES
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body re-raises (``raise`` or ``raise X``)."""
+    for node in walk_body(handler.body):
+        if isinstance(node, ast.Raise):
+            return True
+    return False
+
+
+def _uses_bound_name(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler binds the exception and reads the name."""
+    if handler.name is None:
+        return False
+    for node in walk_body(handler.body):
+        if isinstance(node, ast.Name) and node.id == handler.name:
+            return True
+    return False
+
+
+class ExceptionHygieneRule(Rule):
+    """Forbid bare ``except:`` and non-re-raising blind handlers."""
+
+    name = "exception-hygiene"
+    severity = Severity.ERROR
+    description = (
+        "bare except: is forbidden; except Exception must re-raise or "
+        "handle the bound exception (catch specific ReproError subclasses)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield one finding per bare/blind exception handler in ``ctx``."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield ctx.finding(
+                    self,
+                    node,
+                    "bare except: traps KeyboardInterrupt/SystemExit; name "
+                    "the exception type (see repro.exceptions)",
+                )
+            elif _names_blind_type(node.type):
+                if _reraises(node) or _uses_bound_name(node):
+                    continue
+                yield ctx.finding(
+                    self,
+                    node,
+                    "except Exception without re-raise silently swallows "
+                    "failures; catch a specific ReproError subclass or "
+                    "re-raise after logging",
+                )

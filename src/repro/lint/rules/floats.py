@@ -1,0 +1,100 @@
+"""Rule ``no-float-equality``: load/capacity arithmetic never uses ``==``.
+
+The protocol's bookkeeping — ``<L, C, L_min>`` aggregates, spare-
+capacity deltas, shed excesses — is float arithmetic, and transfers
+subtract/re-add the same quantities along different code paths.  An
+exact ``==``/``!=`` between two independently *computed* loads is a
+latent heisen-bug: it holds on one summation order and fails on
+another.  Comparisons belong to ``math.isclose`` or an explicit
+tolerance (see ``check_conservation`` in :mod:`repro.core.report`).
+
+Flagged (in all of ``src/repro``):
+
+* ``==`` / ``!=`` where either side is a non-zero float literal;
+* ``==`` / ``!=`` where either side is a name/attribute matching the
+  load vocabulary (``load``, ``capacity``, ``delta``, ``excess``,
+  ``weight``) or a call to ``sum``/``.sum``.
+
+Comparisons against literal ``0``/``0.0`` are allowed: the exact-zero
+sentinel ("nothing accumulated yet", "empty weight vector") is
+well-defined in IEEE arithmetic and used as a guard before division.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Finding, Severity
+from repro.lint.rules.base import Rule, dotted_name
+
+_LOAD_NAME_RE = re.compile(
+    r"(^|_)(load|loads|capacity|capacities|delta|excess|weight|min_vs_load)($|_)",
+    re.IGNORECASE,
+)
+
+
+def _is_zero_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        return float(node.value) == 0.0
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_zero_literal(node.operand)
+    return False
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_float_literal(node.operand)
+    return False
+
+
+def _is_load_expr(node: ast.expr) -> bool:
+    """Whether ``node`` reads like a load/capacity quantity."""
+    chain = dotted_name(node)
+    if chain and _LOAD_NAME_RE.search(chain[-1]):
+        return True
+    if isinstance(node, ast.Call):
+        fn = dotted_name(node.func)
+        return bool(fn) and fn[-1] == "sum"
+    if isinstance(node, ast.BinOp):
+        return _is_load_expr(node.left) or _is_load_expr(node.right)
+    return False
+
+
+class NoFloatEqualityRule(Rule):
+    """Forbid exact equality on float load/capacity expressions."""
+
+    name = "no-float-equality"
+    severity = Severity.ERROR
+    description = (
+        "== / != on load/capacity floats is order-of-summation dependent; "
+        "use math.isclose or an explicit tolerance (0/0.0 sentinels allowed)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield one finding per exact float comparison in ``ctx``."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_zero_literal(left) or _is_zero_literal(right):
+                    continue
+                if (
+                    _is_float_literal(left)
+                    or _is_float_literal(right)
+                    or _is_load_expr(left)
+                    or _is_load_expr(right)
+                ):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "exact ==/!= on a float load/capacity expression; "
+                        "use math.isclose or an explicit tolerance",
+                    )
+                    break  # one finding per comparison chain

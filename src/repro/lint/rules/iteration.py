@@ -1,0 +1,273 @@
+"""Rule ``no-unordered-iteration``: protocol sweeps iterate in sorted order.
+
+Python ``set`` iteration order depends on insertion history and element
+hashes — two ring constructions that differ only in event interleaving
+can visit the same members in different orders.  Anywhere a protocol
+loop (``core``/``dht``/``ktree``/``sim``) folds floats or makes pairing
+decisions over a set, that order leaks into results: float summation is
+not associative, and the VSA rendezvous tie-breaks on encounter order.
+(``dict`` iteration is insertion-ordered since Python 3.7 and is *not*
+flagged; a dict built deterministically iterates deterministically.)
+
+The rule statically tracks set-typed expressions:
+
+* literals, set comprehensions, ``set(...)``/``frozenset(...)`` calls;
+* set-operator results (``a | b``, ``a - b``, ...) and set-method
+  results (``.union(...)``, ``.intersection(...)``, ...);
+* names and ``self.*`` attributes assigned or annotated as sets;
+* lookups into containers annotated ``dict[K, set[V]]`` (``d[k]``,
+  ``d.get(k, ...)``, ``d.pop(k)``, ``d.setdefault(k, ...)``).
+
+Iterating one of those in a ``for`` loop, a comprehension, or an
+eagerly-ordering call (``list``/``tuple``/``sum``/``enumerate``) is a
+violation unless the iterable is wrapped in ``sorted(...)`` or the
+result feeds an order-insensitive consumer (``len``, ``any``, ``all``,
+``min``, ``max``, ``set``, ``frozenset``, ``sorted`` itself, or a set
+comprehension — whose output has no order to corrupt).  ``sum`` is *not*
+order-insensitive: protocol sums are floats.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Finding, Severity
+from repro.lint.rules.base import Rule, dotted_name
+
+_SET_TYPE_NAMES = frozenset({"set", "frozenset", "Set", "FrozenSet", "AbstractSet"})
+_DICT_TYPE_NAMES = frozenset({"dict", "Dict", "Mapping", "MutableMapping", "defaultdict"})
+_SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+_DICT_LOOKUP_METHODS = frozenset({"get", "pop", "setdefault"})
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+#: Consumers whose result does not depend on iteration order.
+_ORDER_INSENSITIVE = frozenset(
+    {"sorted", "len", "any", "all", "min", "max", "set", "frozenset"}
+)
+#: Calls that materialise (or fold) the iterable in encounter order.
+_ORDERING_CALLS = frozenset({"list", "tuple", "sum", "enumerate"})
+
+
+class _SetBindings:
+    """Names (dotted) known to be sets / dicts-of-sets in one scope."""
+
+    __slots__ = ("sets", "dict_of_sets")
+
+    def __init__(
+        self,
+        sets: set[str] | None = None,
+        dict_of_sets: set[str] | None = None,
+    ) -> None:
+        self.sets: set[str] = set(sets or ())
+        self.dict_of_sets: set[str] = set(dict_of_sets or ())
+
+    def child(self) -> "_SetBindings":
+        """A copy for a nested scope (closures read enclosing bindings)."""
+        return _SetBindings(self.sets, self.dict_of_sets)
+
+
+def _annotation_kind(node: ast.expr | None) -> str | None:
+    """Classify a type annotation as ``"set"``, ``"dict_of_sets"`` or None."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Name) and node.id in _SET_TYPE_NAMES:
+        return "set"
+    if isinstance(node, ast.Subscript):
+        base = node.value
+        if isinstance(base, ast.Name):
+            if base.id in _SET_TYPE_NAMES:
+                return "set"
+            if base.id in _DICT_TYPE_NAMES:
+                args = node.slice
+                if isinstance(args, ast.Tuple) and len(args.elts) == 2:
+                    if _annotation_kind(args.elts[1]) == "set":
+                        return "dict_of_sets"
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            return _annotation_kind(ast.parse(node.value, mode="eval").body)
+        except SyntaxError:
+            return None
+    return None
+
+
+class NoUnorderedIterationRule(Rule):
+    """Forbid order-sensitive iteration over sets in protocol modules."""
+
+    name = "no-unordered-iteration"
+    severity = Severity.ERROR
+    description = (
+        "iterating a set without sorted(...) in core/dht/ktree/sim makes "
+        "float folds and pairing decisions order-dependent"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield one finding per unordered set iteration in ``ctx``."""
+        if not ctx.is_protocol:
+            return
+        self._parents: dict[ast.AST, ast.AST] = {
+            child: parent
+            for parent in ast.walk(ctx.tree)
+            for child in ast.iter_child_nodes(parent)
+        }
+        module_scope = _SetBindings()
+        self._collect_bindings(ctx.tree.body, module_scope)
+        yield from self._check_scope(ctx, ctx.tree.body, module_scope)
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node, module_scope)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, node, module_scope)
+
+    # -- scope handling ---------------------------------------------------
+    def _check_class(
+        self, ctx: FileContext, cls: ast.ClassDef, outer: _SetBindings
+    ) -> Iterator[Finding]:
+        scope = outer.child()
+        # self.<attr> bindings are visible across all methods of the class.
+        for method in cls.body:
+            if isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._collect_bindings(method.body, scope)
+        for method in cls.body:
+            if isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, method, scope)
+            elif isinstance(method, ast.ClassDef):
+                yield from self._check_class(ctx, method, scope)
+
+    def _check_function(
+        self,
+        ctx: FileContext,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        outer: _SetBindings,
+    ) -> Iterator[Finding]:
+        scope = outer.child()
+        args = fn.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            kind = _annotation_kind(arg.annotation)
+            if kind == "set":
+                scope.sets.add(arg.arg)
+            elif kind == "dict_of_sets":
+                scope.dict_of_sets.add(arg.arg)
+        self._collect_bindings(fn.body, scope)
+        yield from self._check_scope(ctx, fn.body, scope)
+        for node in self._direct_nested_defs(fn.body):
+            yield from self._check_function(ctx, node, scope)
+
+    @staticmethod
+    def _direct_nested_defs(
+        body: list[ast.stmt],
+    ) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+        """Nested defs one scope level down (not inside further defs)."""
+        stack: list[ast.AST] = list(body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+                continue
+            if isinstance(node, ast.ClassDef):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _collect_bindings(self, body: list[ast.stmt], scope: _SetBindings) -> None:
+        """Record set-typed name bindings from assignments/annotations."""
+        for node in ast.walk(ast.Module(body=body, type_ignores=[])):
+            if isinstance(node, ast.AnnAssign):
+                kind = _annotation_kind(node.annotation)
+                name = ".".join(dotted_name(node.target))
+                if name and kind == "set":
+                    scope.sets.add(name)
+                elif name and kind == "dict_of_sets":
+                    scope.dict_of_sets.add(name)
+            elif isinstance(node, ast.Assign):
+                if not self._is_set_expr(node.value, scope):
+                    continue
+                for target in node.targets:
+                    name = ".".join(dotted_name(target))
+                    if name:
+                        scope.sets.add(name)
+
+    # -- set-expression classification ------------------------------------
+    def _is_set_expr(self, node: ast.expr, scope: _SetBindings) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+            return self._is_set_expr(node.left, scope) or self._is_set_expr(
+                node.right, scope
+            )
+        if isinstance(node, ast.Call):
+            chain = dotted_name(node.func)
+            if len(chain) == 1 and chain[0] in ("set", "frozenset"):
+                return True
+            if isinstance(node.func, ast.Attribute):
+                if node.func.attr in _SET_METHODS and self._is_set_expr(
+                    node.func.value, scope
+                ):
+                    return True
+                if node.func.attr in _DICT_LOOKUP_METHODS:
+                    base = ".".join(dotted_name(node.func.value))
+                    if base in scope.dict_of_sets:
+                        return True
+            return False
+        if isinstance(node, ast.Subscript):
+            base = ".".join(dotted_name(node.value))
+            return base in scope.dict_of_sets
+        name = ".".join(dotted_name(node))
+        return bool(name) and name in scope.sets
+
+    # -- flagging ----------------------------------------------------------
+    def _check_scope(
+        self, ctx: FileContext, body: list[ast.stmt], scope: _SetBindings
+    ) -> Iterator[Finding]:
+        stack: list[ast.AST] = list(body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # handled with their own scope
+            stack.extend(ast.iter_child_nodes(node))
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if self._flaggable(node.iter, node, scope):
+                    yield ctx.finding(
+                        self,
+                        node.iter,
+                        "for-loop over a set; wrap the iterable in sorted(...)",
+                    )
+            elif isinstance(
+                node, (ast.ListComp, ast.GeneratorExp, ast.DictComp, ast.SetComp)
+            ):
+                if isinstance(node, ast.SetComp):
+                    continue  # output is itself unordered; nothing to corrupt
+                for gen in node.generators:
+                    if self._flaggable(gen.iter, node, scope):
+                        yield ctx.finding(
+                            self,
+                            gen.iter,
+                            "comprehension over a set; wrap the iterable in "
+                            "sorted(...)",
+                        )
+            elif isinstance(node, ast.Call):
+                chain = dotted_name(node.func)
+                if len(chain) == 1 and chain[0] in _ORDERING_CALLS:
+                    for arg in node.args:
+                        if self._is_set_expr(arg, scope) and not self._consumed_unordered(node):
+                            yield ctx.finding(
+                                self,
+                                arg,
+                                f"{chain[0]}() over a set materialises an "
+                                "arbitrary order; wrap in sorted(...)",
+                            )
+
+    def _flaggable(self, iterable: ast.expr, site: ast.AST, scope: _SetBindings) -> bool:
+        """Whether iterating ``iterable`` at ``site`` violates the rule."""
+        if not self._is_set_expr(iterable, scope):
+            return False
+        return not self._consumed_unordered(site)
+
+    def _consumed_unordered(self, site: ast.AST) -> bool:
+        """Whether ``site``'s result feeds an order-insensitive consumer."""
+        parent = self._parents.get(site)
+        if isinstance(parent, ast.Call):
+            chain = dotted_name(parent.func)
+            if len(chain) == 1 and chain[0] in _ORDER_INSENSITIVE:
+                return site in parent.args
+        return False

@@ -1,0 +1,114 @@
+"""Rule ``no-unseeded-rng``: all randomness flows through ``repro.util.rng``.
+
+The reproduction's headline property is that every run is a pure
+function of the scenario seed.  One call to the process-global
+``random`` module or to ``numpy.random``'s legacy global state breaks
+that silently — results still *look* plausible, they just stop being
+replicable.  The sanctioned pattern is the one :mod:`repro.util.rng`
+centralises: accept ``int | None | np.random.Generator``, coerce via
+``ensure_rng``, derive independent streams via ``spawn_rngs``.
+
+Flagged anywhere outside ``repro/util/rng.py``:
+
+* any use of the stdlib ``random`` module (``import random`` plus a
+  ``random.*`` call, or ``from random import shuffle`` plus a call);
+* calls into ``numpy.random.*`` / ``np.random.*`` — including
+  ``default_rng`` (call :func:`repro.util.rng.ensure_rng` instead, so
+  seed-or-generator coercion stays in one place).
+
+References to ``np.random.Generator`` / ``SeedSequence`` /
+``BitGenerator`` are *types*, not randomness, and stay legal everywhere
+(annotations and ``isinstance`` checks need them).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Finding, Severity
+from repro.lint.rules.base import Rule, dotted_name
+
+#: numpy.random attributes that are types/plumbing, not random draws.
+_NUMPY_TYPE_NAMES = frozenset(
+    {"Generator", "SeedSequence", "BitGenerator", "PCG64", "Philox", "RandomState"}
+)
+
+#: The one module allowed to touch numpy's RNG constructors directly.
+_EXEMPT_MODULES = frozenset({"repro.util.rng"})
+
+
+class NoUnseededRngRule(Rule):
+    """Forbid global/unseeded RNG use outside :mod:`repro.util.rng`."""
+
+    name = "no-unseeded-rng"
+    severity = Severity.ERROR
+    description = (
+        "stdlib random and numpy.random globals are forbidden outside "
+        "repro.util.rng; thread a seeded Generator instead"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield one finding per global-RNG use in ``ctx``."""
+        if ctx.module in _EXEMPT_MODULES:
+            return
+        stdlib_aliases, from_random = self._random_imports(ctx.tree)
+        numpy_aliases = self._numpy_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = dotted_name(node.func)
+            if not chain:
+                continue
+            if chain[0] in stdlib_aliases and len(chain) > 1:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"call to stdlib random ({'.'.join(chain)}); "
+                    "use repro.util.rng.ensure_rng/spawn_rngs instead",
+                )
+            elif len(chain) == 1 and chain[0] in from_random:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"call to stdlib random.{chain[0]} (imported by name); "
+                    "use repro.util.rng.ensure_rng/spawn_rngs instead",
+                )
+            elif (
+                len(chain) >= 3
+                and chain[0] in numpy_aliases
+                and chain[1] == "random"
+                and chain[2] not in _NUMPY_TYPE_NAMES
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"direct numpy.random use ({'.'.join(chain)}); "
+                    "coerce seeds via repro.util.rng.ensure_rng",
+                )
+
+    @staticmethod
+    def _random_imports(tree: ast.Module) -> tuple[set[str], set[str]]:
+        """(aliases of the random module, names imported from it)."""
+        aliases: set[str] = set()
+        names: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        aliases.add(alias.asname or "random")
+            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    names.add(alias.asname or alias.name)
+        return aliases, names
+
+    @staticmethod
+    def _numpy_aliases(tree: ast.Module) -> set[str]:
+        """Local aliases of the numpy top-level module."""
+        aliases: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        aliases.add(alias.asname or "numpy")
+        return aliases

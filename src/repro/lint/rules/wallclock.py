@@ -1,0 +1,103 @@
+"""Rule ``no-wallclock-in-protocol``: protocol code never reads the clock.
+
+The balancing protocol's behaviour must be a pure function of the
+scenario seed; a wall-clock read in ``core``/``dht``/``ktree``/``sim``
+is either dead weight or — far worse — a hidden input that makes runs
+unrepeatable (e.g. a timing-dependent tie-break).  Measurement belongs
+to the observability layer: :class:`repro.obs.trace.Tracer` spans and
+:class:`repro.obs.profile.PhaseClock` own ``time.perf_counter`` and
+expose timings without letting them feed back into protocol decisions.
+
+Flagged in protocol modules:
+
+* calls to ``time.time`` / ``time.perf_counter`` / ``time.monotonic`` /
+  ``time.process_time`` / ``time.time_ns`` (and ``_ns`` variants),
+  whether accessed as ``time.X()`` or imported by name;
+* calls to ``datetime.now`` / ``datetime.utcnow``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Finding, Severity
+from repro.lint.rules.base import Rule, dotted_name
+
+_CLOCK_FUNCS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+
+
+class NoWallclockRule(Rule):
+    """Forbid wall-clock reads in protocol packages."""
+
+    name = "no-wallclock-in-protocol"
+    severity = Severity.ERROR
+    description = (
+        "time.time/perf_counter/monotonic are forbidden in core/dht/ktree/sim; "
+        "route timing through repro.obs (PhaseClock, Tracer spans)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield one finding per clock read in a protocol module."""
+        if not ctx.is_protocol:
+            return
+        time_aliases, from_time = self._time_imports(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = dotted_name(node.func)
+            if not chain:
+                continue
+            if (
+                len(chain) == 2
+                and chain[0] in time_aliases
+                and chain[1] in _CLOCK_FUNCS
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"wall-clock read {'.'.join(chain)}() in protocol code; "
+                    "use repro.obs.profile.PhaseClock or a Tracer span",
+                )
+            elif len(chain) == 1 and chain[0] in from_time:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"wall-clock read {chain[0]}() (imported from time) in "
+                    "protocol code; use repro.obs.profile.PhaseClock",
+                )
+            elif chain[-1] in _DATETIME_FUNCS and "datetime" in chain:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"datetime clock read {'.'.join(chain)}() in protocol code",
+                )
+
+    @staticmethod
+    def _time_imports(tree: ast.Module) -> tuple[set[str], set[str]]:
+        """(aliases of the time module, clock names imported from it)."""
+        aliases: set[str] = set()
+        names: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        aliases.add(alias.asname or "time")
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in _CLOCK_FUNCS:
+                        names.add(alias.asname or alias.name)
+        return aliases, names

@@ -18,6 +18,7 @@ from __future__ import annotations
 import json
 import math
 from pathlib import Path
+from typing import Any
 
 import numpy as np
 
@@ -32,7 +33,8 @@ class Counter:
 
     __slots__ = ("name", "value")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
+        """Create the counter ``name`` starting at zero."""
         self.name = name
         self.value = 0.0
 
@@ -48,7 +50,8 @@ class Gauge:
 
     __slots__ = ("name", "value")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
+        """Create the gauge ``name`` starting at zero."""
         self.name = name
         self.value = 0.0
 
@@ -76,7 +79,8 @@ class Histogram:
 
     __slots__ = ("name", "count", "total", "minimum", "maximum", "_samples")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
+        """Create the histogram ``name`` with no observations."""
         self.name = name
         self.count = 0
         self.total = 0.0
@@ -176,7 +180,7 @@ class MetricsRegistry:
                 raise ReproError(f"metric {name!r} already exists as a {kind}")
 
     # -- export ----------------------------------------------------------
-    def snapshot(self) -> dict[str, dict]:
+    def snapshot(self) -> dict[str, dict[str, Any]]:
         """All instrument values as one JSON-friendly nested dict."""
         return {
             "counters": {n: c.value for n, c in sorted(self._counters.items())},

@@ -21,7 +21,7 @@ import io
 import json
 import sys
 from pathlib import Path
-from typing import TYPE_CHECKING, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Protocol, TextIO, runtime_checkable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (trace imports sinks)
     from repro.obs.trace import TraceRecord
@@ -103,7 +103,8 @@ class JSONLSink:
     ``close()`` flushes.
     """
 
-    def __init__(self, path: str | Path):
+    def __init__(self, path: str | Path) -> None:
+        """Open ``path`` for writing (truncates; fails fast on bad paths)."""
         self.path = Path(path)
         self._fh: io.TextIOWrapper | None = self.path.open("w")
         self.lines_written = 0
@@ -128,7 +129,8 @@ class JSONLSink:
 class ConsoleSink:
     """Human-readable, span-indented rendering to a text stream."""
 
-    def __init__(self, stream=None):
+    def __init__(self, stream: TextIO | None = None) -> None:
+        """Render to ``stream`` (default: ``sys.stdout``, not owned)."""
         self.stream = stream if stream is not None else sys.stdout
         self._depth = 0
 
@@ -157,7 +159,7 @@ class ConsoleSink:
         return f"ConsoleSink(depth={self._depth})"
 
 
-def _fmt(value) -> str:
+def _fmt(value: object) -> str:
     """Compact scalar formatting for console lines."""
     if isinstance(value, float):
         return f"{value:.6g}"

@@ -27,6 +27,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Mapping
 
 from repro.obs.sinks import InMemorySink, JSONLSink, NullSink, Sink
@@ -70,7 +71,10 @@ class Span:
 
     __slots__ = ("tracer", "name", "span_id", "parent_id", "_t0", "_ended")
 
-    def __init__(self, tracer: "Tracer", name: str, span_id: int, parent_id: int | None):
+    def __init__(
+        self, tracer: "Tracer", name: str, span_id: int, parent_id: int | None
+    ) -> None:
+        """Open the span (constructed by :meth:`Tracer.span`, not directly)."""
         self.tracer = tracer
         self.name = name
         self.span_id = span_id
@@ -95,7 +99,7 @@ class Span:
     def __enter__(self) -> "Span":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.end()
 
 
@@ -113,7 +117,7 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         return None
 
 
@@ -141,7 +145,8 @@ class Tracer:
     ['span_start', 'span_start', 'event', 'span_end', 'span_end']
     """
 
-    def __init__(self, sink: Sink | None = None):
+    def __init__(self, sink: Sink | None = None) -> None:
+        """Create a tracer emitting to ``sink`` (``None`` = disabled)."""
         if sink is None or isinstance(sink, NullSink):
             sink = NullSink()
             self.enabled = False
@@ -155,7 +160,7 @@ class Tracer:
 
     # -- constructors ----------------------------------------------------
     @classmethod
-    def to_file(cls, path) -> "Tracer":
+    def to_file(cls, path: str | Path) -> "Tracer":
         """A tracer writing JSONL records to ``path``."""
         return cls(JSONLSink(path))
 
@@ -218,7 +223,7 @@ class Tracer:
     def __enter__(self) -> "Tracer":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -8,9 +8,12 @@ generator and hands out independent child streams via :func:`spawn_rngs`.
 
 from __future__ import annotations
 
+from typing import TypeAlias
+
 import numpy as np
 
-RngLike = "int | None | np.random.Generator"
+#: The seed-or-generator union every stochastic entry point accepts.
+RngLike: TypeAlias = "int | None | np.random.Generator"
 
 
 def ensure_rng(rng: int | None | np.random.Generator) -> np.random.Generator:

@@ -30,7 +30,9 @@ class SortedKeyList(Generic[T]):
 
     __slots__ = ("_key", "_keys", "_items")
 
-    def __init__(self, items: Iterable[T] = (), *, key: Callable[[T], float]):
+    def __init__(
+        self, items: Iterable[T] = (), *, key: Callable[[T], float]
+    ) -> None:
         self._key = key
         pairs = sorted(((key(it), i) for i, it in enumerate(items)))
         src = list(items)

@@ -58,7 +58,9 @@ class GnutellaCapacityProfile:
         """Index of the capacity category (0 = smallest) — figure 5/6 x-axis."""
         vals = self.values
         idx = int(np.searchsorted(vals, capacity))
-        if idx >= len(vals) or vals[idx] != capacity:
+        # Exact match intended: capacities are drawn verbatim from the
+        # discrete profile table, never computed.
+        if idx >= len(vals) or vals[idx] != capacity:  # lint: disable=no-float-equality
             raise WorkloadError(f"capacity {capacity} is not in the profile")
         return idx
 

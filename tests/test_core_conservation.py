@@ -1,0 +1,125 @@
+"""Tests for the runtime load-conservation guards.
+
+Three layers, inside-out: the scalar check
+(:func:`repro.core.records.assert_loads_conserved`), the ring-total
+guard inside :func:`repro.core.vst.execute_transfers`, and the
+round-level :func:`repro.core.report.check_conservation` wired into
+:meth:`repro.app.system.P2PSystem.rebalance`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.app import P2PSystem, SystemConfig
+from repro.core import Assignment, ShedCandidate, execute_transfers
+from repro.core.records import CONSERVATION_RTOL, assert_loads_conserved
+from repro.core.report import check_conservation
+from repro.dht import ChordRing
+from repro.exceptions import BalancerError, ConservationError
+from repro.idspace import IdentifierSpace
+
+
+@pytest.fixture
+def ring():
+    r = ChordRing(IdentifierSpace(bits=12))
+    r.populate(6, 2, [1.0] * 6, rng=8)
+    for i, vs in enumerate(r.virtual_servers):
+        vs.load = float(i + 1)
+    return r
+
+
+@pytest.fixture
+def system():
+    sys_ = P2PSystem(SystemConfig(initial_nodes=12, vs_per_node=3, seed=5))
+    for i in range(60):
+        sys_.put(f"obj-{i}", load=float(i % 9 + 1))
+    return sys_
+
+
+def assignment_for(ring, vs, target_node):
+    return Assignment(
+        candidate=ShedCandidate(load=vs.load, vs_id=vs.vs_id, node_index=vs.owner.index),
+        target_node=target_node,
+        level=0,
+    )
+
+
+class TestScalarGuard:
+    def test_passes_on_equal_totals(self):
+        assert_loads_conserved(12.5, 12.5, context="test")
+
+    def test_tolerates_rounding_drift(self):
+        total = 1e6
+        assert_loads_conserved(total, total * (1 + 1e-12), context="test")
+
+    def test_zero_totals_compare_clean(self):
+        assert_loads_conserved(0.0, 0.0, context="test")
+
+    def test_raises_on_real_drift(self):
+        with pytest.raises(ConservationError, match="load not conserved"):
+            assert_loads_conserved(100.0, 101.0, context="test")
+
+    def test_context_and_drift_in_message(self):
+        with pytest.raises(ConservationError, match=r"vst\.phase.*\+1"):
+            assert_loads_conserved(10.0, 11.0, context="vst.phase")
+
+    def test_rtol_widens_the_window(self):
+        with pytest.raises(ConservationError):
+            assert_loads_conserved(100.0, 100.001, context="test")
+        assert_loads_conserved(100.0, 100.001, context="test", rtol=1e-3)
+
+    def test_conservation_error_is_balancer_error(self):
+        assert issubclass(ConservationError, BalancerError)
+
+
+class TestVstGuard:
+    def test_clean_transfer_passes(self, ring):
+        vs = ring.virtual_servers[0]
+        target = ring.nodes[(vs.owner.index + 1) % 6]
+        before = sum(n.load for n in ring.nodes)
+        execute_transfers(ring, [assignment_for(ring, vs, target.index)])
+        assert sum(n.load for n in ring.nodes) == pytest.approx(before)
+
+    def test_leaking_transfer_primitive_is_caught(self, ring):
+        # Sabotage the ring's move primitive so it inflates the moved
+        # load; the guard at the end of execute_transfers must notice.
+        original = ring.transfer_virtual_server
+
+        def leaky(vs, target):
+            original(vs, target)
+            vs.load += 1.0
+
+        ring.transfer_virtual_server = leaky
+        vs = ring.virtual_servers[0]
+        target = ring.nodes[(vs.owner.index + 1) % 6]
+        with pytest.raises(ConservationError, match="vst.execute_transfers"):
+            execute_transfers(ring, [assignment_for(ring, vs, target.index)])
+
+
+class TestRoundGuard:
+    def _report(self, system):
+        report = system.rebalance()
+        assert report is not None
+        return report
+
+    def test_real_round_conserves(self, system):
+        report = self._report(system)
+        check_conservation(report)  # must not raise
+
+    def test_doctored_report_rejected(self, system):
+        report = self._report(system)
+        report.loads_after = report.loads_after + 1.0
+        with pytest.raises(ConservationError, match="balance round"):
+            check_conservation(report)
+
+    def test_rtol_parameter_respected(self, system):
+        report = self._report(system)
+        total = float(np.sum(report.loads_before))
+        drift = total * 1e-6
+        report.loads_after = report.loads_after + drift / len(report.loads_after)
+        with pytest.raises(ConservationError):
+            check_conservation(report)
+        check_conservation(report, rtol=1e-3)
+
+    def test_default_rtol_is_tight(self):
+        assert CONSERVATION_RTOL <= 1e-8

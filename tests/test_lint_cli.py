@@ -1,0 +1,124 @@
+"""CLI tests for ``python -m repro.lint``: exit codes, formats, baseline."""
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.lint.cli import EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS, main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+CLEAN = '''
+    """A documented module."""
+
+    def double(x: int) -> int:
+        """Return twice ``x``."""
+        return 2 * x
+'''
+
+DIRTY = '''
+    """A documented module."""
+
+    def f(x, acc=[]):
+        """Accumulate."""
+        return acc
+'''
+
+
+def write(tmp_path: Path, relpath: str, source: str) -> Path:
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    path = write(tmp_path, "repro/core/x.py", CLEAN)
+    assert main([str(path)]) == EXIT_CLEAN
+    assert "repro.lint: 0 findings" in capsys.readouterr().out
+
+
+def test_findings_exit_one_with_text_report(tmp_path, capsys):
+    path = write(tmp_path, "repro/core/x.py", DIRTY)
+    assert main([str(path)]) == EXIT_FINDINGS
+    out = capsys.readouterr().out
+    assert "[mutable-default-args]" in out
+    assert "repro.lint: 1 finding" in out
+
+
+def test_missing_path_exits_two(tmp_path, capsys):
+    assert main([str(tmp_path / "nope")]) == EXIT_ERROR
+    assert "error" in capsys.readouterr().err
+
+
+def test_unreadable_baseline_exits_two(tmp_path, capsys):
+    path = write(tmp_path, "repro/core/x.py", CLEAN)
+    assert main([str(path), "--baseline", str(tmp_path / "nope.json")]) == EXIT_ERROR
+    assert "error" in capsys.readouterr().err
+
+
+def test_jsonl_output_parses(tmp_path, capsys):
+    path = write(tmp_path, "repro/core/x.py", DIRTY)
+    assert main([str(path), "--format", "jsonl"]) == EXIT_FINDINGS
+    lines = capsys.readouterr().out.strip().splitlines()
+    records = [json.loads(line) for line in lines]
+    assert len(records) == 1
+    assert records[0]["rule"] == "mutable-default-args"
+    assert {"path", "line", "severity", "message", "fingerprint"} <= records[0].keys()
+
+
+def test_jsonl_out_file_uses_obs_sink(tmp_path, capsys):
+    path = write(tmp_path, "repro/core/x.py", DIRTY)
+    out = tmp_path / "findings.jsonl"
+    assert main([str(path), "--format", "jsonl", "--out", str(out)]) == EXIT_FINDINGS
+    records = [json.loads(line) for line in out.read_text().splitlines()]
+    assert [r["rule"] for r in records] == ["mutable-default-args"]
+
+
+def test_write_baseline_then_rerun_is_clean(tmp_path, capsys):
+    path = write(tmp_path, "repro/core/x.py", DIRTY)
+    baseline = tmp_path / "baseline.json"
+
+    assert main([str(path), "--write-baseline", str(baseline)]) == EXIT_CLEAN
+    assert "wrote 1 fingerprints" in capsys.readouterr().out
+
+    assert main([str(path), "--baseline", str(baseline)]) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    assert "repro.lint: 0 findings (1 baseline-suppressed)" in out
+
+
+def test_show_suppressed_prints_baselined_findings(tmp_path, capsys):
+    path = write(tmp_path, "repro/core/x.py", DIRTY)
+    baseline = tmp_path / "baseline.json"
+    main([str(path), "--write-baseline", str(baseline)])
+    capsys.readouterr()
+
+    assert (
+        main([str(path), "--baseline", str(baseline), "--show-suppressed"])
+        == EXIT_CLEAN
+    )
+    assert "(baseline-suppressed)" in capsys.readouterr().out
+
+
+def test_list_rules_catalog(capsys):
+    assert main(["--list-rules"]) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    for name in (
+        "no-unseeded-rng",
+        "no-wallclock-in-protocol",
+        "no-unordered-iteration",
+        "no-float-equality",
+        "conservation-guard",
+        "obs-span-coverage",
+        "exception-hygiene",
+        "mutable-default-args",
+        "docstring-coverage",
+    ):
+        assert name in out
+
+
+def test_repo_sources_are_lint_clean(capsys):
+    # The shipped tree must pass its own gate (the verify.sh invocation).
+    src = REPO_ROOT / "src" / "repro"
+    baseline = REPO_ROOT / "lint-baseline.json"
+    assert main([str(src), "--baseline", str(baseline)]) == EXIT_CLEAN

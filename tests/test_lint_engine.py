@@ -1,0 +1,189 @@
+"""Tests for the repro.lint engine: findings, pragmas, baseline, ordering."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import LintError
+from repro.lint.engine import Baseline, Finding, LintEngine, Severity
+from repro.lint.rules import ALL_RULES
+from repro.lint.rules.defaults import MutableDefaultArgsRule
+from repro.lint.rules.wallclock import NoWallclockRule
+
+
+def write(tmp_path: Path, relpath: str, source: str) -> Path:
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+VIOLATION = """
+    def f(x, acc=[]):
+        return acc
+"""
+
+
+class TestFinding:
+    def make(self, line=3, message="mutable default"):
+        return Finding(
+            rule="mutable-default-args",
+            path="src/repro/core/x.py",
+            line=line,
+            column=0,
+            severity=Severity.ERROR,
+            message=message,
+        )
+
+    def test_fingerprint_ignores_line(self):
+        assert self.make(line=3).fingerprint() == self.make(line=99).fingerprint()
+
+    def test_fingerprint_distinguishes_message(self):
+        assert self.make().fingerprint() != self.make(message="other").fingerprint()
+
+    def test_to_dict_round_trips_fields(self):
+        d = self.make().to_dict()
+        assert d["rule"] == "mutable-default-args"
+        assert d["severity"] == "error"
+        assert d["fingerprint"] == self.make().fingerprint()
+
+    def test_format_text_shape(self):
+        text = self.make().format_text()
+        assert text.startswith("src/repro/core/x.py:3:0: error")
+        assert "[mutable-default-args]" in text
+
+
+class TestModuleName:
+    def test_anchored_at_repro(self):
+        name = LintEngine.module_name(Path("/x/src/repro/core/vsa.py"))
+        assert name == "repro.core.vsa"
+
+    def test_init_maps_to_package(self):
+        name = LintEngine.module_name(Path("/x/src/repro/obs/__init__.py"))
+        assert name == "repro.obs"
+
+    def test_non_repro_path_gets_basename(self):
+        assert LintEngine.module_name(Path("/tmp/fixture.py")) == "fixture"
+
+
+class TestEngine:
+    def test_finding_reported(self, tmp_path):
+        path = write(tmp_path, "repro/core/x.py", VIOLATION)
+        engine = LintEngine(rules=[MutableDefaultArgsRule()])
+        findings = engine.lint_paths([path], root=tmp_path)
+        assert len(findings) == 1
+        assert findings[0].rule == "mutable-default-args"
+        assert findings[0].path == "repro/core/x.py"
+
+    def test_inline_pragma_suppresses(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/core/x.py",
+            "def f(x, acc=[]):  # lint: disable=mutable-default-args\n"
+            "    return acc\n",
+        )
+        engine = LintEngine(rules=[MutableDefaultArgsRule()])
+        assert engine.lint_paths([path], root=tmp_path) == []
+
+    def test_pragma_only_disables_named_rules(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/core/x.py",
+            "def f(x, acc=[]):  # lint: disable=no-float-equality\n"
+            "    return acc\n",
+        )
+        engine = LintEngine(rules=[MutableDefaultArgsRule()])
+        assert len(engine.lint_paths([path], root=tmp_path)) == 1
+
+    def test_findings_sorted(self, tmp_path):
+        write(tmp_path, "repro/core/b.py", VIOLATION)
+        write(tmp_path, "repro/core/a.py", VIOLATION)
+        engine = LintEngine(rules=[MutableDefaultArgsRule()])
+        findings = engine.lint_paths([tmp_path], root=tmp_path)
+        assert [f.path for f in findings] == ["repro/core/a.py", "repro/core/b.py"]
+
+    def test_duplicate_rule_names_rejected(self):
+        with pytest.raises(LintError):
+            LintEngine(rules=[NoWallclockRule(), NoWallclockRule()])
+
+    def test_missing_path_rejected(self, tmp_path):
+        engine = LintEngine(rules=[MutableDefaultArgsRule()])
+        with pytest.raises(LintError):
+            engine.lint_paths([tmp_path / "nope"], root=tmp_path)
+
+    def test_syntax_error_rejected(self, tmp_path):
+        path = write(tmp_path, "repro/core/x.py", "def broken(:\n")
+        engine = LintEngine(rules=[MutableDefaultArgsRule()])
+        with pytest.raises(LintError):
+            engine.lint_paths([path], root=tmp_path)
+
+    def test_all_rules_have_unique_names_and_docs(self):
+        names = [r.name for r in ALL_RULES]
+        assert len(names) == len(set(names))
+        for rule in ALL_RULES:
+            assert rule.name and rule.description
+
+
+class TestBaseline:
+    def test_round_trip_suppresses(self, tmp_path):
+        path = write(tmp_path, "repro/core/x.py", VIOLATION)
+        engine = LintEngine(rules=[MutableDefaultArgsRule()])
+        findings = engine.lint_paths([path], root=tmp_path)
+        assert findings
+
+        baseline_file = tmp_path / "baseline.json"
+        Baseline.from_findings(findings).save(baseline_file)
+
+        engine2 = LintEngine(
+            rules=[MutableDefaultArgsRule()],
+            baseline=Baseline.load(baseline_file),
+        )
+        assert engine2.lint_paths([path], root=tmp_path) == []
+        assert len(engine2.suppressed) == len(findings)
+
+    def test_baseline_survives_line_shift(self, tmp_path):
+        path = write(tmp_path, "repro/core/x.py", VIOLATION)
+        engine = LintEngine(rules=[MutableDefaultArgsRule()])
+        baseline = Baseline.from_findings(engine.lint_paths([path], root=tmp_path))
+
+        shifted = "# a new leading comment\n" + path.read_text()
+        path.write_text(shifted)
+        engine2 = LintEngine(rules=[MutableDefaultArgsRule()], baseline=baseline)
+        assert engine2.lint_paths([path], root=tmp_path) == []
+
+    def test_new_violations_not_suppressed(self, tmp_path):
+        path = write(tmp_path, "repro/core/x.py", VIOLATION)
+        engine = LintEngine(rules=[MutableDefaultArgsRule()])
+        baseline = Baseline.from_findings(engine.lint_paths([path], root=tmp_path))
+
+        path.write_text(path.read_text() + "\ndef g(y, out={}):\n    return out\n")
+        engine2 = LintEngine(rules=[MutableDefaultArgsRule()], baseline=baseline)
+        fresh = engine2.lint_paths([path], root=tmp_path)
+        assert len(fresh) == 1
+        assert "'out'" in fresh[0].message
+
+    def test_load_rejects_bad_json(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{not json")
+        with pytest.raises(LintError):
+            Baseline.load(bad)
+
+    def test_load_rejects_wrong_version(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text('{"version": 99, "fingerprints": {}}')
+        with pytest.raises(LintError):
+            Baseline.load(bad)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(LintError):
+            Baseline.load(tmp_path / "absent.json")
+
+    def test_saved_file_is_deterministic(self, tmp_path):
+        path = write(tmp_path, "repro/core/x.py", VIOLATION)
+        engine = LintEngine(rules=[MutableDefaultArgsRule()])
+        findings = engine.lint_paths([path], root=tmp_path)
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        Baseline.from_findings(findings).save(a)
+        Baseline.from_findings(list(reversed(findings))).save(b)
+        assert a.read_text() == b.read_text()
