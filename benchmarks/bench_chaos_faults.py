@@ -1,0 +1,34 @@
+"""Benchmark: chaos sweep — fault rate vs achieved load movement.
+
+Robustness experiment: one balancing round per injected drop rate (plus
+a fixed mid-round crash and transfer-abort probability) against the
+same scenario, measuring how gracefully the movement ratio degrades.
+The retry machinery should fully absorb moderate drop rates; heavy drop
+costs movement but never conservation, convergence-to-completion or
+reproducibility.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments import chaos
+
+
+def test_chaos_fault_sweep(benchmark, settings, report_lines):
+    result = benchmark.pedantic(
+        lambda: chaos.run(settings, drop_rates=(0.0, 0.1, 0.4)),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report_lines, "Robustness: chaos fault sweep", result.format_rows())
+
+    assert result.baseline_moved > 0
+    for row in result.rows:
+        # Every degraded round completed, conserved and still moved load.
+        assert row.movement_ratio > 0
+        assert row.signature != ""
+    # The retry machinery engages once drops are injected...
+    assert result.rows[1].retries > 0
+    # ...and heavy drop degrades movement, never below half the moderate
+    # case (graceful, not a cliff).
+    assert result.rows[2].moved_load >= 0.5 * result.rows[1].moved_load

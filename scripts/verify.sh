@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Repository verify path: tier-1 tests, the observability suite, the
 # repro.lint static-analysis gate, the mypy strict-typing gate (when
-# mypy is installed) and the generated-API freshness check.  Run from
+# mypy is installed), the generated-API freshness check and the chaos
+# smoke (a degraded balancing round under injected faults).  Run from
 # the repository root:
 #
 #   bash scripts/verify.sh
@@ -29,5 +30,13 @@ fi
 
 echo "== generated API docs freshness =="
 python scripts/gen_api_docs.py --check
+
+echo "== chaos smoke: degraded round survives, conserves, reproduces =="
+# Small ring, fixed seed, 10% message drop + one mid-round crash; the
+# module asserts conservation, convergence and byte-identical fault
+# sequences across two runs.  (Invoked via -c rather than -m to avoid
+# the runpy double-import warning: the experiments package __init__
+# already imports chaos through the registry.)
+python -c "import sys; from repro.experiments.chaos import main; sys.exit(main(['--smoke']))"
 
 echo "verify: OK"

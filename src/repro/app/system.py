@@ -37,6 +37,9 @@ from repro.dht.node import PhysicalNode
 from repro.dht.replication import ReplicationManager
 from repro.dht.storage import ObjectStore, StoredObject
 from repro.exceptions import DHTError, ReproError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import RetryPolicy
 from repro.idspace import IdentifierSpace
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.runtime import current_metrics, current_tracer
@@ -87,7 +90,16 @@ class SystemStats:
 
 
 class P2PSystem:
-    """A self-balancing, replicated P2P object store."""
+    """A self-balancing, replicated P2P object store.
+
+    Pass ``faults`` (a :class:`~repro.faults.FaultPlan` or pre-built
+    :class:`~repro.faults.FaultInjector`) to run every balancing round
+    in a seeded failure environment — dropped/delayed/duplicated
+    protocol messages, transfers aborting mid-flight, nodes crashing
+    mid-round — with the recovery machinery bounded by ``retry``.
+    Rounds still complete and still conserve load; the injected faults
+    and the recovery work land in each report's ``fault_stats``.
+    """
 
     def __init__(
         self,
@@ -96,6 +108,8 @@ class P2PSystem:
         capacities: list[float] | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        faults: FaultPlan | FaultInjector | None = None,
+        retry: RetryPolicy | None = None,
     ):
         self.config = config if config is not None else SystemConfig()
         # Observability: an explicit tracer/registry wins; otherwise the
@@ -158,6 +172,8 @@ class P2PSystem:
             rng=self._balancer_rng,
             tracer=self.tracer,
             metrics=self.metrics,
+            faults=faults,
+            retry=retry,
         )
         self.reports: list[BalanceReport] = []
 
@@ -241,6 +257,14 @@ class P2PSystem:
         """
         report = self._balancer.run_round()
         check_conservation(report)
+        if report.fault_stats.crashed_nodes:
+            # An injected mid-round crash changed membership: objects on
+            # the crashed peer's region must re-home before the store's
+            # consistency checks (and any subsequent put/get) run.
+            self.store.rehome()
+            self.metrics.counter("membership.crashes").inc(
+                len(report.fault_stats.crashed_nodes)
+            )
         self.replication.refresh()
         self.reports.append(report)
         return report

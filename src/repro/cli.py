@@ -55,6 +55,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="render the figure as ASCII art in the terminal",
     )
     run.add_argument(
+        "--fault-drop",
+        type=float,
+        action="append",
+        default=None,
+        metavar="P",
+        help="chaos only: message-drop probability to sweep (repeatable)",
+    )
+    run.add_argument(
+        "--fault-crash",
+        type=int,
+        default=None,
+        metavar="N",
+        help="chaos only: mid-round node crashes injected per round",
+    )
+    run.add_argument(
+        "--fault-abort",
+        type=float,
+        default=None,
+        metavar="P",
+        help="chaos only: per-transfer abort probability",
+    )
+    run.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="chaos only: fault-injector seed (default: scenario seed)",
+    )
+    run.add_argument(
         "--trace",
         metavar="FILE",
         default=None,
@@ -216,6 +245,32 @@ def main(argv: list[str] | None = None) -> int:
         settings = replace(settings, **overrides)
 
     runner = get_experiment(args.experiment)
+
+    fault_kwargs = {}
+    if args.fault_drop is not None:
+        fault_kwargs["drop_rates"] = tuple(args.fault_drop)
+    if args.fault_crash is not None:
+        fault_kwargs["crash_mid_round"] = args.fault_crash
+    if args.fault_abort is not None:
+        fault_kwargs["transfer_abort"] = args.fault_abort
+    if args.fault_seed is not None:
+        fault_kwargs["fault_seed"] = args.fault_seed
+    if fault_kwargs:
+        import functools
+        import inspect
+
+        params = inspect.signature(runner).parameters
+        unsupported = sorted(k for k in fault_kwargs if k not in params)
+        if unsupported:
+            print(
+                f"error: {args.experiment} does not accept fault knobs "
+                f"({', '.join(unsupported)}); --fault-* flags apply to "
+                "the 'chaos' experiment",
+                file=sys.stderr,
+            )
+            return 2
+        runner = functools.partial(runner, **fault_kwargs)
+
     start = time.perf_counter()
     result = _run_observed(runner, settings, args.trace, args.metrics_out)
     elapsed = time.perf_counter() - start

@@ -20,19 +20,29 @@ import numpy as np
 
 from repro.core.classification import classify_all
 from repro.core.config import BalancerConfig
-from repro.core.lbi import aggregate_lbi, collect_lbi_reports
+from repro.core.lbi import AggregationTrace, aggregate_lbi, collect_lbi_reports
 from repro.core.placement import (
     PlacementStrategy,
     ProximityPlacement,
     RandomVSPlacement,
 )
-from repro.core.records import Assignment, NodeClass, ShedCandidate, SpareCapacity
+from repro.core.records import (
+    Assignment,
+    NodeClass,
+    ShedCandidate,
+    SpareCapacity,
+    SystemLBI,
+)
 from repro.core.report import BalanceReport
 from repro.core.selection import select_shed_subset
 from repro.core.vsa import VSASweep
 from repro.core.vst import execute_transfers
 from repro.dht.chord import ChordRing
 from repro.exceptions import ConfigError
+from repro.faults.injector import FaultInjector, ensure_injector
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import RetryPolicy
+from repro.faults.stats import FaultRoundStats
 from repro.ktree.tree import KnaryTree
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import PhaseClock, profile_from_report
@@ -78,6 +88,19 @@ class LoadBalancer:
     metrics:
         Metrics registry accumulating cross-round counters/histograms.
         Defaults to the process-wide registry (``None`` = off).
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` (or a pre-built
+        :class:`~repro.faults.FaultInjector` to share one fault history
+        across components).  With one attached, every phase runs its
+        degraded-mode machinery: LBI reports and VSA publications are
+        retried under ``retry`` and may end up lost, transfers may abort
+        and roll back, and seeded victims may crash mid-round.  ``None``
+        or a null plan keeps every fast path byte-identical to the
+        fault-free implementation.
+    retry:
+        Recovery bounds (attempts, backoff, phase budgets, LBI staleness)
+        used when ``faults`` is active; defaults to
+        :class:`~repro.faults.RetryPolicy`'s defaults.
     """
 
     def __init__(
@@ -91,20 +114,32 @@ class LoadBalancer:
         rng: int | None | np.random.Generator = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        faults: FaultPlan | FaultInjector | None = None,
+        retry: RetryPolicy | None = None,
     ):
         self.ring = ring
         self.config = config if config is not None else BalancerConfig()
         self.tracer = tracer if tracer is not None else current_tracer()
         self.metrics = metrics if metrics is not None else current_metrics()
+        self.faults = ensure_injector(
+            faults, tracer=self.tracer, metrics=self.metrics
+        )
+        self.retry = retry if retry is not None else RetryPolicy()
         self.topology = topology
         if topology is not None and oracle is None:
             oracle = DistanceOracle(topology)
         self.oracle = oracle
+        #: Last successfully aggregated LBI, kept for degraded-mode reuse
+        #: when a later round loses every report (bounded by
+        #: ``retry.lbi_staleness_rounds``).
+        self._stale_lbi: SystemLBI | None = None
+        self._stale_lbi_age = 0
         (
             self._lbi_rng,
             self._placement_rng,
             self._landmark_rng,
-        ) = spawn_rngs(ensure_rng(rng), 3)
+            self._retry_rng,
+        ) = spawn_rngs(ensure_rng(rng), 4)
 
         self._placement: PlacementStrategy | None = placement
         self._landmarks = landmarks
@@ -152,6 +187,10 @@ class LoadBalancer:
         cfg = self.config
         ring = self.ring
         tracer = self.tracer
+        faults = self.faults
+        stats = FaultRoundStats()
+        if faults is not None:
+            faults.reset_round()
         alive = ring.alive_nodes
         node_indices = np.asarray([n.index for n in alive], dtype=np.int64)
         capacities = np.asarray([n.capacity for n in alive], dtype=np.float64)
@@ -169,9 +208,40 @@ class LoadBalancer:
         with clock.phase("lbi"), tracer.span("lbi"):
             tree = KnaryTree(ring, cfg.tree_degree, metrics=self.metrics)
             reports = collect_lbi_reports(
-                ring, tree, rng=self._lbi_rng, tracer=tracer
+                ring,
+                tree,
+                rng=self._lbi_rng,
+                tracer=tracer,
+                faults=faults,
+                retry=self.retry,
+                fault_stats=stats,
             )
-            system, agg_trace = aggregate_lbi(tree, reports, tracer=tracer)
+            if reports or self._stale_lbi is None:
+                # aggregate_lbi raises BalancerError on an empty report
+                # set with nothing cached — total aggregation failure in
+                # the very first round is unrecoverable by design.
+                system, agg_trace = aggregate_lbi(tree, reports, tracer=tracer)
+                self._stale_lbi = system
+                self._stale_lbi_age = 0
+            elif self._stale_lbi_age < self.retry.lbi_staleness_rounds:
+                # Degraded mode: every report was lost this round, but a
+                # previous aggregate is still within its staleness bound —
+                # reuse it rather than failing the round.  The loads it
+                # describes are approximate, which the paper's protocol
+                # tolerates (classification thresholds carry slack).
+                self._stale_lbi_age += 1
+                system = self._stale_lbi
+                agg_trace = AggregationTrace(tree_height=tree.height())
+                stats.stale_lbi_reused = True
+                if tracer.enabled:
+                    tracer.event(
+                        "lbi.stale_reuse",
+                        age=self._stale_lbi_age,
+                        bound=self.retry.lbi_staleness_rounds,
+                    )
+            else:
+                # The cached aggregate aged out: surface the failure.
+                system, agg_trace = aggregate_lbi(tree, reports, tracer=tracer)
 
         # Phase 2: classification.
         with clock.phase("classification"), tracer.span("classification"):
@@ -226,27 +296,38 @@ class LoadBalancer:
                 min_vs_load=system.min_vs_load,
                 strict_heaviest_first=cfg.strict_heaviest_first,
                 tracer=tracer,
+                faults=faults,
+                retry=self.retry,
+                rng=self._retry_rng,
+                fault_stats=stats,
             )
             vsa_result = sweep.run(published)
             vsa_span.end()
 
         # Phase 4: execute transfers.  Assignments that went stale because
-        # churn interleaved between VSA and VST are dropped, not fatal.
+        # churn interleaved between VSA and VST are dropped, not fatal;
+        # transfers that abort mid-flight roll back and land in ``failed``.
         skipped: list[Assignment] = []
+        failed: list[Assignment] = []
         with clock.phase("vst"), tracer.span("vst"):
             transfers = execute_transfers(
                 ring, vsa_result.assignments, self.oracle, skipped=skipped,
-                tracer=tracer,
+                tracer=tracer, faults=faults, failed=failed, fault_stats=stats,
             )
 
         loads_after = np.asarray([n.load for n in alive], dtype=np.float64)
         classification_after = classify_all(
             alive, system, cfg.epsilon, tracer=tracer, stage="after"
         )
+        if faults is not None:
+            stats.injected_total = faults.injected
+            stats.signature = faults.signature()
         round_span.end(
             transfers=len(transfers),
             moved_load=float(sum(t.load for t in transfers)),
             heavy_after=len(classification_after.heavy),
+            failed_transfers=len(failed),
+            faults_injected=stats.injected_total,
         )
 
         report = BalanceReport(
@@ -264,6 +345,8 @@ class LoadBalancer:
             vsa=vsa_result,
             transfers=transfers,
             skipped_assignments=skipped,
+            failed_assignments=failed,
+            fault_stats=stats,
             tree_height=tree.height(),
             tree_nodes_materialized=tree.node_count,
             phase_seconds=clock.seconds,
@@ -287,7 +370,21 @@ class LoadBalancer:
         m.counter("vsa.pairings").inc(len(report.vsa.assignments))
         m.counter("vst.transfers").inc(len(report.transfers))
         m.counter("vst.skipped").inc(len(report.skipped_assignments))
+        m.counter("vst.failed").inc(len(report.failed_assignments))
         m.counter("vst.moved_load").inc(report.moved_load)
+        fs = report.fault_stats
+        if self.faults is not None or fs.vst_rollbacks or fs.vst_failed:
+            # Recovery counters only materialise once faults are in play,
+            # keeping fault-free metrics dumps identical to before.
+            m.counter("lbi.retries").inc(fs.lbi_retries)
+            m.counter("lbi.reports_lost").inc(fs.lbi_reports_lost)
+            m.counter("vsa.retries").inc(fs.vsa_retries)
+            m.counter("vsa.entries_lost").inc(fs.vsa_entries_lost)
+            m.counter("vst.rollbacks").inc(fs.vst_rollbacks)
+            if fs.stale_lbi_reused:
+                m.counter("lbi.stale_reuse").inc()
+            if fs.crashed_nodes:
+                m.counter("faults.crash_victims").inc(len(fs.crashed_nodes))
         m.gauge("balancer.heavy_after").set(report.heavy_after)
         m.gauge("ktree.height").set(report.tree_height)
         for t in report.transfers:

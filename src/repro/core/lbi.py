@@ -23,6 +23,9 @@ from repro.core.records import LBIRecord, SystemLBI
 from repro.dht.chord import ChordRing
 from repro.dht.node import PhysicalNode
 from repro.exceptions import BalancerError
+from repro.faults.injector import FaultInjector
+from repro.faults.retry import RetryBudget, RetryPolicy, deliver_with_retry
+from repro.faults.stats import FaultRoundStats
 from repro.idspace.hashing import hash_to_id
 from repro.ktree.node import KTNode
 from repro.ktree.tree import KnaryTree
@@ -55,6 +58,9 @@ def collect_lbi_reports(
     tree: KnaryTree,
     rng: int | None | np.random.Generator = None,
     tracer: Tracer | None = None,
+    faults: FaultInjector | None = None,
+    retry: RetryPolicy | None = None,
+    fault_stats: FaultRoundStats | None = None,
 ) -> dict[int, tuple[KTNode, list[LBIRecord]]]:
     """Leaf-indexed LBI reports for every alive node of ``ring``.
 
@@ -63,14 +69,25 @@ def collect_lbi_reports(
     nodes are unhashable by content on purpose); values carry the leaf
     itself plus its reports.
 
+    With a ``faults`` injector attached, each report is one *message*:
+    it may be delayed, duplicated (the duplicate is suppressed at the
+    leaf by the reporter's sequence number and only costs a message) or
+    dropped — dropped reports are resent under ``retry`` (bounded
+    attempts, seeded backoff, phase timeout budget) and count as lost
+    once the bounds bite, leaving the aggregate approximate rather than
+    the phase failed.  Recovery accounting lands in ``fault_stats``.
+
     With an enabled ``tracer``, one ``lbi.collect`` event summarises the
     collection (reports filed, distinct leaves, nodes with no virtual
-    servers reporting through their notional position).
+    servers reporting through their notional position, reports lost).
     """
     gen = ensure_rng(rng)
+    policy = retry if retry is not None else RetryPolicy()
+    budget = RetryBudget(policy.phase_budget)
     by_leaf: dict[int, tuple[KTNode, list[LBIRecord]]] = {}
     reports = 0
     vsless = 0
+    lost = 0
     for node in ring.alive_nodes:
         if node.virtual_servers:
             reporter = node.virtual_servers[int(gen.integers(len(node.virtual_servers)))]
@@ -88,6 +105,28 @@ def collect_lbi_reports(
             key = hash_to_id(f"node-{node.index}", ring.space)
             min_vs = math.inf
             vsless += 1
+        if faults is not None:
+            subject = f"report:{node.index}"
+            outcome = deliver_with_retry(
+                policy,
+                lambda attempt: faults.drop("lbi", f"{subject}#{attempt}"),
+                gen,
+                budget,
+                extra_delay=faults.delay("lbi", subject),
+            )
+            if fault_stats is not None:
+                fault_stats.lbi_retries += outcome.attempts - 1
+                fault_stats.lbi_delay += outcome.simulated_delay
+            if not outcome.delivered:
+                lost += 1
+                if fault_stats is not None:
+                    fault_stats.lbi_reports_lost += 1
+                continue
+            if faults.duplicate("lbi", subject) and fault_stats is not None:
+                # The duplicate arrives at the same leaf carrying the same
+                # reporter sequence number; the leaf suppresses it, so it
+                # costs a message but never double-counts the load.
+                fault_stats.lbi_duplicates += 1
         leaf = tree.ensure_leaf_for_key(key)
         record = LBIRecord(load=node.load, capacity=node.capacity, min_vs_load=min_vs)
         by_leaf.setdefault(id(leaf), (leaf, []))[1].append(record)
@@ -98,6 +137,7 @@ def collect_lbi_reports(
             reports=reports,
             leaves=len(by_leaf),
             vsless_nodes=vsless,
+            reports_lost=lost,
         )
     return by_leaf
 

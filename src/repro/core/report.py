@@ -23,6 +23,7 @@ from repro.core.records import (
 )
 from repro.core.vsa import VSAResult
 from repro.core.vst import TransferRecord
+from repro.faults.stats import FaultRoundStats
 from repro.obs.profile import RoundProfile
 from repro.util.stats import summary, weighted_fraction_within
 
@@ -49,6 +50,14 @@ class BalanceReport:
     vsa: VSAResult
     transfers: list[TransferRecord] = field(default_factory=list)
     skipped_assignments: list[Assignment] = field(default_factory=list)
+    #: Assignments whose transfer aborted mid-flight and was rolled back
+    #: (injected ``transfer_abort`` faults or a ``DHTError`` mid-commit).
+    #: Unlike skipped assignments these *started* executing; the rollback
+    #: restored the pre-transfer hosting, so conservation still holds.
+    failed_assignments: list[Assignment] = field(default_factory=list)
+    #: Fault/recovery accounting for the round; all zeros when no fault
+    #: plan was attached (natural-churn rollbacks still count here).
+    fault_stats: FaultRoundStats = field(default_factory=FaultRoundStats)
     tree_height: int = 0
     tree_nodes_materialized: int = 0
     #: Wall-clock seconds per phase ("lbi", "classification", "vsa", "vst") —
@@ -148,6 +157,7 @@ class BalanceReport:
             "heavy_before": self.heavy_before,
             "heavy_after": self.heavy_after,
             "transfers": len(self.transfers),
+            "failed_transfers": len(self.failed_assignments),
             "moved_load": self.moved_load,
             "unassigned_heavy": len(self.vsa.unassigned_heavy),
             "aggregation_rounds": self.aggregation.total_rounds,
@@ -156,6 +166,7 @@ class BalanceReport:
             "moved_within_2": self.moved_load_within(2),
             "moved_within_10": self.moved_load_within(10),
             "phases": self.profile.to_dict() if self.profile is not None else None,
+            "faults": self.fault_stats.to_dict(),
         }
 
 

@@ -21,11 +21,17 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.records import Assignment, ShedCandidate, SpareCapacity
 from repro.core.rendezvous import pair_rendezvous
 from repro.exceptions import BalancerError
+from repro.faults.injector import FaultInjector
+from repro.faults.retry import RetryBudget, RetryPolicy, deliver_with_retry
+from repro.faults.stats import FaultRoundStats
 from repro.ktree.tree import KnaryTree
 from repro.obs.trace import Tracer
+from repro.util.rng import ensure_rng
 
 
 @dataclass
@@ -38,6 +44,9 @@ class VSAResult:
     rounds: int = 0
     upward_messages: int = 0
     entries_published: int = 0
+    #: Publications lost to injected faults after every retry (their
+    #: shed/spare entries simply sit out the round — safe degradation).
+    entries_lost: int = 0
     pairings_by_level: Counter[int] = field(default_factory=Counter)
 
     @property
@@ -71,6 +80,20 @@ class VSASweep:
         ``vsa.rendezvous`` event per pairing attempt (KT level, pairs
         made, leftovers) and a ``vsa.sweep`` summary matching the
         returned :class:`VSAResult`.
+    faults:
+        Optional fault injector: each publication is a message that may
+        be delayed, duplicated (suppressed at the leaf) or dropped —
+        drops are retried under ``retry`` and count as
+        ``entries_lost`` once the bounds bite.
+    retry:
+        Recovery policy for dropped publications (defaults apply when
+        ``faults`` is set without one).
+    rng:
+        Seed/generator for the retry backoff jitter (only consumed when
+        faults are injected, so fault-free sweeps stay byte-identical
+        to the pre-fault implementation).
+    fault_stats:
+        Per-round accumulator for retry/loss accounting.
     """
 
     def __init__(
@@ -80,6 +103,10 @@ class VSASweep:
         min_vs_load: float,
         strict_heaviest_first: bool = False,
         tracer: Tracer | None = None,
+        faults: FaultInjector | None = None,
+        retry: RetryPolicy | None = None,
+        rng: int | None | np.random.Generator = None,
+        fault_stats: FaultRoundStats | None = None,
     ):
         if threshold < 0:
             raise BalancerError(f"threshold must be >= 0, got {threshold}")
@@ -88,6 +115,10 @@ class VSASweep:
         self.min_vs_load = min_vs_load
         self.strict_heaviest_first = strict_heaviest_first
         self.tracer = tracer
+        self.faults = faults
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.rng = ensure_rng(rng)
+        self.fault_stats = fault_stats
 
     def run(
         self,
@@ -108,7 +139,32 @@ class VSASweep:
                 pending[node_id] = buck
             return buck
 
+        faults = self.faults
+        budget = RetryBudget(self.retry.phase_budget)
+        stats = self.fault_stats
         for key, entry in published:
+            if faults is not None:
+                subject = f"entry:{entry.node_index}:{key}"
+                outcome = deliver_with_retry(
+                    self.retry,
+                    lambda attempt: faults.drop("vsa", f"{subject}#{attempt}"),
+                    self.rng,
+                    budget,
+                    extra_delay=faults.delay("vsa", subject),
+                )
+                if stats is not None:
+                    stats.vsa_retries += outcome.attempts - 1
+                    stats.vsa_delay += outcome.simulated_delay
+                if not outcome.delivered:
+                    result.entries_lost += 1
+                    if stats is not None:
+                        stats.vsa_entries_lost += 1
+                    continue
+                if faults.duplicate("vsa", subject) and stats is not None:
+                    # Publications are idempotent per (node, key): the leaf
+                    # keeps the first copy and drops the echo, so a
+                    # duplicate costs one message and nothing else.
+                    stats.vsa_duplicates += 1
             leaf = self.tree.ensure_leaf_for_key(key)
             heavy, light = bucket(id(leaf))
             if isinstance(entry, ShedCandidate):
@@ -187,6 +243,7 @@ class VSASweep:
             tracer.event(
                 "vsa.sweep",
                 entries_published=result.entries_published,
+                entries_lost=result.entries_lost,
                 pairings=len(result.assignments),
                 messages_up=result.upward_messages,
                 rounds=result.rounds,

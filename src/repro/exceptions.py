@@ -59,6 +59,18 @@ class ConservationError(BalancerError):
     """A balancing step created or destroyed load instead of moving it."""
 
 
+class FaultError(ReproError):
+    """The fault-injection subsystem was misused or misconfigured."""
+
+
+class FaultPlanError(FaultError):
+    """A :class:`repro.faults.FaultPlan` knob is out of its valid range."""
+
+
+class RetryExhaustedError(FaultError):
+    """A bounded retry loop ran out of attempts or timeout budget."""
+
+
 class SimulationError(ReproError):
     """The discrete-event simulation engine hit an invalid state."""
 

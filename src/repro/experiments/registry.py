@@ -6,6 +6,7 @@ from typing import Callable
 
 from repro.exceptions import ReproError
 from repro.experiments import (
+    chaos,
     convergence,
     fig4,
     fig5,
@@ -31,6 +32,10 @@ EXPERIMENTS: dict[str, tuple[Callable, str]] = {
     "variance": (
         variance.run,
         "seed-variance (error bars) of the figure-7 headline numbers",
+    ),
+    "chaos": (
+        chaos.run,
+        "fault-rate sweep: message drop vs achieved load movement",
     ),
 }
 

@@ -1,0 +1,243 @@
+"""The seeded decision engine that turns a :class:`FaultPlan` into faults.
+
+A :class:`FaultInjector` owns one independent random stream per fault
+channel (drop, delay, duplicate, crash, abort), all spawned from
+``plan.seed`` via the SeedSequence protocol — so the decision sequence
+on one channel is unaffected by traffic on another, and the whole fault
+history is a pure function of the plan.  Every decision that fires is
+appended to :attr:`FaultInjector.log` and mirrored to the attached
+observability layer (``faults.injected`` counter, per-kind counters,
+one ``fault.inject`` trace event), and :meth:`FaultInjector.signature`
+hashes the log so tests can assert two runs injected the *identical*
+fault sequence byte for byte.
+
+The injector only ever *decides*; the mechanics of acting on a decision
+(dropping the report, rolling back the transfer, crashing the node)
+stay with the protocol code, which keeps this package free of DHT
+dependencies and lets any phase adopt a new channel without circular
+imports.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.runtime import current_metrics, current_tracer
+from repro.obs.trace import Tracer
+from repro.util.rng import ensure_rng, spawn_rngs
+
+
+class FaultKind(enum.Enum):
+    """The injectable fault classes (see :class:`~repro.faults.FaultPlan`)."""
+
+    DROP = "drop"
+    DELAY = "delay"
+    DUPLICATE = "duplicate"
+    CRASH = "crash"
+    TRANSFER_ABORT = "transfer_abort"
+
+
+@dataclass(frozen=True, slots=True)
+class InjectedFault:
+    """One fault that actually fired, in injection order.
+
+    ``seq`` totals the injector's history; ``phase`` names the protocol
+    surface the fault hit (``"lbi"``, ``"vsa"``, ``"vst"``,
+    ``"heartbeat"``, ``"ktree"``); ``subject`` identifies the affected
+    message/node/transfer within that phase.
+    """
+
+    seq: int
+    kind: FaultKind
+    phase: str
+    subject: str
+
+    def key(self) -> str:
+        """Canonical string identity (the unit of the log signature)."""
+        return f"{self.seq}:{self.kind.value}:{self.phase}:{self.subject}"
+
+
+class FaultInjector:
+    """Draws seeded fault decisions for one :class:`FaultPlan`.
+
+    Parameters
+    ----------
+    plan:
+        The declarative fault model; ``plan.seed`` roots every decision
+        stream.
+    tracer:
+        Structured tracer for ``fault.inject`` events; defaults to the
+        process-wide one.
+    metrics:
+        Registry accumulating ``faults.*`` counters; defaults to the
+        process-wide one (``None`` = off).
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        """Spawn the per-channel decision streams; see the class docstring."""
+        self.plan = plan
+        self.tracer = tracer if tracer is not None else current_tracer()
+        self.metrics = metrics if metrics is not None else current_metrics()
+        (
+            self._drop_rng,
+            self._delay_rng,
+            self._dup_rng,
+            self._crash_rng,
+            self._abort_rng,
+        ) = spawn_rngs(ensure_rng(plan.seed), 5)
+        self.log: list[InjectedFault] = []
+        self._crashes_left = plan.crash_mid_round
+
+    # -- bookkeeping -----------------------------------------------------
+    def _record(self, kind: FaultKind, phase: str, subject: str) -> None:
+        fault = InjectedFault(
+            seq=len(self.log), kind=kind, phase=phase, subject=subject
+        )
+        self.log.append(fault)
+        if self.metrics is not None:
+            self.metrics.counter("faults.injected").inc()
+            self.metrics.counter(f"faults.{kind.value}").inc()
+        if self.tracer.enabled:
+            self.tracer.event(
+                "fault.inject",
+                seq=fault.seq,
+                kind=kind.value,
+                phase=phase,
+                subject=subject,
+            )
+
+    @property
+    def injected(self) -> int:
+        """Total faults injected so far."""
+        return len(self.log)
+
+    def signature(self) -> str:
+        """SHA-256 over the ordered fault log (reproducibility witness).
+
+        Two runs of the same scenario under the same plan must produce
+        the same signature; the acceptance tests assert exactly that.
+        """
+        digest = hashlib.sha256()
+        for fault in self.log:
+            digest.update(fault.key().encode("utf-8"))
+            digest.update(b"\x00")
+        return digest.hexdigest()
+
+    # -- message channels ------------------------------------------------
+    def drop(self, phase: str, subject: str) -> bool:
+        """Decide whether one message send is lost in flight."""
+        if self.plan.drop <= 0:
+            return False
+        if float(self._drop_rng.random()) >= self.plan.drop:
+            return False
+        self._record(FaultKind.DROP, phase, subject)
+        return True
+
+    def delay(self, phase: str, subject: str) -> float:
+        """Injected in-flight delay for one message (0.0 = on time)."""
+        if self.plan.delay <= 0:
+            return 0.0
+        if float(self._delay_rng.random()) >= self.plan.delay:
+            return 0.0
+        self._record(FaultKind.DELAY, phase, subject)
+        return float(self._delay_rng.random()) * self.plan.delay_max
+
+    def duplicate(self, phase: str, subject: str) -> bool:
+        """Decide whether one delivered message arrives twice."""
+        if self.plan.duplicate <= 0:
+            return False
+        if float(self._dup_rng.random()) >= self.plan.duplicate:
+            return False
+        self._record(FaultKind.DUPLICATE, phase, subject)
+        return True
+
+    # -- transfer channel ------------------------------------------------
+    def abort_transfer(self, vs_id: int) -> bool:
+        """Decide whether one virtual-server move aborts mid-flight."""
+        if self.plan.transfer_abort <= 0:
+            return False
+        if float(self._abort_rng.random()) >= self.plan.transfer_abort:
+            return False
+        self._record(FaultKind.TRANSFER_ABORT, "vst", f"vs={vs_id}")
+        return True
+
+    # -- crash channel ---------------------------------------------------
+    def plan_crash_slots(self, num_slots: int) -> list[int]:
+        """Seeded positions (in ``[0, num_slots]``) for this round's crashes.
+
+        One slot per remaining crash in the plan's budget; slot ``k``
+        means "crash after the ``k``-th transfer of the VST batch" (slot
+        0 = before any transfer executes).  Slots are drawn without
+        consuming the budget — :meth:`pick_victim` consumes it when a
+        crash actually lands.
+        """
+        if self._crashes_left <= 0:
+            return []
+        draws = self._crash_rng.integers(
+            0, num_slots + 1, size=self._crashes_left
+        )
+        return sorted(int(d) for d in draws)
+
+    def pick_victim(self, candidates: Sequence[int]) -> int | None:
+        """Choose (and log) the node index to crash, or ``None``.
+
+        Consumes one unit of the plan's ``crash_mid_round`` budget; an
+        empty candidate list wastes the slot without crashing anyone.
+        """
+        if self._crashes_left <= 0:
+            return None
+        self._crashes_left -= 1
+        if not candidates:
+            return None
+        victim = int(candidates[int(self._crash_rng.integers(len(candidates)))])
+        self._record(FaultKind.CRASH, "vst", f"node={victim}")
+        return victim
+
+    @property
+    def crashes_remaining(self) -> int:
+        """Crash budget not yet consumed this round."""
+        return self._crashes_left
+
+    def reset_round(self) -> None:
+        """Re-arm per-round budgets (the crash count) for the next round."""
+        self._crashes_left = self.plan.crash_mid_round
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FaultInjector(plan={self.plan!r}, injected={self.injected}, "
+            f"crashes_left={self._crashes_left})"
+        )
+
+
+def ensure_injector(
+    faults: FaultPlan | FaultInjector | None,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> FaultInjector | None:
+    """Coerce a plan-or-injector argument into an injector (or ``None``).
+
+    Accepting either form everywhere mirrors the ``rng`` convention
+    (:func:`repro.util.rng.ensure_rng`): pass a plan for the common
+    case, pass a pre-built injector to share one fault history across
+    components.  A null plan yields ``None`` so fault-free runs keep
+    the exact fast paths.
+    """
+    if faults is None:
+        return None
+    if isinstance(faults, FaultInjector):
+        return faults
+    if faults.is_null:
+        return None
+    return FaultInjector(faults, tracer=tracer, metrics=metrics)

@@ -1,0 +1,108 @@
+"""The declarative fault model: what can go wrong, how often, seeded how.
+
+A :class:`FaultPlan` is a frozen value object describing the failure
+environment one balancing round (or churn simulation) runs under.  It
+deliberately carries *probabilities and budgets*, never decisions: the
+decisions are drawn by a :class:`~repro.faults.injector.FaultInjector`
+seeded from ``plan.seed``, which is what makes a chaos run a pure
+function of ``(scenario seed, plan)`` — the same plan replayed against
+the same system reproduces the identical fault sequence byte for byte.
+
+The modelled fault classes mirror how Mirrezaei & Shahparian and
+Roussopoulos & Baker stress their balancers:
+
+* **message drop** — an LBI report, VSA publication or heartbeat is
+  lost in flight (retried under the round's
+  :class:`~repro.faults.retry.RetryPolicy`);
+* **message delay** — delivery succeeds but late, consuming simulated
+  time from the phase's timeout budget;
+* **message duplication** — the same report arrives twice (suppressed
+  at the receiving KT leaf by sequence number, but counted);
+* **node crash mid-round** — a physical node dies *between* VST
+  transfers, after classification already ran against its load;
+* **transfer abort** — a virtual-server move fails mid-flight and must
+  be rolled back without violating load conservation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import FaultPlanError
+
+
+def _check_probability(name: str, value: float) -> None:
+    """Raise :class:`FaultPlanError` unless ``value`` is in ``[0, 1]``."""
+    if not 0.0 <= value <= 1.0:
+        raise FaultPlanError(f"{name} must be a probability in [0, 1], got {value}")
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """Seeded, declarative description of one failure environment.
+
+    Parameters
+    ----------
+    seed:
+        Root seed of the injector's decision streams.  Independent of
+        the scenario seed so the *same* fault sequence can be replayed
+        against different workloads (and vice versa).
+    drop:
+        Per-message drop probability (LBI reports, VSA publications,
+        heartbeats, tree-maintenance messages).
+    delay:
+        Per-message delay probability; a delayed message still arrives
+        but consumes up to ``delay_max`` simulated time units of the
+        phase budget.
+    delay_max:
+        Upper bound of the (uniform) injected delay, in simulated time
+        units.
+    duplicate:
+        Per-message duplication probability; duplicates are detected at
+        the receiver and suppressed, but cost a message.
+    crash_mid_round:
+        Number of physical-node crashes to inject per balancing round,
+        placed at seeded positions inside the VST transfer batch (the
+        worst possible moment: after classification, during movement).
+    transfer_abort:
+        Per-transfer probability that a virtual-server move aborts
+        mid-flight and is rolled back by the two-phase VST commit.
+    """
+
+    seed: int = 0
+    drop: float = 0.0
+    delay: float = 0.0
+    delay_max: float = 3.0
+    duplicate: float = 0.0
+    crash_mid_round: int = 0
+    transfer_abort: float = 0.0
+
+    def __post_init__(self) -> None:
+        """Validate every knob; raises :class:`FaultPlanError`."""
+        _check_probability("drop", self.drop)
+        _check_probability("delay", self.delay)
+        _check_probability("duplicate", self.duplicate)
+        _check_probability("transfer_abort", self.transfer_abort)
+        if self.delay_max < 0:
+            raise FaultPlanError(f"delay_max must be >= 0, got {self.delay_max}")
+        if self.crash_mid_round < 0:
+            raise FaultPlanError(
+                f"crash_mid_round must be >= 0, got {self.crash_mid_round}"
+            )
+
+    @property
+    def is_null(self) -> bool:
+        """Whether this plan injects nothing (the fault-free environment)."""
+        return (
+            self.drop == 0
+            and self.delay == 0
+            and self.duplicate == 0
+            and self.crash_mid_round == 0
+            and self.transfer_abort == 0
+        )
+
+
+#: The fault-free environment: attach it anywhere a plan is accepted to
+#: get exactly the failure-free behaviour (every decision stream still
+#: exists, it just never fires).
+NULL_PLAN = FaultPlan()

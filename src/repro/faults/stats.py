@@ -1,0 +1,68 @@
+"""Per-round accounting of injected faults and the recovery they forced.
+
+One :class:`FaultRoundStats` instance rides on each
+:class:`~repro.core.report.BalanceReport` produced under a fault plan,
+so experiments can correlate the injected failure environment with the
+achieved balancing quality (the chaos sweep's whole point: measure
+graceful degradation instead of asserting it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class FaultRoundStats:
+    """What went wrong — and what the recovery machinery did about it.
+
+    ``*_retries`` count *extra* sends beyond the first attempt;
+    ``*_lost`` count messages that stayed lost after every retry;
+    ``*_delay`` accumulate the simulated time burned on backoff and
+    injected latency.  ``crashed_nodes`` lists the indices crashed
+    mid-round, ``stale_lbi_reused`` records the degraded-mode decision,
+    and ``signature`` is the injector's fault-log hash at round end.
+    """
+
+    lbi_retries: int = 0
+    lbi_reports_lost: int = 0
+    lbi_duplicates: int = 0
+    lbi_delay: float = 0.0
+    vsa_retries: int = 0
+    vsa_entries_lost: int = 0
+    vsa_duplicates: int = 0
+    vsa_delay: float = 0.0
+    vst_rollbacks: int = 0
+    vst_failed: int = 0
+    crashed_nodes: list[int] = field(default_factory=list)
+    stale_lbi_reused: bool = False
+    injected_total: int = 0
+    signature: str = ""
+
+    @property
+    def total_retries(self) -> int:
+        """Extra message sends across all phases."""
+        return self.lbi_retries + self.vsa_retries
+
+    @property
+    def total_lost(self) -> int:
+        """Messages that exhausted their retry/timeout budgets."""
+        return self.lbi_reports_lost + self.vsa_entries_lost
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly digest (what the chaos experiment exports)."""
+        return {
+            "lbi_retries": self.lbi_retries,
+            "lbi_reports_lost": self.lbi_reports_lost,
+            "lbi_duplicates": self.lbi_duplicates,
+            "vsa_retries": self.vsa_retries,
+            "vsa_entries_lost": self.vsa_entries_lost,
+            "vsa_duplicates": self.vsa_duplicates,
+            "vst_rollbacks": self.vst_rollbacks,
+            "vst_failed": self.vst_failed,
+            "crashed_nodes": list(self.crashed_nodes),
+            "stale_lbi_reused": self.stale_lbi_reused,
+            "injected_total": self.injected_total,
+            "signature": self.signature,
+        }

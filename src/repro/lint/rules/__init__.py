@@ -16,6 +16,7 @@ from repro.lint.rules.docstrings import DocstringCoverageRule
 from repro.lint.rules.exceptions import ExceptionHygieneRule
 from repro.lint.rules.floats import NoFloatEqualityRule
 from repro.lint.rules.iteration import NoUnorderedIterationRule
+from repro.lint.rules.retry import BoundedRetryRule
 from repro.lint.rules.rng import NoUnseededRngRule
 from repro.lint.rules.spans import ObsSpanCoverageRule
 from repro.lint.rules.wallclock import NoWallclockRule
@@ -25,6 +26,7 @@ ALL_RULES: tuple[Rule, ...] = (
     NoUnseededRngRule(),
     NoWallclockRule(),
     NoUnorderedIterationRule(),
+    BoundedRetryRule(),
     NoFloatEqualityRule(),
     ConservationGuardRule(),
     ObsSpanCoverageRule(),
@@ -36,6 +38,7 @@ ALL_RULES: tuple[Rule, ...] = (
 __all__ = [
     "ALL_RULES",
     "Rule",
+    "BoundedRetryRule",
     "ConservationGuardRule",
     "DocstringCoverageRule",
     "ExceptionHygieneRule",

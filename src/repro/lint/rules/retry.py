@@ -1,0 +1,95 @@
+"""Rule ``bounded-retry``: protocol retry loops terminate, deterministically.
+
+The fault-injection subsystem makes "retry until it works" a live
+temptation: a dropped LBI report or VSA publication *will* eventually
+get through if resent forever.  But an unbounded retry loop turns a
+fault plan with a high drop rate into a hang, and an unseeded jitter
+source turns the retry schedule — and everything downstream of it —
+into a non-reproducible run.  The sanctioned pattern is
+:class:`repro.faults.RetryPolicy`: an explicit attempt bound
+(``for attempt in range(1, policy.max_attempts + 1)``), capped
+exponential backoff, and jitter drawn from a generator threaded through
+``repro.util.rng``.
+
+Flagged in protocol packages (:data:`repro.lint.engine.PROTOCOL_PACKAGES`):
+
+* ``while`` loops whose test is a truthy constant (``while True:``,
+  ``while 1:``) — a retry/poll loop must carry its bound in the loop
+  header where a reviewer can see it;
+* function definitions whose name involves retrying or backoff
+  (``retry``/``backoff`` as a name fragment) that accept no RNG-like
+  parameter (``rng``, ``gen``, ``generator``) — backoff jitter must
+  come from a seeded stream, not module-global randomness or none.
+
+An intentional, reviewed exception can be silenced with
+``# lint: disable=bounded-retry`` on the offending line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Finding, Severity
+from repro.lint.rules.base import Rule, iter_function_defs
+
+#: Parameter names accepted as "a seeded generator is threaded in".
+_RNG_PARAM_NAMES = frozenset({"rng", "gen", "generator"})
+
+#: Name fragments that mark a function as retry/backoff machinery.
+_RETRY_NAME_RE = re.compile(r"(retry|backoff)", re.IGNORECASE)
+
+
+class BoundedRetryRule(Rule):
+    """Require explicit bounds and seeded jitter in retry machinery."""
+
+    name = "bounded-retry"
+    severity = Severity.ERROR
+    description = (
+        "protocol retry loops need an explicit attempt bound (no "
+        "while True) and retry/backoff helpers must take a seeded rng"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield one finding per unbounded loop or jitterless helper."""
+        if not ctx.is_protocol:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.While) and self._is_truthy_constant(
+                node.test
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    "unbounded 'while True' loop in protocol code; bound "
+                    "retries explicitly (for attempt in range(1, "
+                    "policy.max_attempts + 1)) via repro.faults.RetryPolicy",
+                )
+        for func, _owner in iter_function_defs(ctx.tree):
+            if not _RETRY_NAME_RE.search(func.name):
+                continue
+            if self._has_rng_param(func):
+                continue
+            yield ctx.finding(
+                self,
+                func,
+                f"retry/backoff helper '{func.name}' takes no rng-like "
+                "parameter; draw jitter from a seeded generator threaded "
+                "via repro.util.rng (param named rng/gen/generator)",
+            )
+
+    @staticmethod
+    def _is_truthy_constant(test: ast.expr) -> bool:
+        """Whether a loop test is a constant that always evaluates true."""
+        return isinstance(test, ast.Constant) and bool(test.value)
+
+    @staticmethod
+    def _has_rng_param(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+        """Whether the function signature threads a seeded generator."""
+        params = [
+            *func.args.posonlyargs,
+            *func.args.args,
+            *func.args.kwonlyargs,
+        ]
+        return any(p.arg in _RNG_PARAM_NAMES for p in params)

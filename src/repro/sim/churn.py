@@ -10,14 +10,16 @@ many refresh passes the tree needs to re-stabilise.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
 from repro.dht.chord import ChordRing
 from repro.dht.churn import ChurnStats, crash_node, join_node, leave_node
 from repro.exceptions import SimulationError
+from repro.faults.injector import FaultInjector, ensure_injector
+from repro.faults.plan import FaultPlan
 from repro.ktree.tree import KnaryTree
-from repro.sim.engine import Simulator
 from repro.util.rng import ensure_rng
 
 
@@ -28,6 +30,9 @@ class ChurnTrace:
     events: int = 0
     repairs: list[dict[str, int]] = field(default_factory=list)
     refreshes_to_stable: list[int] = field(default_factory=list)
+    #: Maintenance ticks lost to injected faults (the pass ran but its
+    #: messages went nowhere, burning a round without repairing).
+    dropped_refreshes: int = 0
     stats: ChurnStats = field(default_factory=ChurnStats)
 
     @property
@@ -49,6 +54,12 @@ class ChurnProcess:
         Virtual servers given to each joining node.
     capacity_sampler:
         Callable returning a capacity for each joiner.
+    faults:
+        Optional fault plan/injector: each maintenance tick may be lost
+        in flight (a ``ktree``-phase drop), burning a repair round
+        without touching the tree — the tick is retried next round, so
+        stabilisation slows but the bound ``max_refresh_per_event``
+        still caps the loop.
     """
 
     def __init__(
@@ -59,8 +70,9 @@ class ChurnProcess:
         leave_rate: float = 0.5,
         crash_rate: float = 0.5,
         vs_per_join: int = 5,
-        capacity_sampler=None,
+        capacity_sampler: Callable[[np.random.Generator], float] | None = None,
         rng: int | None | np.random.Generator = None,
+        faults: FaultPlan | FaultInjector | None = None,
     ):
         if min(join_rate, leave_rate, crash_rate) < 0:
             raise SimulationError("rates must be non-negative")
@@ -70,17 +82,25 @@ class ChurnProcess:
         self.tree = tree
         self.rates = np.asarray([join_rate, leave_rate, crash_rate], dtype=np.float64)
         self.vs_per_join = vs_per_join
-        self.capacity_sampler = capacity_sampler or (lambda gen: float(gen.choice([1, 10, 100])))
+        self.capacity_sampler: Callable[[np.random.Generator], float] = (
+            capacity_sampler
+            if capacity_sampler is not None
+            else (lambda gen: float(gen.choice([1, 10, 100])))
+        )
         self.gen = ensure_rng(rng)
+        self.faults = ensure_injector(faults)
 
     def run(self, num_events: int, max_refresh_per_event: int = 64) -> ChurnTrace:
         """Apply ``num_events`` churn events, repairing the tree after each.
 
         After each membership change the tree is refreshed repeatedly
         until a pass makes no change; the number of passes needed is the
-        empirical repair time in maintenance rounds.
+        empirical repair time in maintenance rounds.  Under a fault
+        plan, a tick may be dropped in flight: it consumes one round of
+        the (bounded) repair budget without refreshing anything.
         """
         trace = ChurnTrace()
+        faults = self.faults
         total = self.rates.sum()
         probs = self.rates / total
         for _ in range(num_events):
@@ -91,8 +111,13 @@ class ChurnProcess:
             trace.events += 1
             refreshes = 0
             while refreshes < max_refresh_per_event:
-                counters = self.tree.refresh()
                 refreshes += 1
+                if faults is not None and faults.drop(
+                    "ktree", f"refresh:{trace.events}:{refreshes}"
+                ):
+                    trace.dropped_refreshes += 1
+                    continue
+                counters = self.tree.refresh()
                 trace.repairs.append(counters)
                 if (
                     counters["replanted"] == 0

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.balancer import LoadBalancer
 from repro.core.report import BalanceReport
+from repro.dht.chord import ChordRing
 from repro.exceptions import SimulationError
 from repro.util.rng import ensure_rng
 from repro.util.stats import gini_coefficient
@@ -84,7 +85,7 @@ class LoadDynamics:
         self.flash_crowd_factor = flash_crowd_factor
         self.gen = ensure_rng(rng)
 
-    def step(self, ring) -> None:
+    def step(self, ring: ChordRing) -> None:
         """Apply one epoch of load evolution to every virtual server."""
         vss = ring.virtual_servers
         if self.drift_sigma > 0:

@@ -14,7 +14,10 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable
 
+import numpy as np
+
 from repro.exceptions import SimulationError
+from repro.faults.retry import RetryPolicy
 from repro.obs.trace import NULL_TRACER, Tracer
 
 
@@ -91,6 +94,30 @@ class Simulator:
         if time < self.now:
             raise SimulationError(f"cannot schedule at {time}, now is {self.now}")
         return self.queue.push(time, action, label)
+
+    def schedule_retry(
+        self,
+        policy: RetryPolicy,
+        attempt: int,
+        action: Callable[["Simulator"], None],
+        rng: np.random.Generator,
+        label: str = "",
+    ) -> Event:
+        """Schedule retry ``attempt`` after its seeded backoff delay.
+
+        The delay is the policy's capped exponential backoff with jitter
+        drawn from ``rng`` — the simulated-time twin of
+        :func:`repro.faults.retry.deliver_with_retry`, for protocols that
+        recover on the event clock (e.g. heartbeat suspicion probes)
+        rather than inside one synchronous phase.  ``attempt`` must stay
+        within the policy's bound; exceeding it is a protocol bug, not a
+        fault, and raises :class:`~repro.exceptions.SimulationError`.
+        """
+        if not 1 <= attempt <= policy.max_attempts:
+            raise SimulationError(
+                f"retry attempt {attempt} outside [1, {policy.max_attempts}]"
+            )
+        return self.schedule(policy.backoff_delay(attempt, rng), action, label)
 
     def run(self, until: float | None = None, max_events: int = 10_000_000) -> None:
         """Process events in order until the queue drains or ``until``.

@@ -21,11 +21,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.dht.chord import ChordRing
 from repro.dht.churn import crash_node
+from repro.dht.virtual_server import VirtualServer
 from repro.exceptions import SimulationError
+from repro.faults.injector import FaultInjector, ensure_injector
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import RetryPolicy
 from repro.ktree.tree import KnaryTree
 from repro.sim.engine import Simulator
+from repro.util.rng import ensure_rng
 
 
 @dataclass
@@ -53,6 +60,13 @@ class HeartbeatTrace:
 
     heartbeats_sent: int = 0
     failures: list[FailureEvent] = field(default_factory=list)
+    #: Heartbeats lost to injected faults (the child was alive).
+    heartbeats_dropped: int = 0
+    #: Verification probes dispatched after a suspicion built up.
+    probes_sent: int = 0
+    #: Suspicions that a probe refuted (the child's host was alive all
+    #: along — its heartbeats were merely dropped in flight).
+    false_suspicions: int = 0
 
     @property
     def max_detection_latency(self) -> float:
@@ -75,6 +89,20 @@ class HeartbeatMonitor:
         Simulated time between heartbeats on every parent-child edge.
     miss_threshold:
         Consecutive missed heartbeats before a child is declared failed.
+    faults:
+        Optional fault plan/injector: each heartbeat on a live edge may
+        be dropped in flight.  ``miss_threshold`` consecutive drops from
+        a *live* child build a suspicion, which is checked by a direct
+        probe one backoff later instead of immediately repairing the
+        tree — the probe refutes it (a *false suspicion*) and the miss
+        counter restarts, so drop faults cost probes but never trigger
+        spurious reconstruction.
+    retry:
+        Backoff policy for suspicion probes (only used under faults).
+    rng:
+        Seed/generator for probe backoff jitter; only consumed when a
+        suspicion actually fires, so fault-free runs are byte-identical
+        to the pre-fault implementation.
     """
 
     def __init__(
@@ -83,6 +111,9 @@ class HeartbeatMonitor:
         tree: KnaryTree,
         heartbeat_interval: float = 1.0,
         miss_threshold: int = 3,
+        faults: FaultPlan | FaultInjector | None = None,
+        retry: RetryPolicy | None = None,
+        rng: int | None | np.random.Generator = None,
     ):
         if heartbeat_interval <= 0:
             raise SimulationError("heartbeat_interval must be positive")
@@ -92,10 +123,15 @@ class HeartbeatMonitor:
         self.tree = tree
         self.heartbeat_interval = heartbeat_interval
         self.miss_threshold = miss_threshold
+        self.faults = ensure_injector(faults)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.gen = ensure_rng(rng)
         self.sim = Simulator()
         self.trace = HeartbeatTrace()
         self._crashed: dict[int, float] = {}  # node index -> crash time
         self._handled: set[int] = set()
+        self._misses: dict[int, int] = {}  # child host vs_id -> consecutive drops
+        self._probing: set[int] = set()  # child host vs_ids with a probe in flight
 
     # ------------------------------------------------------------------
     @property
@@ -123,6 +159,31 @@ class HeartbeatMonitor:
     def _schedule_round(self, at_time: float) -> None:
         self.sim.schedule_at(at_time, self._heartbeat_round, label="heartbeat-round")
 
+    def _dispatch_probe(self, host_vs: VirtualServer) -> None:
+        """Verify a suspicion with a direct probe before declaring failure.
+
+        The probe flies one seeded backoff later (engine timer).  If the
+        suspect's host turns out alive the suspicion was *false* — its
+        heartbeats were dropped in flight — and the edge's miss counter
+        restarts; a genuinely dead host is left to the crash-declaration
+        path, which owns detection-latency accounting.
+        """
+        edge = host_vs.vs_id
+        if edge in self._probing:
+            return
+        self._probing.add(edge)
+
+        def probe(sim: Simulator) -> None:
+            self._probing.discard(edge)
+            self.trace.probes_sent += 1
+            if host_vs.owner.alive:
+                self.trace.false_suspicions += 1
+                self._misses[edge] = 0
+
+        self.sim.schedule_retry(
+            self.retry, 1, probe, self.gen, label=f"probe-{edge}"
+        )
+
     def _heartbeat_round(self, sim: Simulator) -> None:
         """One heartbeat period: every live child pings its parent.
 
@@ -133,11 +194,27 @@ class HeartbeatMonitor:
         crash — matching the per-edge timer protocol without per-edge
         state.
         """
-        # Send heartbeats (count live parent-child edges).
+        # Send heartbeats (count live parent-child edges).  Under an
+        # injected fault plan a heartbeat from a live child may be lost
+        # in flight; miss_threshold consecutive losses on one edge make
+        # the parent suspect the child and dispatch a verification probe.
+        faults = self.faults
         for node in self.tree.iter_nodes():
             for child in node.materialized_children():
-                if child.host_vs.owner.alive:
-                    self.trace.heartbeats_sent += 1
+                if not child.host_vs.owner.alive:
+                    continue
+                edge = child.host_vs.vs_id
+                if faults is not None and faults.drop(
+                    "heartbeat", f"edge:{edge}"
+                ):
+                    self.trace.heartbeats_dropped += 1
+                    misses = self._misses.get(edge, 0) + 1
+                    self._misses[edge] = misses
+                    if misses >= self.miss_threshold:
+                        self._dispatch_probe(child.host_vs)
+                    continue
+                self._misses[edge] = 0
+                self.trace.heartbeats_sent += 1
 
         # Declare failures whose miss window has elapsed.
         for node_index, crash_time in list(self._crashed.items()):

@@ -11,8 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-
-import numpy as np
+from typing import Sequence
 
 from repro.core.balancer import LoadBalancer
 from repro.core.config import BalancerConfig
@@ -84,8 +83,8 @@ def measure_phase_rounds(
 
 
 def sweep_phase_rounds(
-    sizes: list[int],
-    tree_degrees: list[int] = (2, 8),
+    sizes: Sequence[int],
+    tree_degrees: Sequence[int] = (2, 8),
     vs_per_node: int = 5,
     rng: int = 0,
     tracer: Tracer | None = None,

@@ -15,6 +15,7 @@ from repro.core import Assignment, ShedCandidate, execute_transfers
 from repro.core.records import CONSERVATION_RTOL, assert_loads_conserved
 from repro.core.report import check_conservation
 from repro.dht import ChordRing
+from repro.dht.node import PhysicalNode
 from repro.exceptions import BalancerError, ConservationError
 from repro.idspace import IdentifierSpace
 
@@ -80,16 +81,18 @@ class TestVstGuard:
         execute_transfers(ring, [assignment_for(ring, vs, target.index)])
         assert sum(n.load for n in ring.nodes) == pytest.approx(before)
 
-    def test_leaking_transfer_primitive_is_caught(self, ring):
-        # Sabotage the ring's move primitive so it inflates the moved
-        # load; the guard at the end of execute_transfers must notice.
-        original = ring.transfer_virtual_server
+    def test_leaking_transfer_primitive_is_caught(self, ring, monkeypatch):
+        # Sabotage the commit-side hosting primitive so it inflates the
+        # moved load; the guard at the end of execute_transfers must
+        # notice.  (Transfers run through TransferTransaction, whose
+        # commit step attaches the in-flight server via ``host``.)
+        original = PhysicalNode.host
 
-        def leaky(vs, target):
-            original(vs, target)
+        def leaky(node, vs):
+            original(node, vs)
             vs.load += 1.0
 
-        ring.transfer_virtual_server = leaky
+        monkeypatch.setattr(PhysicalNode, "host", leaky)
         vs = ring.virtual_servers[0]
         target = ring.nodes[(vs.owner.index + 1) % 6]
         with pytest.raises(ConservationError, match="vst.execute_transfers"):

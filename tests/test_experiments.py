@@ -13,7 +13,7 @@ class TestRegistry:
     def test_all_experiments_listed(self):
         names = [n for n, _ in list_experiments()]
         assert names == [
-            "convergence", "fig4", "fig5", "fig6", "fig7", "fig8",
+            "chaos", "convergence", "fig4", "fig5", "fig6", "fig7", "fig8",
             "timing", "variance",
         ]
 
@@ -76,3 +76,35 @@ class TestTiming:
         k2 = [t for t in result.timings if t.tree_degree == 2][0]
         k8 = [t for t in result.timings if t.tree_degree == 8][0]
         assert k8.tree_height < k2.tree_height
+
+
+class TestChaos:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import chaos
+
+        return chaos.run(SMALL, drop_rates=(0.0, 0.2), crash_mid_round=1)
+
+    def test_every_row_completed(self, result):
+        assert [r.drop for r in result.rows] == [0.0, 0.2]
+        assert result.baseline_moved > 0
+
+    def test_recovery_machinery_engaged(self, result):
+        noisy = result.rows[-1]
+        assert noisy.retries > 0
+        assert noisy.crashed_nodes == 1
+        assert noisy.signature != ""
+
+    def test_degradation_is_graceful(self, result):
+        # Faults cost movement but never the whole round.
+        assert all(0 < r.movement_ratio <= 1.5 for r in result.rows)
+
+    def test_format_rows(self, result):
+        text = result.format_rows()
+        assert "Chaos sweep" in text and "baseline" in text
+
+    def test_smoke_mode_asserts_and_reports(self):
+        from repro.experiments import chaos
+
+        line = chaos.smoke(num_nodes=32, seed=11)
+        assert "chaos smoke OK" in line and "reproduced" in line

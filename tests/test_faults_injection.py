@@ -1,0 +1,288 @@
+"""Degraded balancing rounds under injected faults: the acceptance tests.
+
+Covers the fault-injection tentpole end to end: a full round under a
+fault plan completes without raising, conserves load, records the
+recovery work in ``fault_stats`` and the metrics registry, and replays
+byte-for-byte under the same seeds.  Also unit-tests the two-phase VST
+commit (:class:`~repro.core.vst.TransferTransaction`) that makes the
+mid-flight aborts safe.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.balancer import LoadBalancer
+from repro.core.config import BalancerConfig
+from repro.core.report import check_conservation
+from repro.core.records import Assignment, ShedCandidate
+from repro.core.vst import TransferTransaction, execute_transfers
+from repro.dht import ChordRing
+from repro.dht.churn import crash_node
+from repro.exceptions import BalancerError, DHTError
+from repro.faults import FaultInjector, FaultPlan, RetryPolicy
+from repro.idspace import IdentifierSpace
+from repro.obs.metrics import MetricsRegistry
+from repro.workloads.loads import GaussianLoadModel
+from repro.workloads.scenario import build_scenario
+
+ACCEPTANCE_PLAN = FaultPlan(seed=3, drop=0.1, crash_mid_round=1, transfer_abort=0.2)
+
+
+def make_balancer(plan=None, num_nodes=64, metrics=None, retry=None):
+    scenario = build_scenario(
+        GaussianLoadModel(mu=1e6, sigma=2e3),
+        num_nodes=num_nodes,
+        vs_per_node=5,
+        rng=42,
+    )
+    balancer = LoadBalancer(
+        scenario.ring,
+        BalancerConfig(proximity_mode="ignorant"),
+        rng=5,
+        faults=plan,
+        metrics=metrics,
+        retry=retry,
+    )
+    return scenario, balancer
+
+
+class TestDegradedRound:
+    def test_acceptance_round_completes_and_conserves(self):
+        _, balancer = make_balancer(ACCEPTANCE_PLAN)
+        report = balancer.run_round()
+        check_conservation(report)
+        fs = report.fault_stats
+        assert fs.injected_total > 0
+        assert fs.signature != ""
+        assert len(fs.crashed_nodes) == 1
+
+    def test_degraded_round_still_converges(self):
+        _, balancer = make_balancer(ACCEPTANCE_PLAN)
+        report = balancer.run_round()
+        assert report.heavy_after < report.heavy_before
+
+    def test_reproducible_byte_for_byte(self):
+        def one_run():
+            _, balancer = make_balancer(ACCEPTANCE_PLAN)
+            report = balancer.run_round()
+            return report
+
+        first, second = one_run(), one_run()
+        assert first.fault_stats.signature == second.fault_stats.signature
+        assert first.fault_stats.to_dict() == second.fault_stats.to_dict()
+        assert first.loads_after.tobytes() == second.loads_after.tobytes()
+
+    def test_metrics_record_retries_and_rollbacks(self):
+        metrics = MetricsRegistry()
+        _, balancer = make_balancer(ACCEPTANCE_PLAN, metrics=metrics)
+        report = balancer.run_round()
+        counters = metrics.snapshot()["counters"]
+        fs = report.fault_stats
+        assert counters["faults.injected"] == fs.injected_total
+        assert counters["lbi.retries"] == fs.lbi_retries
+        assert counters["vst.rollbacks"] == fs.vst_rollbacks
+        assert counters["faults.crash_victims"] == len(fs.crashed_nodes)
+
+    def test_fault_free_round_reports_empty_stats(self):
+        metrics = MetricsRegistry()
+        _, balancer = make_balancer(None, metrics=metrics)
+        report = balancer.run_round()
+        fs = report.fault_stats
+        assert fs.injected_total == 0
+        assert fs.signature == ""
+        assert fs.to_dict()["vst_rollbacks"] == 0
+        counters = metrics.snapshot()["counters"]
+        # Recovery counters stay out of fault-free metric dumps.
+        assert "faults.injected" not in counters
+        assert "lbi.retries" not in counters
+
+    def test_fault_seed_changes_fault_sequence_not_scenario(self):
+        _, a = make_balancer(FaultPlan(seed=1, drop=0.3))
+        _, b = make_balancer(FaultPlan(seed=2, drop=0.3))
+        ra, rb = a.run_round(), b.run_round()
+        assert ra.fault_stats.signature != rb.fault_stats.signature
+        # Same scenario underneath: identical starting loads.
+        assert ra.loads_before.tobytes() == rb.loads_before.tobytes()
+
+
+class TestTransferAborts:
+    def test_certain_abort_rolls_back_every_transfer(self):
+        _, balancer = make_balancer(FaultPlan(seed=1, transfer_abort=1.0))
+        report = balancer.run_round()
+        check_conservation(report)
+        assert report.transfers == []
+        assert len(report.failed_assignments) > 0
+        # Every rollback restored the pre-transfer hosting (re-hosting
+        # changes the float summation order, hence allclose not equality).
+        np.testing.assert_allclose(
+            report.loads_after, report.loads_before, rtol=1e-12
+        )
+        assert report.heavy_after == report.heavy_before
+        assert report.fault_stats.vst_rollbacks == len(report.failed_assignments)
+
+    def test_failed_assignments_counted_in_report_dict(self):
+        _, balancer = make_balancer(FaultPlan(seed=1, transfer_abort=1.0))
+        report = balancer.run_round()
+        d = report.to_dict()
+        assert d["failed_transfers"] == len(report.failed_assignments)
+        assert d["faults"]["vst_rollbacks"] == report.fault_stats.vst_rollbacks
+
+
+class TestStaleLBIReuse:
+    def test_reuse_within_bound_then_hard_failure(self):
+        _, balancer = make_balancer(
+            FaultPlan(seed=1, drop=0.01),
+            retry=RetryPolicy(lbi_staleness_rounds=2),
+        )
+        first = balancer.run_round()
+        assert not first.fault_stats.stale_lbi_reused
+
+        # From now on every LBI report is lost: total blackout.
+        balancer.faults = FaultInjector(FaultPlan(seed=9, drop=1.0))
+        second = balancer.run_round()
+        assert second.fault_stats.stale_lbi_reused
+        assert second.fault_stats.lbi_reports_lost > 0
+        assert second.system_lbi == first.system_lbi  # served from cache
+        third = balancer.run_round()
+        assert third.fault_stats.stale_lbi_reused
+        with pytest.raises(BalancerError):  # staleness bound exhausted
+            balancer.run_round()
+
+    def test_zero_staleness_bound_disables_reuse(self):
+        _, balancer = make_balancer(
+            FaultPlan(seed=1, drop=0.01),
+            retry=RetryPolicy(lbi_staleness_rounds=0),
+        )
+        balancer.run_round()
+        balancer.faults = FaultInjector(FaultPlan(seed=9, drop=1.0))
+        with pytest.raises(BalancerError):
+            balancer.run_round()
+
+
+@pytest.fixture
+def small_ring():
+    ring = ChordRing(IdentifierSpace(bits=16))
+    ring.populate(6, 3, [10.0] * 6, rng=2)
+    for i, vs in enumerate(ring.virtual_servers):
+        vs.load = float(1 + i % 4)
+    return ring
+
+
+class TestTransferTransaction:
+    def _pick(self, ring):
+        source = ring.alive_nodes[0]
+        vs = source.virtual_servers[0]
+        target = next(n for n in ring.alive_nodes if n is not source)
+        return vs, source, target
+
+    def test_prepare_commit_moves_the_server(self, small_ring):
+        vs, source, target = self._pick(small_ring)
+        txn = TransferTransaction(small_ring, vs, source, target)
+        txn.prepare()
+        assert vs not in source.virtual_servers
+        txn.commit()
+        assert txn.state == "committed"
+        assert vs.owner is target
+
+    def test_rollback_restores_the_source(self, small_ring):
+        vs, source, target = self._pick(small_ring)
+        before = source.load
+        txn = TransferTransaction(small_ring, vs, source, target)
+        txn.prepare()
+        txn.rollback()
+        assert txn.state == "rolled_back"
+        assert vs.owner is source
+        assert source.load == pytest.approx(before)
+
+    def test_rollback_rescues_orphan_when_source_died(self, small_ring):
+        total = sum(n.load for n in small_ring.nodes)
+        vs, source, target = self._pick(small_ring)
+        txn = TransferTransaction(small_ring, vs, source, target)
+        txn.prepare()
+        crash_node(small_ring, source)  # source dies with vs in flight
+        txn.rollback()
+        assert txn.state == "rolled_back"
+        assert vs.owner is not None and vs.owner.alive
+        assert sum(n.load for n in small_ring.nodes) == pytest.approx(total)
+
+    def test_commit_to_dead_target_raises_then_rolls_back(self, small_ring):
+        vs, source, target = self._pick(small_ring)
+        txn = TransferTransaction(small_ring, vs, source, target)
+        txn.prepare()
+        crash_node(small_ring, target)
+        with pytest.raises(DHTError):
+            txn.commit()
+        txn.rollback()
+        assert vs.owner is source
+
+    def test_state_machine_rejects_out_of_order_calls(self, small_ring):
+        vs, source, target = self._pick(small_ring)
+        txn = TransferTransaction(small_ring, vs, source, target)
+        with pytest.raises(BalancerError):
+            txn.commit()  # not prepared
+        with pytest.raises(BalancerError):
+            txn.rollback()  # not prepared
+        txn.prepare()
+        with pytest.raises(BalancerError):
+            txn.prepare()  # already prepared
+        txn.commit()
+        with pytest.raises(BalancerError):
+            txn.rollback()  # already committed
+
+    def test_prepare_rejects_wrong_owner(self, small_ring):
+        vs, source, target = self._pick(small_ring)
+        txn = TransferTransaction(small_ring, vs, target, source)
+        with pytest.raises(DHTError):
+            txn.prepare()
+
+
+class TestExecuteTransfersUnderFaults:
+    def _assignment(self, ring):
+        source = ring.alive_nodes[0]
+        vs = source.virtual_servers[0]
+        target = next(n for n in ring.alive_nodes if n is not source)
+        return Assignment(
+            candidate=ShedCandidate(
+                load=vs.load, vs_id=vs.vs_id, node_index=source.index
+            ),
+            target_node=target.index,
+            level=0,
+        )
+
+    def test_abort_without_collector_raises(self, small_ring):
+        a = self._assignment(small_ring)
+        faults = FaultInjector(FaultPlan(seed=0, transfer_abort=1.0))
+        with pytest.raises(BalancerError):
+            execute_transfers(small_ring, [a], faults=faults)
+
+    def test_abort_with_collector_continues_and_conserves(self, small_ring):
+        total = sum(n.load for n in small_ring.nodes)
+        a = self._assignment(small_ring)
+        failed = []
+        records = execute_transfers(
+            small_ring,
+            [a],
+            faults=FaultInjector(FaultPlan(seed=0, transfer_abort=1.0)),
+            failed=failed,
+        )
+        assert records == []
+        assert failed == [a]
+        assert sum(n.load for n in small_ring.nodes) == pytest.approx(total)
+
+    def test_mid_batch_crash_conserves_ring_load(self, small_ring):
+        total = sum(n.load for n in small_ring.nodes)
+        a = self._assignment(small_ring)
+        from repro.faults.stats import FaultRoundStats
+
+        stats = FaultRoundStats()
+        execute_transfers(
+            small_ring,
+            [a],
+            faults=FaultInjector(FaultPlan(seed=4, crash_mid_round=1)),
+            failed=[],
+            skipped=[],
+            fault_stats=stats,
+        )
+        assert len(stats.crashed_nodes) == 1
+        assert sum(n.load for n in small_ring.nodes) == pytest.approx(total)
+        small_ring.check_invariants()

@@ -1,0 +1,253 @@
+"""Tests for the declarative fault model, injector and retry machinery."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FaultPlanError
+from repro.faults import NULL_PLAN, FaultInjector, FaultPlan, RetryPolicy
+from repro.faults.injector import FaultKind, ensure_injector
+from repro.faults.retry import RetryBudget, deliver_with_retry
+from repro.util.rng import ensure_rng
+
+
+class TestFaultPlan:
+    def test_default_plan_is_null(self):
+        assert FaultPlan().is_null
+        assert NULL_PLAN.is_null
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"drop": 0.1},
+            {"delay": 0.1},
+            {"duplicate": 0.1},
+            {"crash_mid_round": 1},
+            {"transfer_abort": 0.1},
+        ],
+    )
+    def test_any_channel_makes_plan_non_null(self, kwargs):
+        assert not FaultPlan(**kwargs).is_null
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"drop": 1.5},
+            {"drop": -0.1},
+            {"delay": 2.0},
+            {"duplicate": -1.0},
+            {"transfer_abort": 1.01},
+            {"delay_max": -0.5},
+            {"crash_mid_round": -1},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(**kwargs)
+
+    def test_plan_is_frozen(self):
+        plan = FaultPlan(drop=0.1)
+        with pytest.raises(AttributeError):
+            plan.drop = 0.5
+
+
+class TestRetryPolicy:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -0.1},
+            {"base_delay": 2.0, "max_delay": 1.0},
+            {"jitter": 1.5},
+            {"jitter": -0.1},
+            {"phase_budget": -1.0},
+            {"lbi_staleness_rounds": -1},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(FaultPlanError):
+            RetryPolicy(**kwargs)
+
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(
+            max_attempts=8, base_delay=0.1, max_delay=0.5, jitter=0.0
+        )
+        gen = ensure_rng(0)
+        delays = [policy.backoff_delay(k, gen) for k in range(1, 6)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_bounded_below_and_above(self):
+        policy = RetryPolicy(base_delay=0.2, max_delay=0.2, jitter=0.5)
+        gen = ensure_rng(1)
+        for _ in range(100):
+            d = policy.backoff_delay(1, gen)
+            assert 0.1 <= d <= 0.2
+
+    def test_backoff_is_seeded(self):
+        policy = RetryPolicy(jitter=0.5)
+        a = [policy.backoff_delay(k, ensure_rng(9)) for k in range(1, 4)]
+        b = [policy.backoff_delay(k, ensure_rng(9)) for k in range(1, 4)]
+        assert a == b
+
+    def test_backoff_rejects_bad_attempt(self):
+        with pytest.raises(FaultPlanError):
+            RetryPolicy().backoff_delay(0, ensure_rng(0))
+
+
+class TestRetryBudget:
+    def test_charge_within_limit(self):
+        budget = RetryBudget(1.0)
+        assert budget.charge(0.6)
+        assert budget.remaining == pytest.approx(0.4)
+
+    def test_charge_over_limit_refused(self):
+        budget = RetryBudget(1.0)
+        assert budget.charge(0.9)
+        assert not budget.charge(0.2)
+        assert budget.spent == pytest.approx(0.9)
+
+    def test_remaining_never_negative(self):
+        assert RetryBudget(0.0).remaining == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(FaultPlanError):
+            RetryBudget(-1.0)
+        with pytest.raises(FaultPlanError):
+            RetryBudget(1.0).charge(-0.5)
+
+
+class TestDeliverWithRetry:
+    def test_clean_send_delivers_first_attempt(self):
+        out = deliver_with_retry(
+            RetryPolicy(), lambda attempt: False, ensure_rng(0), RetryBudget(10)
+        )
+        assert out.delivered and out.attempts == 1
+        assert out.simulated_delay == 0.0
+
+    def test_persistent_drop_exhausts_attempts(self):
+        policy = RetryPolicy(max_attempts=3)
+        out = deliver_with_retry(
+            policy, lambda attempt: True, ensure_rng(0), RetryBudget(10)
+        )
+        assert not out.delivered
+        assert out.attempts == 3
+
+    def test_transient_drop_recovers(self):
+        out = deliver_with_retry(
+            RetryPolicy(max_attempts=4),
+            lambda attempt: attempt <= 2,
+            ensure_rng(0),
+            RetryBudget(10),
+        )
+        assert out.delivered and out.attempts == 3
+        assert out.simulated_delay > 0  # paid two backoffs
+
+    def test_exhausted_budget_stops_retries_early(self):
+        policy = RetryPolicy(max_attempts=10, base_delay=1.0, max_delay=1.0)
+        out = deliver_with_retry(
+            policy, lambda attempt: True, ensure_rng(0), RetryBudget(0.0)
+        )
+        assert not out.delivered
+        assert out.attempts == 1  # first retry's backoff did not fit
+
+    def test_extra_delay_is_charged_but_never_blocks(self):
+        budget = RetryBudget(10.0)
+        out = deliver_with_retry(
+            RetryPolicy(),
+            lambda attempt: False,
+            ensure_rng(0),
+            budget,
+            extra_delay=2.5,
+        )
+        assert out.delivered
+        assert out.simulated_delay == pytest.approx(2.5)
+        assert budget.spent == pytest.approx(2.5)
+
+
+class TestFaultInjector:
+    def test_same_plan_same_decisions_and_signature(self):
+        plan = FaultPlan(seed=11, drop=0.5, transfer_abort=0.5)
+
+        def drive(inj):
+            return (
+                [inj.drop("lbi", f"m{i}") for i in range(50)],
+                [inj.abort_transfer(i) for i in range(50)],
+                inj.signature(),
+            )
+
+        assert drive(FaultInjector(plan)) == drive(FaultInjector(plan))
+
+    def test_different_seeds_differ(self):
+        a = FaultInjector(FaultPlan(seed=1, drop=0.5))
+        b = FaultInjector(FaultPlan(seed=2, drop=0.5))
+        for i in range(100):
+            a.drop("lbi", f"m{i}")
+            b.drop("lbi", f"m{i}")
+        assert a.signature() != b.signature()
+
+    def test_channels_are_independent_streams(self):
+        plan = FaultPlan(seed=5, drop=0.5, transfer_abort=0.5)
+        noisy = FaultInjector(plan)
+        quiet = FaultInjector(plan)
+        for i in range(200):  # traffic on the drop channel only
+            noisy.drop("vsa", f"m{i}")
+        assert [noisy.abort_transfer(i) for i in range(50)] == [
+            quiet.abort_transfer(i) for i in range(50)
+        ]
+
+    def test_zero_probability_channels_never_fire_or_log(self):
+        inj = FaultInjector(FaultPlan(seed=0))
+        assert not inj.drop("lbi", "m")
+        assert inj.delay("lbi", "m") == 0.0
+        assert not inj.duplicate("lbi", "m")
+        assert not inj.abort_transfer(1)
+        assert inj.injected == 0
+
+    def test_log_records_fired_faults_in_order(self):
+        inj = FaultInjector(FaultPlan(seed=3, drop=1.0))
+        inj.drop("lbi", "a")
+        inj.drop("vsa", "b")
+        assert [f.seq for f in inj.log] == [0, 1]
+        assert all(f.kind is FaultKind.DROP for f in inj.log)
+        assert [f.phase for f in inj.log] == ["lbi", "vsa"]
+
+    def test_signature_tracks_log_growth(self):
+        inj = FaultInjector(FaultPlan(seed=3, drop=1.0))
+        empty = inj.signature()
+        inj.drop("lbi", "a")
+        assert inj.signature() != empty
+
+    def test_crash_budget_and_slots(self):
+        inj = FaultInjector(FaultPlan(seed=7, crash_mid_round=2))
+        slots = inj.plan_crash_slots(10)
+        assert len(slots) == 2
+        assert all(0 <= s <= 10 for s in slots)
+        assert slots == sorted(slots)
+        assert inj.crashes_remaining == 2  # planning does not consume
+        assert inj.pick_victim([4, 5, 6]) in (4, 5, 6)
+        assert inj.crashes_remaining == 1
+        assert inj.pick_victim([]) is None  # wasted slot still consumes
+        assert inj.crashes_remaining == 0
+        assert inj.pick_victim([1]) is None  # budget exhausted
+        inj.reset_round()
+        assert inj.crashes_remaining == 2
+
+    def test_delay_channel_bounded_by_delay_max(self):
+        inj = FaultInjector(FaultPlan(seed=2, delay=1.0, delay_max=3.0))
+        delays = [inj.delay("lbi", f"m{i}") for i in range(50)]
+        assert all(0.0 <= d <= 3.0 for d in delays)
+        assert inj.injected == 50
+
+
+class TestEnsureInjector:
+    def test_none_and_null_plan_coerce_to_none(self):
+        assert ensure_injector(None) is None
+        assert ensure_injector(NULL_PLAN) is None
+        assert ensure_injector(FaultPlan()) is None
+
+    def test_plan_coerces_to_injector(self):
+        inj = ensure_injector(FaultPlan(seed=1, drop=0.2))
+        assert isinstance(inj, FaultInjector)
+
+    def test_injector_passes_through_identically(self):
+        inj = FaultInjector(FaultPlan(seed=1, drop=0.2))
+        assert ensure_injector(inj) is inj

@@ -17,6 +17,7 @@ from repro.lint.rules.docstrings import DocstringCoverageRule
 from repro.lint.rules.exceptions import ExceptionHygieneRule
 from repro.lint.rules.floats import NoFloatEqualityRule
 from repro.lint.rules.iteration import NoUnorderedIterationRule
+from repro.lint.rules.retry import BoundedRetryRule
 from repro.lint.rules.rng import NoUnseededRngRule
 from repro.lint.rules.spans import ObsSpanCoverageRule
 from repro.lint.rules.wallclock import NoWallclockRule
@@ -515,5 +516,102 @@ class TestDocstringCoverage:
                 return x
             """,
             DocstringCoverageRule(),
+        )
+        assert findings == []
+
+
+class TestBoundedRetry:
+    def test_flags_while_true_in_protocol_code(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/core/x.py",
+            """
+            def resend(send):
+                while True:
+                    if send():
+                        return True
+            """,
+            BoundedRetryRule(),
+        )
+        assert [f.rule for f in findings] == ["bounded-retry"]
+        assert "while True" in findings[0].message
+
+    def test_flags_while_one_in_faults_package(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/faults/x.py",
+            """
+            def poll(q):
+                while 1:
+                    if q.ready():
+                        break
+            """,
+            BoundedRetryRule(),
+        )
+        assert len(findings) == 1
+
+    def test_flags_jitterless_backoff_helper(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/sim/x.py",
+            """
+            def backoff_delay(attempt):
+                return 0.05 * 2 ** attempt
+            """,
+            BoundedRetryRule(),
+        )
+        assert [f.rule for f in findings] == ["bounded-retry"]
+        assert "backoff_delay" in findings[0].message
+
+    def test_allows_bounded_loop_with_seeded_jitter(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/core/x.py",
+            """
+            def deliver_with_retry(policy, send, rng):
+                for attempt in range(1, policy.max_attempts + 1):
+                    if send(attempt):
+                        return True
+                    delay = policy.backoff_delay(attempt, rng)
+                return False
+            """,
+            BoundedRetryRule(),
+        )
+        assert findings == []
+
+    def test_allows_condition_loops_and_non_protocol_code(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/core/x.py",
+            """
+            def drain(queue):
+                while queue:
+                    queue.pop()
+            """,
+            BoundedRetryRule(),
+        )
+        assert findings == []
+        findings = lint(
+            tmp_path,
+            "repro/analysis/x.py",
+            """
+            def spin():
+                while True:
+                    pass
+            """,
+            BoundedRetryRule(),
+        )
+        assert findings == []
+
+    def test_pragma_silences_reviewed_loop(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/sim/x.py",
+            """
+            def event_loop(step):
+                while True:  # lint: disable=bounded-retry
+                    step()
+            """,
+            BoundedRetryRule(),
         )
         assert findings == []

@@ -1,0 +1,137 @@
+"""Seeded determinism of the failure simulations, with and without faults.
+
+The reproducibility contract extends to the degraded paths: two runs of
+the heartbeat monitor or the churn process from identical seeds — and
+the identical :class:`~repro.faults.FaultPlan` — must report identical
+failure latencies, drop counts and repair-round histories.
+"""
+
+import pytest
+
+from repro.dht import ChordRing
+from repro.faults import FaultPlan
+from repro.idspace import IdentifierSpace
+from repro.ktree import KnaryTree
+from repro.sim import HeartbeatMonitor
+from repro.sim.churn import ChurnProcess
+
+
+def build_system(seed=13, nodes=12):
+    ring = ChordRing(IdentifierSpace(bits=12))
+    ring.populate(nodes, 2, [1.0] * nodes, rng=seed)
+    for vs in ring.virtual_servers:
+        vs.load = 1.0
+    tree = KnaryTree(ring, 2)
+    tree.build_full()
+    return ring, tree
+
+
+def heartbeat_digest(trace):
+    return (
+        trace.heartbeats_sent,
+        trace.heartbeats_dropped,
+        trace.probes_sent,
+        trace.false_suspicions,
+        [
+            (f.crashed_node, f.detection_latency, f.repair_latency, f.refresh_passes)
+            for f in trace.failures
+        ],
+    )
+
+
+def churn_digest(trace):
+    return (
+        trace.events,
+        trace.dropped_refreshes,
+        trace.refreshes_to_stable,
+        trace.repairs,
+    )
+
+
+class TestHeartbeatDeterminism:
+    def run_monitor(self, faults, crash_at=2.5):
+        ring, tree = build_system()
+        monitor = HeartbeatMonitor(
+            ring, tree, heartbeat_interval=1.0, miss_threshold=3,
+            faults=faults, rng=17,
+        )
+        monitor.schedule_crash(0, at_time=crash_at)
+        return monitor.run(until=25.0)
+
+    def test_identical_seeds_identical_trace_without_faults(self):
+        a = self.run_monitor(None)
+        b = self.run_monitor(None)
+        assert heartbeat_digest(a) == heartbeat_digest(b)
+        assert len(a.failures) == 1
+
+    def test_identical_seeds_identical_trace_under_faults(self):
+        plan = FaultPlan(seed=6, drop=0.25)
+        a = self.run_monitor(plan)
+        b = self.run_monitor(plan)
+        assert heartbeat_digest(a) == heartbeat_digest(b)
+        assert a.heartbeats_dropped > 0
+
+    def test_different_fault_seed_changes_drop_pattern(self):
+        a = self.run_monitor(FaultPlan(seed=6, drop=0.25))
+        b = self.run_monitor(FaultPlan(seed=7, drop=0.25))
+        assert a.heartbeats_dropped != b.heartbeats_dropped or (
+            heartbeat_digest(a) != heartbeat_digest(b)
+        )
+
+    def test_crash_still_detected_within_bound_under_drops(self):
+        trace = self.run_monitor(FaultPlan(seed=6, drop=0.25))
+        assert len(trace.failures) == 1
+        ring_free = self.run_monitor(None)
+        event, clean = trace.failures[0], ring_free.failures[0]
+        assert event.crashed_node == clean.crashed_node == 0
+        # Drops never delay the declaration path (round-granular model).
+        assert event.detection_latency == clean.detection_latency
+
+    def test_drops_on_live_edges_cause_false_suspicions_not_repairs(self):
+        ring, tree = build_system()
+        monitor = HeartbeatMonitor(
+            ring, tree, heartbeat_interval=1.0, miss_threshold=2,
+            faults=FaultPlan(seed=1, drop=0.6), rng=3,
+        )
+        trace = monitor.run(until=40.0)  # nobody actually crashes
+        assert trace.heartbeats_dropped > 0
+        assert trace.probes_sent > 0
+        assert trace.false_suspicions == trace.probes_sent
+        assert trace.failures == []
+        tree.check_invariants()
+
+
+class TestChurnDeterminism:
+    def run_churn(self, faults, events=20):
+        ring, tree = build_system(seed=21, nodes=16)
+        process = ChurnProcess(ring, tree, rng=9, faults=faults)
+        trace = process.run(num_events=events)
+        tree.check_invariants()
+        ring.check_invariants()
+        return trace
+
+    def test_identical_seeds_identical_trace_without_faults(self):
+        assert churn_digest(self.run_churn(None)) == churn_digest(
+            self.run_churn(None)
+        )
+
+    def test_identical_seeds_identical_trace_under_faults(self):
+        plan = FaultPlan(seed=4, drop=0.3)
+        a = self.run_churn(plan)
+        b = self.run_churn(plan)
+        assert churn_digest(a) == churn_digest(b)
+        assert a.dropped_refreshes > 0
+
+    def test_dropped_ticks_burn_rounds_but_stay_bounded(self):
+        faulty = self.run_churn(FaultPlan(seed=4, drop=0.3))
+        clean = self.run_churn(None)
+        assert faulty.events == clean.events  # membership events unaffected
+        assert faulty.dropped_refreshes > 0
+        assert max(faulty.refreshes_to_stable) <= 64
+        # A dropped tick costs a round: stabilisation is never faster.
+        assert sum(faulty.refreshes_to_stable) >= sum(clean.refreshes_to_stable)
+
+    def test_null_plan_behaves_exact_like_no_plan(self):
+        assert churn_digest(self.run_churn(FaultPlan())) == churn_digest(
+            self.run_churn(None)
+        )
