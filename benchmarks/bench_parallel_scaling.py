@@ -1,0 +1,131 @@
+"""Benchmark: parallel trial engine scaling on the variance seed sweep.
+
+Runs the figure-7 variance sweep serially and through
+:class:`repro.parallel.TrialExecutor` with 4 worker processes, asserts
+the results are byte-identical (the engine's core contract), and
+measures the wall-clock speedup.  The acceptance target — >= 1.8x at 4
+workers — is only asserted when the machine actually exposes >= 4 CPUs
+to this process; on smaller machines the bench still verifies identity
+and reports the measured ratio honestly (forking on a 1-CPU box can
+only slow things down).
+
+The measured timings and speedup are recorded into the ambient
+:class:`repro.obs.MetricsRegistry` when one is installed (the
+``REPRO_OBS_OUT`` session fixture in ``conftest.py``), so the numbers
+land in the benchmark metrics dump.
+
+Also runnable standalone (from the repository root, so that the
+``benchmarks`` package resolves)::
+
+    PYTHONPATH=src python -m benchmarks.bench_parallel_scaling
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import replace
+
+from benchmarks.conftest import emit
+from repro.experiments import variance
+from repro.experiments.common import ExperimentSettings
+from repro.obs.runtime import current_metrics
+
+#: Worker-process count the acceptance target is stated against.
+WORKERS = 4
+
+#: Required speedup at :data:`WORKERS` workers — asserted only when the
+#: process can actually schedule on that many CPUs.
+TARGET_SPEEDUP = 1.8
+
+#: Seeds in the sweep; a multiple of WORKERS so the fan-out is even.
+NUM_SEEDS = 4
+
+
+def available_cpus() -> int:
+    """CPUs this process may schedule on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def run_scaling(settings: ExperimentSettings) -> dict[str, float]:
+    """Serial vs parallel variance sweep; returns the timing summary.
+
+    Raises ``AssertionError`` if the parallel sweep's output differs
+    from the serial sweep's in any way.
+    """
+    serial_settings = replace(settings, workers=1)
+    parallel_settings = replace(settings, workers=WORKERS)
+
+    t0 = time.perf_counter()
+    serial = variance.run(serial_settings, num_seeds=NUM_SEEDS)
+    serial_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = variance.run(parallel_settings, num_seeds=NUM_SEEDS)
+    parallel_seconds = time.perf_counter() - t0
+
+    # The determinism contract: identical seeds, identical metrics.
+    assert serial.seeds == parallel.seeds
+    assert serial.metrics == parallel.metrics
+
+    speedup = serial_seconds / parallel_seconds if parallel_seconds > 0 else 0.0
+    summary = {
+        "cpus": float(available_cpus()),
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": speedup,
+    }
+    metrics = current_metrics()
+    if metrics is not None:
+        metrics.gauge("parallel.bench.cpus").set(summary["cpus"])
+        metrics.gauge("parallel.bench.serial_seconds").set(serial_seconds)
+        metrics.gauge("parallel.bench.workers4_seconds").set(parallel_seconds)
+        metrics.gauge("parallel.bench.speedup").set(speedup)
+    return summary
+
+
+def format_summary(summary: dict[str, float]) -> str:
+    """Human-readable timing table plus the gating verdict."""
+    cpus = int(summary["cpus"])
+    gated = cpus >= WORKERS
+    lines = [
+        f"Parallel trial engine scaling - variance sweep, {NUM_SEEDS} seeds",
+        f"  serial:            {summary['serial_seconds']:>8.2f}s",
+        f"  {WORKERS} workers:  {summary['parallel_seconds']:>12.2f}s",
+        f"  speedup:           {summary['speedup']:>8.2f}x "
+        f"(target {TARGET_SPEEDUP}x at >= {WORKERS} CPUs)",
+        f"  cpus available:    {cpus:>8}",
+    ]
+    if not gated:
+        lines.append(
+            f"  [only {cpus} CPU(s) visible: speedup target not assertable "
+            "on this machine; byte-identity still verified]"
+        )
+    return "\n".join(lines)
+
+
+def test_parallel_scaling(settings, report_lines):
+    summary = run_scaling(settings)
+    emit(report_lines, "Parallel scaling (variance sweep)",
+         format_summary(summary))
+    if summary["cpus"] >= WORKERS:
+        assert summary["speedup"] >= TARGET_SPEEDUP, (
+            f"speedup {summary['speedup']:.2f}x below target "
+            f"{TARGET_SPEEDUP}x with {int(summary['cpus'])} CPUs"
+        )
+
+
+def main() -> int:
+    """Standalone entry point: print the table, return 0."""
+    summary = run_scaling(ExperimentSettings.from_env())
+    print(format_summary(summary))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

@@ -31,6 +31,18 @@ fi
 echo "== generated API docs freshness =="
 python scripts/gen_api_docs.py --check
 
+echo "== bench trend: cost metrics vs checked-in baseline =="
+# Regenerate the deterministic smoke-workload metrics dump and compare
+# it against benchmarks/BENCH_BASELINE.json: any counter/gauge >20%
+# above baseline (messages, Dijkstra runs, shard dispatches, ...) fails
+# the build.  After an intentional cost change, regenerate with
+#   python scripts/check_bench_trend.py gen
+# and commit the new baseline.
+BENCH_TMP="$(mktemp /tmp/bench_trend.XXXXXX.json)"
+trap 'rm -f "$BENCH_TMP"' EXIT
+python scripts/check_bench_trend.py gen --out "$BENCH_TMP" >/dev/null
+python scripts/check_bench_trend.py check "$BENCH_TMP"
+
 echo "== chaos smoke: degraded round survives, conserves, reproduces =="
 # Small ring, fixed seed, 10% message drop + one mid-round crash; the
 # module asserts conservation, convergence and byte-identical fault

@@ -41,6 +41,28 @@ class ReplicatedMetric:
         return f"{self.mean:.4g} +/- {self.std:.2g}"
 
 
+def summarize_rows(rows: list[dict[str, float]]) -> dict[str, ReplicatedMetric]:
+    """Summarise per-replication metric rows into per-metric statistics.
+
+    Every row must carry the same metric keys; a mismatch raises
+    ``KeyError`` so silent metric drift cannot occur.  Shared by
+    :func:`replicate` and the parallel trial path in
+    :mod:`repro.experiments.variance`, so both produce identical
+    results from identical rows.
+    """
+    if not rows:
+        raise ValueError("need at least one row")
+    keys = list(rows[0].keys())
+    for row in rows[1:]:
+        missing = set(keys) ^ set(row.keys())
+        if missing:
+            raise KeyError(f"inconsistent metric keys across seeds: {missing}")
+    return {
+        key: ReplicatedMetric(name=key, values=tuple(float(r[key]) for r in rows))
+        for key in keys
+    }
+
+
 def replicate(
     metric_fn: Callable[[int], dict[str, float]],
     seeds: Iterable[int],
@@ -53,13 +75,4 @@ def replicate(
     seeds = list(seeds)
     if not seeds:
         raise ValueError("need at least one seed")
-    rows = [metric_fn(seed) for seed in seeds]
-    keys = list(rows[0].keys())
-    for row in rows[1:]:
-        missing = set(keys) ^ set(row.keys())
-        if missing:
-            raise KeyError(f"inconsistent metric keys across seeds: {missing}")
-    return {
-        key: ReplicatedMetric(name=key, values=tuple(float(r[key]) for r in rows))
-        for key in keys
-    }
+    return summarize_rows([metric_fn(seed) for seed in seeds])

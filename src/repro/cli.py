@@ -38,6 +38,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--epsilon", type=float, default=None, help="target-load slack")
     run.add_argument("--tree-degree", type=int, default=None, help="K-nary tree degree")
     run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for seed sweeps (variance/chaos); "
+        "results are identical to serial runs, only faster",
+    )
+    run.add_argument(
         "--scale",
         choices=["quick", "paper"],
         default="quick",
@@ -241,6 +249,8 @@ def main(argv: list[str] | None = None) -> int:
         overrides["epsilon"] = args.epsilon
     if args.tree_degree is not None:
         overrides["tree_degree"] = args.tree_degree
+    if args.workers is not None:
+        overrides["workers"] = args.workers
     if overrides:
         settings = replace(settings, **overrides)
 

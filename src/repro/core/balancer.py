@@ -28,6 +28,7 @@ from repro.core.placement import (
 )
 from repro.core.records import (
     Assignment,
+    LBIRecord,
     NodeClass,
     ShedCandidate,
     SpareCapacity,
@@ -35,7 +36,7 @@ from repro.core.records import (
 )
 from repro.core.report import BalanceReport
 from repro.core.selection import select_shed_subset
-from repro.core.vsa import VSASweep
+from repro.core.vsa import VSAResult, VSASweep
 from repro.core.vst import execute_transfers
 from repro.dht.chord import ChordRing
 from repro.exceptions import ConfigError
@@ -43,6 +44,7 @@ from repro.faults.injector import FaultInjector, ensure_injector
 from repro.faults.plan import FaultPlan
 from repro.faults.retry import RetryPolicy
 from repro.faults.stats import FaultRoundStats
+from repro.ktree.node import KTNode
 from repro.ktree.tree import KnaryTree
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import PhaseClock, profile_from_report
@@ -220,7 +222,7 @@ class LoadBalancer:
                 # aggregate_lbi raises BalancerError on an empty report
                 # set with nothing cached — total aggregation failure in
                 # the very first round is unrecoverable by design.
-                system, agg_trace = aggregate_lbi(tree, reports, tracer=tracer)
+                system, agg_trace = self._aggregate_lbi(tree, reports)
                 self._stale_lbi = system
                 self._stale_lbi_age = 0
             elif self._stale_lbi_age < self.retry.lbi_staleness_rounds:
@@ -241,7 +243,7 @@ class LoadBalancer:
                     )
             else:
                 # The cached aggregate aged out: surface the failure.
-                system, agg_trace = aggregate_lbi(tree, reports, tracer=tracer)
+                system, agg_trace = self._aggregate_lbi(tree, reports)
 
         # Phase 2: classification.
         with clock.phase("classification"), tracer.span("classification"):
@@ -290,18 +292,9 @@ class LoadBalancer:
                     )
 
             # Phase 3b: bottom-up VSA sweep.
-            sweep = VSASweep(
-                tree,
-                threshold=cfg.rendezvous_threshold,
-                min_vs_load=system.min_vs_load,
-                strict_heaviest_first=cfg.strict_heaviest_first,
-                tracer=tracer,
-                faults=faults,
-                retry=self.retry,
-                rng=self._retry_rng,
-                fault_stats=stats,
+            vsa_result = self._run_vsa_sweep(
+                tree, published, system.min_vs_load, stats
             )
-            vsa_result = sweep.run(published)
             vsa_span.end()
 
         # Phase 4: execute transfers.  Assignments that went stale because
@@ -355,6 +348,56 @@ class LoadBalancer:
         if self.metrics is not None:
             self._record_metrics(report)
         return report
+
+    # ------------------------------------------------------------------
+    # Phase hooks (overridden by shard-parallel engines)
+    # ------------------------------------------------------------------
+    def _aggregate_lbi(
+        self,
+        tree: KnaryTree,
+        reports: dict[int, tuple[KTNode, list[LBIRecord]]],
+    ) -> tuple[SystemLBI, AggregationTrace]:
+        """Run the bottom-up LBI aggregation over collected reports.
+
+        Extracted as a hook so :class:`repro.parallel.ShardedLoadBalancer`
+        can fan the per-subtree folds out to worker processes while this
+        default stays the serial reference implementation.
+        """
+        return aggregate_lbi(tree, reports, tracer=self.tracer)
+
+    def _build_vsa_sweep(
+        self,
+        tree: KnaryTree,
+        min_vs_load: float,
+        stats: FaultRoundStats,
+    ) -> VSASweep:
+        """Construct the configured :class:`VSASweep` for this round."""
+        return VSASweep(
+            tree,
+            threshold=self.config.rendezvous_threshold,
+            min_vs_load=min_vs_load,
+            strict_heaviest_first=self.config.strict_heaviest_first,
+            tracer=self.tracer,
+            faults=self.faults,
+            retry=self.retry,
+            rng=self._retry_rng,
+            fault_stats=stats,
+        )
+
+    def _run_vsa_sweep(
+        self,
+        tree: KnaryTree,
+        published: list[tuple[int, ShedCandidate | SpareCapacity]],
+        min_vs_load: float,
+        stats: FaultRoundStats,
+    ) -> VSAResult:
+        """Run phase 3b (delivery + bottom-up rendezvous sweep).
+
+        Hook point for shard-parallel engines: delivery (which consumes
+        the retry rng and fault streams) always runs here, in publication
+        order; only the pure sweep may be decomposed.
+        """
+        return self._build_vsa_sweep(tree, min_vs_load, stats).run(published)
 
     def _record_metrics(self, report: BalanceReport) -> None:
         """Fold one round's profile into the attached registry."""

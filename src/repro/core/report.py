@@ -7,7 +7,9 @@ between nodes but never create or destroy it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
 from typing import Any
 
 import numpy as np
@@ -146,6 +148,121 @@ class BalanceReport:
                 f"within 10: {100 * self.moved_load_within(10):.1f}%"
             )
         return "\n".join(lines)
+
+    def canonical_digest(self) -> str:
+        """SHA-256 over every *protocol* output of the round.
+
+        The digest covers the full round outcome bit-for-bit — config,
+        aggregate, load arrays, classifications, every assignment,
+        transfer and fault statistic — but deliberately excludes the
+        wall-clock measurements (``phase_seconds`` and ``profile``),
+        which vary run to run without the protocol behaving differently.
+        Two rounds are byte-identical iff their digests match; the
+        parallel subsystem's determinism contract (serial == sharded ==
+        multi-worker) is asserted in exactly these terms.
+        """
+
+        def floats(values: Any) -> list[str]:
+            # float.hex() is exact: two floats share a hex form iff they
+            # are the same double, so digests can never collide or split
+            # on formatting.
+            return [float(v).hex() for v in values]
+
+        def assignment(a: Assignment) -> list[Any]:
+            return [
+                float(a.candidate.load).hex(),
+                a.candidate.vs_id,
+                a.candidate.node_index,
+                a.target_node,
+                a.level,
+            ]
+
+        def classification(c: ClassificationResult) -> dict[str, Any]:
+            return {
+                "classes": {
+                    str(i): cls.value for i, cls in sorted(c.classes.items())
+                },
+                "targets": {
+                    str(i): float(t).hex() for i, t in sorted(c.targets.items())
+                },
+            }
+
+        payload: dict[str, Any] = {
+            "config": {
+                k: (v.hex() if isinstance(v, float) else v)
+                for k, v in sorted(asdict(self.config).items())
+            },
+            "system_lbi": floats(
+                (
+                    self.system_lbi.total_load,
+                    self.system_lbi.total_capacity,
+                    self.system_lbi.min_vs_load,
+                )
+            ),
+            "num_nodes": self.num_nodes,
+            "num_virtual_servers": self.num_virtual_servers,
+            "node_indices": hashlib.sha256(
+                np.ascontiguousarray(self.node_indices).tobytes()
+            ).hexdigest(),
+            "capacities": hashlib.sha256(
+                np.ascontiguousarray(self.capacities).tobytes()
+            ).hexdigest(),
+            "loads_before": hashlib.sha256(
+                np.ascontiguousarray(self.loads_before).tobytes()
+            ).hexdigest(),
+            "loads_after": hashlib.sha256(
+                np.ascontiguousarray(self.loads_after).tobytes()
+            ).hexdigest(),
+            "classification_before": classification(self.classification_before),
+            "classification_after": classification(self.classification_after),
+            "aggregation": [
+                self.aggregation.tree_height,
+                self.aggregation.upward_rounds,
+                self.aggregation.downward_rounds,
+                self.aggregation.upward_messages,
+                self.aggregation.downward_messages,
+                self.aggregation.reports,
+            ],
+            "vsa": {
+                "assignments": [assignment(a) for a in self.vsa.assignments],
+                "unassigned_heavy": [
+                    [float(c.load).hex(), c.vs_id, c.node_index]
+                    for c in self.vsa.unassigned_heavy
+                ],
+                "unassigned_light": [
+                    [float(s.delta).hex(), s.node_index]
+                    for s in self.vsa.unassigned_light
+                ],
+                "rounds": self.vsa.rounds,
+                "upward_messages": self.vsa.upward_messages,
+                "entries_published": self.vsa.entries_published,
+                "entries_lost": self.vsa.entries_lost,
+                "pairings_by_level": sorted(self.vsa.pairings_by_level.items()),
+            },
+            "transfers": [
+                [
+                    t.vs_id,
+                    float(t.load).hex(),
+                    t.source_node,
+                    t.target_node,
+                    float(t.distance).hex(),
+                    t.level,
+                ]
+                for t in self.transfers
+            ],
+            "skipped_assignments": [
+                assignment(a) for a in self.skipped_assignments
+            ],
+            "failed_assignments": [assignment(a) for a in self.failed_assignments],
+            "fault_stats": {
+                k: (v.hex() if isinstance(v, float) else v)
+                for k, v in sorted(self.fault_stats.to_dict().items())
+            },
+            "tree_height": self.tree_height,
+            "tree_nodes_materialized": self.tree_nodes_materialized,
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-friendly digest (scalars only; arrays summarised)."""

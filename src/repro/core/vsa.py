@@ -124,12 +124,45 @@ class VSASweep:
         self,
         published: list[tuple[int, ShedCandidate | SpareCapacity]],
     ) -> VSAResult:
-        """Run the sweep over ``(key, entry)`` publications."""
+        """Run the sweep over ``(key, entry)`` publications.
+
+        Delivery (faults/rng) and the pure bottom-up sweep run in
+        sequence; with an enabled tracer a final ``vsa.sweep`` summary
+        event matching the returned result is emitted.
+        """
+        tracer = self.tracer
         result = VSAResult(entries_published=len(published))
+        pending = self.deliver(published, result)
+        self.sweep(pending, result)
+        if tracer is not None and tracer.enabled:
+            tracer.event(
+                "vsa.sweep",
+                entries_published=result.entries_published,
+                entries_lost=result.entries_lost,
+                pairings=len(result.assignments),
+                messages_up=result.upward_messages,
+                rounds=result.rounds,
+                unassigned_heavy=len(result.unassigned_heavy),
+                unassigned_light=len(result.unassigned_light),
+            )
+        return result
+
+    def deliver(
+        self,
+        published: list[tuple[int, ShedCandidate | SpareCapacity]],
+        result: VSAResult,
+    ) -> dict[int, tuple[list[ShedCandidate], list[SpareCapacity]]]:
+        """Deliver ``(key, entry)`` publications to their KT leaves.
+
+        Materialises leaf paths as needed, applies injected faults with
+        bounded retries and returns the per-leaf pending buckets (keyed
+        by ``id(leaf)``).  Loss accounting lands on ``result``.  Split
+        out of :meth:`run` so shard-parallel engines can reuse the
+        fault/rng-consuming delivery verbatim and parallelise only the
+        pure bottom-up sweep.
+        """
         tracer = self.tracer
         tracing = tracer is not None and tracer.enabled
-
-        # Deliver entries to their leaves (materialising paths as needed).
         pending: dict[int, tuple[list[ShedCandidate], list[SpareCapacity]]] = {}
 
         def bucket(node_id: int) -> tuple[list[ShedCandidate], list[SpareCapacity]]:
@@ -189,6 +222,29 @@ class VSASweep:
                         else entry.delta
                     ),
                 )
+        return pending
+
+    def sweep(
+        self,
+        pending: dict[int, tuple[list[ShedCandidate], list[SpareCapacity]]],
+        result: VSAResult,
+    ) -> None:
+        """Run the bottom-up rendezvous sweep over delivered buckets.
+
+        ``pending`` maps ``id(leaf)`` to the leaf's delivered
+        (heavy, light) entry lists, as produced by :meth:`deliver`;
+        assignments, leftovers and cost accounting accumulate on
+        ``result``.
+        """
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
+
+        def bucket(node_id: int) -> tuple[list[ShedCandidate], list[SpareCapacity]]:
+            buck = pending.get(node_id)
+            if buck is None:
+                buck = ([], [])
+                pending[node_id] = buck
+            return buck
 
         # Bottom-up sweep over every materialised node.  Materialisation
         # is frozen now: iterate a snapshot sorted deepest-first.
@@ -238,16 +294,3 @@ class VSASweep:
 
         if pending:  # pragma: no cover - sweep covers all materialised nodes
             raise BalancerError("VSA sweep left undelivered entries")
-        if tracing:
-            assert tracer is not None
-            tracer.event(
-                "vsa.sweep",
-                entries_published=result.entries_published,
-                entries_lost=result.entries_lost,
-                pairings=len(result.assignments),
-                messages_up=result.upward_messages,
-                rounds=result.rounds,
-                unassigned_heavy=len(result.unassigned_heavy),
-                unassigned_light=len(result.unassigned_light),
-            )
-        return result

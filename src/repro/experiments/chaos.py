@@ -20,12 +20,14 @@ the chaos smoke stage.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import partial
 
 from repro.core.balancer import LoadBalancer
 from repro.core.config import BalancerConfig
 from repro.core.report import BalanceReport, check_conservation
 from repro.experiments.common import ExperimentSettings, pct
 from repro.faults import FaultPlan
+from repro.parallel.trials import TrialExecutor
 from repro.workloads.loads import GaussianLoadModel
 from repro.workloads.scenario import build_scenario
 
@@ -112,6 +114,48 @@ def _run_round(
     return report
 
 
+def chaos_row(
+    settings: ExperimentSettings,
+    drop_rates: tuple[float, ...],
+    crash_mid_round: int,
+    transfer_abort: float,
+    fault_seed: int,
+    baseline_moved: float,
+    rate_index: int,
+) -> ChaosRow:
+    """One sweep point: run the round at ``drop_rates[rate_index]``.
+
+    Module-level and keyed by an integer index (not the float rate) so
+    the parallel trial engine can ship it to workers via
+    :func:`functools.partial`; a pure function of its arguments either
+    way, so serial and parallel sweeps produce identical rows.
+    """
+    rate = drop_rates[rate_index]
+    plan = FaultPlan(
+        seed=fault_seed,
+        drop=rate,
+        crash_mid_round=crash_mid_round,
+        transfer_abort=transfer_abort,
+    )
+    report = _run_round(settings, faults=plan)
+    fs = report.fault_stats
+    ratio = report.moved_load / baseline_moved if baseline_moved > 0 else 0.0
+    return ChaosRow(
+        drop=rate,
+        transfers=len(report.transfers),
+        failed_transfers=len(report.failed_assignments),
+        moved_load=report.moved_load,
+        movement_ratio=ratio,
+        heavy_after=report.heavy_after,
+        retries=fs.total_retries,
+        lost=fs.total_lost,
+        rollbacks=fs.vst_rollbacks,
+        crashed_nodes=len(fs.crashed_nodes),
+        stale_lbi_reused=fs.stale_lbi_reused,
+        signature=fs.signature,
+    )
+
+
 def run(
     settings: ExperimentSettings | None = None,
     drop_rates: tuple[float, ...] = DEFAULT_DROP_RATES,
@@ -124,43 +168,26 @@ def run(
     The scenario seed is held constant across the sweep so every row
     faces the identical initial load distribution; only the fault plan
     changes.  ``fault_seed`` defaults to the scenario seed, keeping the
-    whole sweep a pure function of the settings.
+    whole sweep a pure function of the settings.  With
+    ``settings.workers > 1`` the sweep points run in parallel through
+    :class:`repro.parallel.TrialExecutor` (each point rebuilds its own
+    scenario, so points share nothing and rows come out identical to a
+    serial sweep's).
     """
     s = settings if settings is not None else ExperimentSettings.from_env()
     fseed = fault_seed if fault_seed is not None else s.seed
     baseline = _run_round(s, faults=None)
 
-    rows: list[ChaosRow] = []
-    for rate in drop_rates:
-        plan = FaultPlan(
-            seed=fseed,
-            drop=rate,
-            crash_mid_round=crash_mid_round,
-            transfer_abort=transfer_abort,
-        )
-        report = _run_round(s, faults=plan)
-        fs = report.fault_stats
-        ratio = (
-            report.moved_load / baseline.moved_load
-            if baseline.moved_load > 0
-            else 0.0
-        )
-        rows.append(
-            ChaosRow(
-                drop=rate,
-                transfers=len(report.transfers),
-                failed_transfers=len(report.failed_assignments),
-                moved_load=report.moved_load,
-                movement_ratio=ratio,
-                heavy_after=report.heavy_after,
-                retries=fs.total_retries,
-                lost=fs.total_lost,
-                rollbacks=fs.vst_rollbacks,
-                crashed_nodes=len(fs.crashed_nodes),
-                stale_lbi_reused=fs.stale_lbi_reused,
-                signature=fs.signature,
-            )
-        )
+    row_fn = partial(
+        chaos_row, s, drop_rates, crash_mid_round, transfer_abort, fseed,
+        baseline.moved_load,
+    )
+    indices = range(len(drop_rates))
+    if s.workers > 1:
+        with TrialExecutor(workers=s.workers) as executor:
+            rows = list(executor.map(row_fn, indices))
+    else:
+        rows = [row_fn(index) for index in indices]
     return ChaosResult(
         settings=s,
         crash_mid_round=crash_mid_round,
@@ -247,6 +274,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--nodes", type=int, default=None)
     parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the sweep (default: serial)",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -263,6 +296,8 @@ def main(argv: list[str] | None = None) -> int:
         settings = replace(settings, num_nodes=args.nodes)
     if args.seed is not None:
         settings = replace(settings, seed=args.seed)
+    if args.workers is not None:
+        settings = replace(settings, workers=args.workers)
     print(run(settings).format_rows())
     return 0
 

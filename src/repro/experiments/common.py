@@ -28,6 +28,10 @@ class ExperimentSettings:
     grid_bits: int = 4
     seed: int = 42
     balancer_seed: int = 5
+    #: Worker processes for seed sweeps (variance/chaos); ``1`` keeps the
+    #: historical serial code path.  Results are seed-determined either
+    #: way — workers only changes wall-clock, never outputs.
+    workers: int = 1
 
     @classmethod
     def paper(cls) -> "ExperimentSettings":
@@ -41,12 +45,19 @@ class ExperimentSettings:
 
     @classmethod
     def from_env(cls) -> "ExperimentSettings":
-        """``REPRO_SCALE=paper`` selects full scale; anything else quick."""
+        """``REPRO_SCALE=paper`` selects full scale; anything else quick.
+
+        ``REPRO_SEED`` overrides the scenario seed and ``REPRO_WORKERS``
+        the trial-engine worker count.
+        """
         scale = os.environ.get("REPRO_SCALE", "quick").lower()
         base = cls.paper() if scale == "paper" else cls.quick()
         seed = os.environ.get("REPRO_SEED")
         if seed is not None:
             base = replace(base, seed=int(seed))
+        workers = os.environ.get("REPRO_WORKERS")
+        if workers is not None:
+            base = replace(base, workers=int(workers))
         return base
 
 

@@ -21,6 +21,8 @@ import numpy as np
 
 from repro.core.balancer import LoadBalancer
 from repro.core.config import BalancerConfig
+from repro.core.report import BalanceReport
+from repro.dht.chord import ChordRing
 from repro.dht.split import split_until_movable
 from repro.experiments.common import ExperimentSettings
 from repro.workloads.loads import ParetoLoadModel
@@ -45,7 +47,7 @@ class ConvergenceResult:
         ]
         rounds = max(len(self.heavy_per_round_plain), len(self.heavy_per_round_split))
 
-        def at(seq, i):
+        def at(seq: list[int] | list[float], i: int) -> int | float:
             return seq[i] if i < len(seq) else seq[-1]
 
         for i in range(rounds):
@@ -62,7 +64,7 @@ class ConvergenceResult:
         return "\n".join(lines)
 
 
-def _split_unmovable(ring, report) -> int:
+def _split_unmovable(ring: ChordRing, report: BalanceReport) -> int:
     """Split unassigned giants against the spare-capacity distribution.
 
     Pieces are sized at the *median* advertised spare so several lights
@@ -84,7 +86,9 @@ def _split_unmovable(ring, report) -> int:
     return splits
 
 
-def _run_rounds(settings: ExperimentSettings, use_splitting: bool, rounds: int):
+def _run_rounds(
+    settings: ExperimentSettings, use_splitting: bool, rounds: int
+) -> tuple[list[int], list[float], int]:
     scenario = build_scenario(
         ParetoLoadModel(mu=settings.mu),
         num_nodes=settings.num_nodes,

@@ -63,7 +63,7 @@ class Fig78Result:
 def _run_on(
     params: TransitStubParams, s: ExperimentSettings
 ) -> Fig78Result:
-    reports = {}
+    reports: dict[str, BalanceReport] = {}
     for mode in ("aware", "ignorant"):
         # Identical scenario seed => identical ring/loads/topology/sites.
         scenario = build_scenario(

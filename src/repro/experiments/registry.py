@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
+from typing import Any
 
 from repro.exceptions import ReproError
 from repro.experiments import (
@@ -18,7 +19,7 @@ from repro.experiments import (
 )
 
 #: Experiment id -> (run callable, one-line description).
-EXPERIMENTS: dict[str, tuple[Callable, str]] = {
+EXPERIMENTS: dict[str, tuple[Callable[..., Any], str]] = {
     "fig4": (fig4.run, "unit load before/after balancing (Gaussian)"),
     "fig5": (fig5.run, "load vs capacity category (Gaussian)"),
     "fig6": (fig6.run, "load vs capacity category (Pareto)"),
@@ -40,7 +41,7 @@ EXPERIMENTS: dict[str, tuple[Callable, str]] = {
 }
 
 
-def get_experiment(name: str) -> Callable:
+def get_experiment(name: str) -> Callable[..., Any]:
     """The ``run`` callable for an experiment id."""
     try:
         return EXPERIMENTS[name][0]

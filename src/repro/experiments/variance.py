@@ -4,24 +4,35 @@ Runs the ts5k-large proximity experiment across several seeds (fresh
 topology, capacities, loads, and landmark choices each time) and puts
 error bars on the within-distance fractions — the reproduction's
 equivalent of the paper's "10 graphs each ... we ran all these graphs".
+
+With ``settings.workers > 1`` the per-seed replications fan out across
+worker processes through :class:`repro.parallel.TrialExecutor`; each
+replication is a pure function of its seed, so the parallel sweep's
+rows — and therefore the summarised :class:`VarianceResult` — are
+byte-identical to the serial sweep's.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import partial
 
-from repro.analysis.replicate import ReplicatedMetric, replicate
+from repro.analysis.replicate import ReplicatedMetric, replicate, summarize_rows
 from repro.experiments.common import ExperimentSettings
 from repro.experiments.fig7 import run as run_fig7
+from repro.parallel.trials import TrialExecutor
 
 
 @dataclass(frozen=True)
 class VarianceResult:
+    """Per-metric spread of the figure-7 numbers across seed sweeps."""
+
     settings: ExperimentSettings
     seeds: tuple[int, ...]
     metrics: dict[str, ReplicatedMetric]
 
     def format_rows(self) -> str:
+        """Aligned text table of mean/std/min/max per metric."""
         lines = [
             f"Seed variance of figure 7 ({len(self.seeds)} replications)",
             f"  {'metric':>24} {'mean':>9} {'std':>8} {'min':>8} {'max':>8}",
@@ -37,29 +48,44 @@ class VarianceResult:
         return "\n".join(lines)
 
 
+def fig7_metrics(settings: ExperimentSettings, seed: int) -> dict[str, float]:
+    """One replication: figure 7 under ``seed``, headline metrics only.
+
+    Module-level (rather than a closure) so :func:`functools.partial`
+    over picklable ``settings`` can ship it to trial workers.
+    """
+    result = run_fig7(replace(settings, seed=seed))
+    d = result.data
+    return {
+        "aware_within_2": d.aware_within[2],
+        "aware_within_10": d.aware_within[10],
+        "ignorant_within_10": d.ignorant_within[10],
+        "aware_mean_distance": float(
+            result.aware_report.transfer_distances.mean()
+        ),
+        "ignorant_mean_distance": float(
+            result.ignorant_report.transfer_distances.mean()
+        ),
+    }
+
+
 def run(
     settings: ExperimentSettings | None = None,
     num_seeds: int = 5,
 ) -> VarianceResult:
-    """Replicate figure 7 across ``num_seeds`` fresh scenario draws."""
+    """Replicate figure 7 across ``num_seeds`` fresh scenario draws.
+
+    ``settings.workers > 1`` runs the replications through the parallel
+    trial engine; the historical serial loop is kept verbatim for
+    ``workers == 1``.
+    """
     s = settings if settings is not None else ExperimentSettings.from_env()
     seeds = tuple(s.seed + 1000 * i for i in range(num_seeds))
-
-    def metrics_for(seed: int) -> dict[str, float]:
-        result = run_fig7(replace(s, seed=seed))
-        d = result.data
-        return {
-            "aware_within_2": d.aware_within[2],
-            "aware_within_10": d.aware_within[10],
-            "ignorant_within_10": d.ignorant_within[10],
-            "aware_mean_distance": float(
-                result.aware_report.transfer_distances.mean()
-            ),
-            "ignorant_mean_distance": float(
-                result.ignorant_report.transfer_distances.mean()
-            ),
-        }
-
-    return VarianceResult(
-        settings=s, seeds=seeds, metrics=replicate(metrics_for, seeds)
-    )
+    metric_fn = partial(fig7_metrics, s)
+    if s.workers > 1:
+        with TrialExecutor(workers=s.workers) as executor:
+            rows = executor.map(metric_fn, seeds)
+        metrics = summarize_rows(rows)
+    else:
+        metrics = replicate(metric_fn, seeds)
+    return VarianceResult(settings=s, seeds=seeds, metrics=metrics)

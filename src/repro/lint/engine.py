@@ -40,11 +40,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Sub-packages of ``repro`` that implement the balancing *protocol*:
 #: code whose behaviour must be a pure function of the scenario seed.
 #: Determinism and conservation rules apply only here.
-PROTOCOL_PACKAGES = ("core", "dht", "ktree", "sim", "faults")
+PROTOCOL_PACKAGES = ("core", "dht", "ktree", "sim", "faults", "parallel")
 
 #: Sub-packages whose public surface is operator-facing API and must be
 #: fully documented (the docstring-coverage rule's scope).
-DOCUMENTED_PACKAGES = ("obs", "lint", "faults")
+DOCUMENTED_PACKAGES = ("obs", "lint", "faults", "parallel")
 
 _PRAGMA_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\- ]+)")
 

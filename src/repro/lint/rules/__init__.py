@@ -15,6 +15,7 @@ from repro.lint.rules.defaults import MutableDefaultArgsRule
 from repro.lint.rules.docstrings import DocstringCoverageRule
 from repro.lint.rules.exceptions import ExceptionHygieneRule
 from repro.lint.rules.floats import NoFloatEqualityRule
+from repro.lint.rules.forks import NoForkInProtocolRule
 from repro.lint.rules.iteration import NoUnorderedIterationRule
 from repro.lint.rules.retry import BoundedRetryRule
 from repro.lint.rules.rng import NoUnseededRngRule
@@ -28,6 +29,7 @@ ALL_RULES: tuple[Rule, ...] = (
     NoUnorderedIterationRule(),
     BoundedRetryRule(),
     NoFloatEqualityRule(),
+    NoForkInProtocolRule(),
     ConservationGuardRule(),
     ObsSpanCoverageRule(),
     ExceptionHygieneRule(),
@@ -44,6 +46,7 @@ __all__ = [
     "ExceptionHygieneRule",
     "MutableDefaultArgsRule",
     "NoFloatEqualityRule",
+    "NoForkInProtocolRule",
     "NoUnorderedIterationRule",
     "NoUnseededRngRule",
     "NoWallclockRule",

@@ -179,6 +179,38 @@ class MetricsRegistry:
             if name in table:
                 raise ReproError(f"metric {name!r} already exists as a {kind}")
 
+    # -- merging ---------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other``'s instruments into this registry in place.
+
+        Designed for the parallel trial engine: each worker process
+        accumulates into a fresh registry and the parent merges the
+        per-trial registries back **in trial order**, so a merged
+        registry matches what a serial run logging directly into one
+        registry would hold.  Merge semantics per instrument kind:
+
+        * counters — values add (integer-valued counters merge exactly;
+          float-valued counters are equal to a serial run up to float
+          summation order);
+        * gauges — last write wins (``other``'s value replaces ours),
+          matching serial behaviour where the latest trial's ``set``
+          sticks;
+        * histograms — observation lists concatenate in ``other``'s
+          recording order, and count/total/min/max are recomputed
+          incrementally.
+
+        A name registered as different instrument kinds in the two
+        registries raises :class:`~repro.exceptions.ReproError`.
+        """
+        for name, counter in other._counters.items():
+            self.counter(name).inc(counter.value)
+        for name, gauge in other._gauges.items():
+            self.gauge(name).set(gauge.value)
+        for name, hist in other._histograms.items():
+            mine = self.histogram(name)
+            for value in hist._samples:
+                mine.observe(value)
+
     # -- export ----------------------------------------------------------
     def snapshot(self) -> dict[str, dict[str, Any]]:
         """All instrument values as one JSON-friendly nested dict."""

@@ -1,0 +1,404 @@
+"""The shard-parallel balancer: fan subtree work out, merge like a KT parent.
+
+:class:`ShardedLoadBalancer` subclasses the serial
+:class:`~repro.core.balancer.LoadBalancer` and overrides exactly the
+two hooks the core exposes — ``_aggregate_lbi`` (phase 1's bottom-up
+fold) and ``_run_vsa_sweep`` (phase 3b's rendezvous sweep).  Every
+other step of the round (report collection, classification, entry
+publication, delivery with faults/retries, transfers) runs on the
+parent process unchanged, consuming its rng and fault streams in
+exactly the serial order; only the *pure* subtree computations cross
+the process boundary.
+
+Determinism contract (asserted by ``tests/test_parallel_determinism``):
+for any seed, fault plan and shard count ``S = K**d``, the produced
+:class:`~repro.core.report.BalanceReport` is byte-identical to the
+serial balancer's — same floats, same assignment order, same message
+counts.  The merge rules that make this hold are documented in
+:mod:`repro.parallel.shardwork` and ``docs/parallelism.md``.
+
+When the lazily-materialised tree is too shallow for the configured
+depth (a reporting or bucketed leaf sits *above* level ``d``), shards
+would not tile the report set; the engine then falls back to the
+serial path for that phase — counted in ``parallel.fallbacks`` —
+rather than produce a different answer.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.core.balancer import LoadBalancer
+from repro.core.config import BalancerConfig
+from repro.core.lbi import AggregationTrace
+from repro.core.placement import PlacementStrategy
+from repro.core.records import LBIRecord, ShedCandidate, SpareCapacity, SystemLBI
+from repro.core.vsa import VSAResult
+from repro.dht.chord import ChordRing
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import RetryPolicy
+from repro.faults.stats import FaultRoundStats
+from repro.ktree.node import KTNode
+from repro.ktree.tree import KnaryTree
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import PhaseClock
+from repro.obs.trace import Tracer
+from repro.topology.graph import Topology
+from repro.topology.routing import DistanceOracle
+from repro.parallel.pool import WorkerPool
+from repro.parallel.shards import Path, path_of, shard_depth
+from repro.parallel.shardwork import (
+    LBIShardTask,
+    VSAShardTask,
+    fold_lbi_paths,
+    lbi_shard_worker,
+    sweep_paths,
+    vsa_shard_worker,
+)
+
+
+def _descending_paths(paths: list[Path]) -> list[Path]:
+    """Equal-length paths in descending path order (serial sweep order)."""
+    return sorted(paths, key=lambda p: tuple(-part for part in p))
+
+
+class ShardedLoadBalancer(LoadBalancer):
+    """A :class:`~repro.core.balancer.LoadBalancer` with sharded phases.
+
+    Accepts every serial-balancer parameter plus:
+
+    Parameters
+    ----------
+    num_shards:
+        Shard count ``S``; must be a power of the configured tree
+        degree (``S = K**d`` subtrees at depth ``d`` tile the
+        identifier space).  ``1`` exercises the full dispatch/merge
+        machinery over a single shard — useful as the cheapest
+        byte-identity check.
+    pool:
+        Optional shared :class:`~repro.parallel.pool.WorkerPool`; when
+        omitted the engine owns a ``"process"``-mode pool sized to the
+        shard count.  Pass an ``"inline"``-mode pool to run the whole
+        sharded code path synchronously (tests do).
+
+    Use as a context manager (or call :meth:`close`) to release an
+    owned pool's worker processes.
+    """
+
+    def __init__(
+        self,
+        ring: ChordRing,
+        config: BalancerConfig | None = None,
+        topology: Topology | None = None,
+        oracle: DistanceOracle | None = None,
+        landmarks: np.ndarray | None = None,
+        placement: PlacementStrategy | None = None,
+        rng: int | None | np.random.Generator = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        faults: FaultPlan | FaultInjector | None = None,
+        retry: RetryPolicy | None = None,
+        num_shards: int = 1,
+        pool: WorkerPool | None = None,
+    ) -> None:
+        """Validate the shard count, then defer to the serial balancer."""
+        super().__init__(
+            ring,
+            config,
+            topology=topology,
+            oracle=oracle,
+            landmarks=landmarks,
+            placement=placement,
+            rng=rng,
+            tracer=tracer,
+            metrics=metrics,
+            faults=faults,
+            retry=retry,
+        )
+        self.num_shards = num_shards
+        self._shard_depth = shard_depth(num_shards, self.config.tree_degree)
+        self._owns_pool = pool is None
+        self.pool = (
+            pool if pool is not None else WorkerPool(num_shards, mode="process")
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 1: sharded LBI aggregation
+    # ------------------------------------------------------------------
+    def _aggregate_lbi(
+        self,
+        tree: KnaryTree,
+        reports: dict[int, tuple[KTNode, list[LBIRecord]]],
+    ) -> tuple[SystemLBI, AggregationTrace]:
+        """Fold each shard's reports in a worker, merge at the super-root.
+
+        The per-shard folds reproduce the serial bottom-up fold inside
+        their subtrees (see :func:`repro.parallel.shardwork.fold_lbi_paths`);
+        the shard values are then folded once more over the ancestor
+        trie — children ascending, exactly as a KT parent merges its
+        children — which is itself just ``fold_lbi_paths`` rooted at
+        the tree root with one "report" per shard.  Falls back to the
+        serial implementation when a reporting leaf sits above shard
+        depth (shards would not tile the report set) or when there are
+        no reports at all (the serial error path owns that case).
+        """
+        depth = self._shard_depth
+        if not reports:
+            return super()._aggregate_lbi(tree, reports)
+
+        leaf_paths: list[tuple[Path, list[LBIRecord]]] = []
+        for leaf, records in reports.values():
+            if leaf.level < depth:
+                self._count_fallback("lbi")
+                return super()._aggregate_lbi(tree, reports)
+            leaf_paths.append((path_of(leaf), records))
+
+        by_shard: dict[Path, list[tuple[Path, tuple[LBIRecord, ...]]]] = {}
+        for path, records in leaf_paths:
+            by_shard.setdefault(path[:depth], []).append((path, tuple(records)))
+        tasks = [
+            LBIShardTask(shard_path=prefix, reports=tuple(by_shard[prefix]))
+            for prefix in sorted(by_shard)
+        ]
+
+        clock = PhaseClock()
+        with clock.phase("dispatch"):
+            results = self.pool.map_ordered(lbi_shard_worker, tasks)
+
+        # Super-root merge: fold the shard aggregates over the ancestor
+        # trie — <sum L, sum C, min L_min> at every step, children
+        # ascending, one upward message per trie edge.
+        top_reports = tuple(
+            (result.shard_path, (result.value,)) for result in results
+        )
+        root_value, top_messages, top_at_level, _ = fold_lbi_paths(
+            top_reports, ()
+        )
+        assert root_value is not None
+        system = SystemLBI.from_record(root_value)
+
+        trace = AggregationTrace()
+        nodes = tree.nodes_by_level_desc()
+        trace.tree_height = nodes[0].level if nodes else 0
+        trace.reports = sum(result.reports for result in results)
+        trace.upward_messages = (
+            sum(result.upward_messages for result in results) + top_messages
+        )
+        trace.upward_rounds = trace.tree_height
+        trace.downward_rounds = trace.tree_height
+        trace.downward_messages = trace.upward_messages
+
+        self._record_parallel("lbi", len(tasks), clock.seconds["dispatch"])
+        tracer = self.tracer
+        if tracer.enabled:
+            messages_at_level: Counter[int] = Counter(top_at_level)
+            for result in results:
+                for level, count in result.messages_at_level:
+                    messages_at_level[level] += count
+            for level in sorted(messages_at_level, reverse=True):
+                tracer.event(
+                    "lbi.level", level=level, messages_up=messages_at_level[level]
+                )
+            tracer.event(
+                "lbi.aggregate",
+                reports=trace.reports,
+                messages_up=trace.upward_messages,
+                messages_down=trace.downward_messages,
+                rounds=trace.total_rounds,
+                tree_height=trace.tree_height,
+                total_load=system.total_load,
+                total_capacity=system.total_capacity,
+                min_vs_load=system.min_vs_load,
+            )
+        return system, trace
+
+    # ------------------------------------------------------------------
+    # Phase 3b: sharded VSA sweep
+    # ------------------------------------------------------------------
+    def _run_vsa_sweep(
+        self,
+        tree: KnaryTree,
+        published: list[tuple[int, ShedCandidate | SpareCapacity]],
+        min_vs_load: float,
+        stats: FaultRoundStats,
+    ) -> VSAResult:
+        """Deliver on the parent, sweep per shard, merge level by level.
+
+        Delivery (which consumes the retry rng and fault streams) runs
+        here in publication order exactly as serially; the per-shard
+        sweeps then run in workers and the parent finishes the top
+        levels (``d-1 .. 0``) over the shard leftovers — the same
+        ``sweep_paths`` routine rooted at the tree root.  Merge order
+        rules (level-descending, shards path-descending within a level,
+        leftovers extending parent buckets in descending child order)
+        recreate the serial assignment and message accounting exactly.
+
+        One documented trace divergence: per-node ``vsa.rendezvous``
+        events from inside worker subtrees are not emitted in sharded
+        mode (they would have to be re-interleaved across processes);
+        ``vsa.publish`` and the ``vsa.sweep`` summary are identical.
+        """
+        depth = self._shard_depth
+        sweep = self._build_vsa_sweep(tree, min_vs_load, stats)
+        result = VSAResult(entries_published=len(published))
+        pending = sweep.deliver(published, result)
+
+        nodes = tree.nodes_by_level_desc()
+        result.rounds = nodes[0].level if nodes else 0
+
+        bucketed: list[KTNode] = [node for node in nodes if id(node) in pending]
+        if any(node.level < depth for node in bucketed):
+            self._count_fallback("vsa")
+            sweep.sweep(pending, result)
+            self._emit_vsa_summary(result)
+            return result
+
+        by_shard: dict[
+            Path,
+            list[tuple[Path, tuple[ShedCandidate, ...], tuple[SpareCapacity, ...]]],
+        ] = {}
+        for node in bucketed:
+            path = path_of(node)
+            heavy, light = pending[id(node)]
+            by_shard.setdefault(path[:depth], []).append(
+                (path, tuple(heavy), tuple(light))
+            )
+        tasks = [
+            VSAShardTask(
+                shard_path=prefix,
+                buckets=tuple(by_shard[prefix]),
+                threshold=sweep.threshold,
+                min_vs_load=sweep.min_vs_load,
+                strict_heaviest_first=sweep.strict_heaviest_first,
+                root_is_global=depth == 0,
+            )
+            for prefix in sorted(by_shard)
+        ]
+
+        clock = PhaseClock()
+        with clock.phase("dispatch"):
+            shard_results = self.pool.map_ordered(vsa_shard_worker, tasks)
+        by_prefix = {
+            task.shard_path: shard_result
+            for task, shard_result in zip(tasks, shard_results)
+        }
+        shards_descending = _descending_paths([task.shard_path for task in tasks])
+
+        # Assignments from inside the shards: serial order is level by
+        # level (deepest first), shards in descending path order within
+        # each level, each shard's run already internally ordered.
+        levels = sorted(
+            {
+                level
+                for shard_result in shard_results
+                for level, _ in shard_result.assignments_by_level
+            },
+            reverse=True,
+        )
+        runs_by_shard = {
+            prefix: dict(by_prefix[prefix].assignments_by_level)
+            for prefix in shards_descending
+        }
+        for level in levels:
+            for prefix in shards_descending:
+                result.assignments.extend(runs_by_shard[prefix].get(level, ()))
+        for shard_result in shard_results:
+            for level, count in shard_result.pairings_by_level:
+                result.pairings_by_level[level] += count
+            result.upward_messages += shard_result.upward_messages
+
+        if depth == 0:
+            # Single shard rooted at the tree root: its leftovers are the
+            # round's unassigned entries and there is no top sweep.
+            if shard_results:
+                only = shard_results[0]
+                result.unassigned_heavy.extend(only.leftover_heavy)
+                result.unassigned_light.extend(only.leftover_light)
+        else:
+            # Top sweep over levels d-1 .. 0: shard leftovers extend the
+            # shard parents' buckets in descending shard order (exactly
+            # the order the serial sweep's parent buckets fill), then the
+            # same path-sweep routine finishes at the unconditional root.
+            top_buckets: dict[
+                Path, tuple[list[ShedCandidate], list[SpareCapacity]]
+            ] = {}
+            for prefix in shards_descending:
+                shard_result = by_prefix[prefix]
+                if shard_result.leftover_heavy or shard_result.leftover_light:
+                    bucket = top_buckets.setdefault(prefix[:-1], ([], []))
+                    bucket[0].extend(shard_result.leftover_heavy)
+                    bucket[1].extend(shard_result.leftover_light)
+            top = sweep_paths(
+                tuple(
+                    (path, tuple(heavy), tuple(light))
+                    for path, (heavy, light) in top_buckets.items()
+                ),
+                (),
+                threshold=sweep.threshold,
+                min_vs_load=sweep.min_vs_load,
+                strict_heaviest_first=sweep.strict_heaviest_first,
+                root_is_global=True,
+            )
+            for level, run in top.assignments_by_level:
+                result.assignments.extend(run)
+            for level, count in top.pairings_by_level:
+                result.pairings_by_level[level] += count
+            result.upward_messages += top.upward_messages
+            result.unassigned_heavy.extend(top.leftover_heavy)
+            result.unassigned_light.extend(top.leftover_light)
+
+        self._record_parallel("vsa", len(tasks), clock.seconds["dispatch"])
+        self._emit_vsa_summary(result)
+        return result
+
+    def _emit_vsa_summary(self, result: VSAResult) -> None:
+        """Emit the ``vsa.sweep`` summary the serial entry point emits."""
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.event(
+                "vsa.sweep",
+                entries_published=result.entries_published,
+                entries_lost=result.entries_lost,
+                pairings=len(result.assignments),
+                messages_up=result.upward_messages,
+                rounds=result.rounds,
+                unassigned_heavy=len(result.unassigned_heavy),
+                unassigned_light=len(result.unassigned_light),
+            )
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def _record_parallel(self, phase: str, tasks: int, seconds: float) -> None:
+        """Record one sharded dispatch in the ``parallel.*`` instruments."""
+        metrics = self.metrics
+        if metrics is None:
+            return
+        metrics.gauge("parallel.shards").set(self.num_shards)
+        metrics.counter(f"parallel.{phase}_tasks").inc(tasks)
+        metrics.histogram(f"parallel.{phase}.dispatch_seconds").observe(seconds)
+
+    def _count_fallback(self, phase: str) -> None:
+        """Record one serial fallback (misaligned shallow leaf)."""
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter("parallel.fallbacks").inc()
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.event("parallel.fallback", phase=phase, reason="shallow-leaf")
+
+    def close(self) -> None:
+        """Release the owned worker pool (no-op for a shared pool)."""
+        if self._owns_pool:
+            self.pool.close()
+
+    def __enter__(self) -> "ShardedLoadBalancer":
+        """Context-manager entry: the engine itself."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: release the owned pool."""
+        self.close()

@@ -1,0 +1,80 @@
+"""Shard geometry: mapping KT nodes to depth-``d`` subtree prefixes.
+
+A *shard* is one depth-``d`` subtree of the K-nary tree; there are
+``S = K**d`` of them and each covers a contiguous ``1/S`` slice of the
+identifier space.  Shards are identified by their *path* — the tuple of
+child indices walked from the root — and ordered by that path
+interpreted as a base-``K`` number, which is also identifier-space
+order (child ``i`` covers the ``i``-th sub-interval of its parent).
+
+These helpers are pure tree/arithmetic functions; nothing here touches
+processes, rngs or wall clocks.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigError
+from repro.ktree.node import KTNode
+
+#: Path type used throughout the parallel subsystem: child indices from
+#: the root down (the root itself is the empty tuple).
+Path = tuple[int, ...]
+
+
+def shard_depth(num_shards: int, tree_degree: int) -> int:
+    """The subtree depth ``d`` with ``tree_degree ** d == num_shards``.
+
+    Shards must tile the identifier space exactly, so the shard count
+    has to be an integer power of the tree degree (``1`` gives depth 0:
+    a single shard spanning the whole space).  Raises
+    :class:`~repro.exceptions.ConfigError` otherwise.
+    """
+    if num_shards < 1:
+        raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
+    if tree_degree < 2:
+        raise ConfigError(f"tree_degree must be >= 2, got {tree_degree}")
+    depth = 0
+    total = 1
+    while total < num_shards:
+        total *= tree_degree
+        depth += 1
+    if total != num_shards:
+        raise ConfigError(
+            f"num_shards must be a power of tree_degree "
+            f"({tree_degree}); got {num_shards}"
+        )
+    return depth
+
+
+def path_of(node: KTNode) -> Path:
+    """The child-index path from the tree root down to ``node``.
+
+    Paths key all cross-process communication: worker tasks carry paths
+    instead of :class:`~repro.ktree.node.KTNode` references (nodes hold
+    parent links and regions — picklable but heavy, and object identity
+    would not survive the process boundary anyway).
+    """
+    parts: list[int] = []
+    current = node
+    while current.parent is not None:
+        parts.append(current.parent.children.index(current))
+        current = current.parent
+    parts.reverse()
+    return tuple(parts)
+
+
+def shard_index(path: Path, depth: int, tree_degree: int) -> int:
+    """The shard number of ``path``'s depth-``depth`` prefix.
+
+    Interprets the prefix as a base-``tree_degree`` numeral, which
+    equals the shard's rank in identifier-space order.  ``path`` must be
+    at least ``depth`` long.
+    """
+    if len(path) < depth:
+        raise ConfigError(
+            f"path {path!r} is above shard depth {depth}; cannot assign a shard"
+        )
+    index = 0
+    for part in path[:depth]:
+        index = index * tree_degree + part
+    return index

@@ -1,0 +1,291 @@
+"""Pure, picklable shard work units: the LBI fold and the VSA sweep.
+
+Worker processes never see the ring, the tree, the rng streams or the
+fault injector — those all live (and are consumed) on the parent.  A
+worker receives a task holding absolute tree *paths* (tuples of child
+indices, see :mod:`repro.parallel.shards`) plus the per-path payloads,
+and recomputes exactly what the serial sweep would have computed inside
+that subtree:
+
+* :func:`fold_lbi_paths` reproduces ``aggregate_lbi``'s bottom-up
+  ``<L, C, L_min>`` fold.  The serial fold is *structural* — the value
+  at a node is the merge of its own reports (in arrival order) followed
+  by its children's values in ascending child order — so folding each
+  shard's trie and then folding the shard values at the super-root
+  yields bit-identical floats and message counts.
+* :func:`sweep_paths` reproduces the VSA rendezvous sweep.  The serial
+  sweep visits materialised nodes deepest level first and, within a
+  level, in *descending path order* (the preorder stack pushes children
+  ascending and pops them back descending; the stable level sort keeps
+  that order).  Each node's pairing outcome depends only on its
+  subtree, but the global assignment list interleaves shards level by
+  level — so workers return *per-level* assignment runs and the parent
+  concatenates them level-descending, shards in descending path order,
+  exactly recreating the serial encounter order.
+
+Both functions raise nothing on empty input and perform no I/O, which
+is what makes rerunning them inline after a broken pool safe.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.records import Assignment, LBIRecord, ShedCandidate, SpareCapacity
+from repro.core.rendezvous import pair_rendezvous
+from repro.parallel.shards import Path
+
+
+def _descending_sweep_order(paths: dict[Path, None]) -> list[Path]:
+    """Trie paths in serial sweep order: level-desc, then path-desc."""
+    return sorted(paths, key=lambda p: (-len(p), tuple(-part for part in p)))
+
+
+# ----------------------------------------------------------------------
+# LBI: bottom-up <L, C, L_min> fold over a path trie
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class LBIShardTask:
+    """One shard's LBI fold input (picklable, parent-built).
+
+    ``reports`` pairs each reporting leaf's absolute path with its
+    report tuple in arrival order; every path must extend
+    ``shard_path`` (the parent enforces alignment before dispatch).
+    """
+
+    shard_path: Path
+    reports: tuple[tuple[Path, tuple[LBIRecord, ...]], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class LBIShardResult:
+    """One shard's LBI fold output.
+
+    ``value`` is the subtree aggregate (what the serial fold would hold
+    at the shard root); ``messages_at_level`` counts child-to-parent
+    messages keyed by the *receiving* node's absolute level, matching
+    ``aggregate_lbi``'s per-level trace events.
+    """
+
+    shard_path: Path
+    value: LBIRecord
+    upward_messages: int
+    messages_at_level: tuple[tuple[int, int], ...]
+    reports: int
+
+
+def fold_lbi_paths(
+    reports: tuple[tuple[Path, tuple[LBIRecord, ...]], ...],
+    root_path: Path,
+) -> tuple[LBIRecord | None, int, Counter[int], int]:
+    """Fold ``reports`` bottom-up over the trie they span.
+
+    Returns ``(value_at_root_path, upward_messages, messages_at_level,
+    report_count)``.  The trie contains every prefix of a reporting
+    path down to ``root_path``; each trie edge carries exactly one
+    upward message (every trie node spans at least one report, so it
+    always has a value to send), which is also how the serial fold
+    counts messages — materialised nodes outside the trie hold no value
+    and send nothing.  Merge order at each node is arrival-order own
+    reports first, then child values ascending, reproducing the serial
+    float results exactly.  ``value`` is ``None`` only for an empty
+    report set.
+    """
+    records_at: dict[Path, list[LBIRecord]] = {}
+    for path, records in reports:
+        records_at.setdefault(path, []).extend(records)
+
+    trie: dict[Path, None] = {}
+    kids: dict[Path, dict[int, None]] = {}
+    for path in records_at:
+        for cut in range(len(root_path), len(path) + 1):
+            prefix = path[:cut]
+            trie[prefix] = None
+            if cut > len(root_path):
+                kids.setdefault(path[: cut - 1], {})[path[cut - 1]] = None
+
+    upward = 0
+    at_level: Counter[int] = Counter()
+    report_count = 0
+    partial: dict[Path, LBIRecord] = {}
+    for path in _descending_sweep_order(trie):
+        acc: LBIRecord | None = None
+        for record in records_at.get(path, ()):
+            acc = record if acc is None else acc.merge(record)
+            report_count += 1
+        for child_index in sorted(kids.get(path, ())):
+            child_value = partial.pop(path + (child_index,))
+            acc = child_value if acc is None else acc.merge(child_value)
+            upward += 1
+            at_level[len(path)] += 1
+        assert acc is not None  # every trie node spans >= 1 report
+        partial[path] = acc
+    return partial.get(root_path), upward, at_level, report_count
+
+
+def lbi_shard_worker(task: LBIShardTask) -> LBIShardResult:
+    """Worker entry point: fold one shard's LBI reports.
+
+    Pure function of ``task``; raises
+    :class:`~repro.exceptions.ReproError` never and consumes no
+    randomness, so dispatch order and process placement cannot affect
+    the result.
+    """
+    value, upward, at_level, report_count = fold_lbi_paths(
+        task.reports, task.shard_path
+    )
+    assert value is not None  # parent never dispatches an empty shard
+    return LBIShardResult(
+        shard_path=task.shard_path,
+        value=value,
+        upward_messages=upward,
+        messages_at_level=tuple(sorted(at_level.items())),
+        reports=report_count,
+    )
+
+
+# ----------------------------------------------------------------------
+# VSA: bottom-up rendezvous sweep over a path trie
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class VSAShardTask:
+    """One shard's VSA sweep input (picklable, parent-built).
+
+    ``buckets`` pairs each delivered leaf's absolute path with its
+    (heavy, light) entry tuples in delivery order — the parent runs the
+    fault/rng-consuming delivery itself and ships only the outcome.
+    ``root_is_global`` marks the degenerate single-shard case where the
+    shard root is the tree root and must pair unconditionally.
+    """
+
+    shard_path: Path
+    buckets: tuple[tuple[Path, tuple[ShedCandidate, ...], tuple[SpareCapacity, ...]], ...]
+    threshold: int
+    min_vs_load: float
+    strict_heaviest_first: bool
+    root_is_global: bool
+
+
+@dataclass(frozen=True, slots=True)
+class ShardSweepResult:
+    """One subtree sweep's output, shaped for deterministic merging.
+
+    ``assignments_by_level`` holds ``(level, assignments)`` runs sorted
+    deepest level first, each run in the subtree's internal descending-
+    path order; the parent interleaves runs from all shards level by
+    level to recreate the serial assignment order.  ``leftover_*`` are
+    the entries still unpaired at the subtree root (for the global root
+    these are the round's unassigned entries); ``upward_messages``
+    includes the subtree root's own message to its parent when it
+    forwards leftovers (the parent-side top sweep starts counting at
+    the next level up).
+    """
+
+    assignments_by_level: tuple[tuple[int, tuple[Assignment, ...]], ...]
+    pairings_by_level: tuple[tuple[int, int], ...]
+    upward_messages: int
+    leftover_heavy: tuple[ShedCandidate, ...]
+    leftover_light: tuple[SpareCapacity, ...]
+
+
+def sweep_paths(
+    buckets: tuple[
+        tuple[Path, tuple[ShedCandidate, ...], tuple[SpareCapacity, ...]], ...
+    ],
+    root_path: Path,
+    threshold: int,
+    min_vs_load: float,
+    strict_heaviest_first: bool,
+    root_is_global: bool,
+) -> ShardSweepResult:
+    """Run the bottom-up rendezvous sweep over ``buckets``'s trie.
+
+    Semantics mirror :meth:`repro.core.vsa.VSASweep.sweep` restricted
+    to the subtree under ``root_path``: visit trie nodes deepest level
+    first (descending path within a level), pair at a node when it is
+    the unconditional global root or its combined bucket reaches
+    ``threshold``, and forward leftovers to the parent bucket — which
+    therefore accumulates children's leftovers in descending child
+    order, exactly as the serial sweep's parent buckets do.  A
+    forwarded non-empty leftover costs one upward message, including
+    the final hop out of a non-global subtree root.
+    """
+    pending: dict[Path, tuple[list[ShedCandidate], list[SpareCapacity]]] = {}
+    for path, heavy, light in buckets:
+        bucket = pending.setdefault(path, ([], []))
+        bucket[0].extend(heavy)
+        bucket[1].extend(light)
+
+    trie: dict[Path, None] = {}
+    for path in pending:
+        for cut in range(len(root_path), len(path) + 1):
+            trie[path[:cut]] = None
+
+    assignments_by_level: dict[int, list[Assignment]] = {}
+    pairings: Counter[int] = Counter()
+    upward = 0
+    leftover_heavy: list[ShedCandidate] = []
+    leftover_light: list[SpareCapacity] = []
+    for path in _descending_sweep_order(trie):
+        buck = pending.pop(path, None)
+        if buck is None:
+            continue
+        heavy, light = buck
+        level = len(path)
+        at_subtree_root = level == len(root_path)
+        is_root = root_is_global and at_subtree_root
+        if is_root or (len(heavy) + len(light)) >= threshold:
+            outcome = pair_rendezvous(
+                heavy,
+                light,
+                min_vs_load=min_vs_load,
+                level=level,
+                strict_heaviest_first=strict_heaviest_first,
+            )
+            assignments_by_level.setdefault(level, []).extend(
+                outcome.assignments
+            )
+            pairings[level] += len(outcome.assignments)
+            up_heavy, up_light = outcome.leftover_heavy, outcome.leftover_light
+        else:
+            up_heavy, up_light = heavy, light
+
+        if at_subtree_root:
+            leftover_heavy.extend(up_heavy)
+            leftover_light.extend(up_light)
+            if not is_root and (up_heavy or up_light):
+                upward += 1
+        elif up_heavy or up_light:
+            parent_bucket = pending.setdefault(path[:-1], ([], []))
+            parent_bucket[0].extend(up_heavy)
+            parent_bucket[1].extend(up_light)
+            upward += 1
+
+    return ShardSweepResult(
+        assignments_by_level=tuple(
+            (level, tuple(assignments_by_level[level]))
+            for level in sorted(assignments_by_level, reverse=True)
+        ),
+        pairings_by_level=tuple(sorted(pairings.items())),
+        upward_messages=upward,
+        leftover_heavy=tuple(leftover_heavy),
+        leftover_light=tuple(leftover_light),
+    )
+
+
+def vsa_shard_worker(task: VSAShardTask) -> ShardSweepResult:
+    """Worker entry point: sweep one shard's delivered VSA buckets.
+
+    Pure function of ``task`` — the rendezvous pairing itself is
+    deterministic and all fault/rng machinery already ran parent-side
+    during delivery.
+    """
+    return sweep_paths(
+        task.buckets,
+        task.shard_path,
+        threshold=task.threshold,
+        min_vs_load=task.min_vs_load,
+        strict_heaviest_first=task.strict_heaviest_first,
+        root_is_global=task.root_is_global,
+    )

@@ -57,22 +57,43 @@ class DistanceOracle:
     def distances_from_many(self, sources: np.ndarray | list[int]) -> np.ndarray:
         """Stacked distance rows for several sources (shape ``(k, n)``).
 
-        Uncached sources are computed in one scipy call, which is much
-        faster than one call per source.
+        Uncached sources are deduplicated and computed in one scipy
+        call, which is much faster than one call per source.  Every
+        requested row is pinned in a local map for the duration of the
+        call and the LRU is trimmed only after the result is stacked —
+        evicting mid-batch used to recompute rows this very call had
+        just produced whenever the batch exceeded ``max_cached_rows``.
         """
         src = [int(s) for s in sources]
         for s in src:
             self._validate(s)
-        missing = [s for s in src if s not in self._rows]
+        rows: dict[int, np.ndarray] = {}
+        missing: list[int] = []
+        seen_missing: set[int] = set()
+        for s in src:
+            if s in rows or s in seen_missing:
+                continue
+            cached = self._rows.get(s)
+            if cached is not None:
+                self._rows.move_to_end(s)
+                rows[s] = cached
+            else:
+                missing.append(s)
+                seen_missing.add(s)
         if missing:
-            dist = dijkstra(self._csr, directed=False, indices=missing)
-            dist = np.atleast_2d(dist)
+            dist = np.atleast_2d(
+                dijkstra(self._csr, directed=False, indices=missing)
+            )
             for i, s in enumerate(missing):
-                self._rows[s] = dist[i].astype(np.float32)
+                row = dist[i].astype(np.float32)
+                rows[s] = row
+                self._rows[s] = row
                 self.dijkstra_runs += 1
-                if self._max_rows is not None and len(self._rows) > self._max_rows:
-                    self._rows.popitem(last=False)
-        return np.stack([self.distances_from(s) for s in src])
+        result = np.stack([rows[s] for s in src])
+        if self._max_rows is not None:
+            while len(self._rows) > self._max_rows:
+                self._rows.popitem(last=False)
+        return result
 
     def distance(self, u: int, v: int) -> float:
         """Shortest-path distance between two vertices."""
@@ -101,9 +122,10 @@ class DistanceOracle:
             else:
                 needed.setdefault(u, []).append((idx, v))
         if needed:
-            self.distances_from_many(list(needed.keys()))
-            for u, items in needed.items():
-                row = self._rows[u]
+            # Read rows off the returned stack, not the cache: with a
+            # tight LRU bound the batch itself may evict earlier rows.
+            stacked = self.distances_from_many(list(needed.keys()))
+            for row, items in zip(stacked, needed.values()):
                 for idx, v in items:
                     out[idx] = float(row[v])
         return out

@@ -1,0 +1,147 @@
+"""Tests for the benchmark-trend regression gate (scripts/check_bench_trend.py).
+
+The comparison logic is imported and unit-tested directly; the CLI exit
+codes — including the acceptance requirement that an injected
+regression exits non-zero — run through subprocesses like verify.sh
+invokes them.  The ``gen`` smoke workload itself is exercised once
+(it runs two balancing rounds, a couple of seconds) and its output is
+checked against the committed baseline, which doubles as a determinism
+test for the workload.
+"""
+
+import importlib.util
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "scripts" / "check_bench_trend.py"
+BASELINE = REPO_ROOT / "benchmarks" / "BENCH_BASELINE.json"
+
+_spec = importlib.util.spec_from_file_location("check_bench_trend", SCRIPT)
+assert _spec is not None and _spec.loader is not None
+check_bench_trend = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_bench_trend)
+
+compare_snapshots = check_bench_trend.compare_snapshots
+
+
+def run_cli(*argv: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *argv],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+
+
+class TestCompareSnapshots:
+    BASE = {
+        "counters": {"lbi.messages": 100.0, "vst.transfers": 10.0},
+        "gauges": {"routing.dijkstra_runs": 20.0},
+        "histograms": {
+            "lbi.seconds": {"count": 2, "sum": 0.5},
+            "vst.distance": {"count": 50, "sum": 1234.0},
+        },
+    }
+
+    def test_identical_is_clean(self):
+        assert compare_snapshots(self.BASE, self.BASE, 0.2) == []
+
+    def test_within_tolerance_is_clean(self):
+        cur = json.loads(json.dumps(self.BASE))
+        cur["counters"]["lbi.messages"] = 115.0  # +15% < 20%
+        assert compare_snapshots(cur, self.BASE, 0.2) == []
+
+    def test_counter_regression_flagged(self):
+        cur = json.loads(json.dumps(self.BASE))
+        cur["counters"]["lbi.messages"] = 200.0
+        problems = compare_snapshots(cur, self.BASE, 0.2)
+        assert len(problems) == 1
+        assert "lbi.messages" in problems[0]
+
+    def test_gauge_regression_flagged(self):
+        cur = json.loads(json.dumps(self.BASE))
+        cur["gauges"]["routing.dijkstra_runs"] = 40.0
+        problems = compare_snapshots(cur, self.BASE, 0.2)
+        assert any("routing.dijkstra_runs" in p for p in problems)
+
+    def test_missing_metric_flagged(self):
+        cur = json.loads(json.dumps(self.BASE))
+        del cur["counters"]["vst.transfers"]
+        problems = compare_snapshots(cur, self.BASE, 0.2)
+        assert any("missing" in p and "vst.transfers" in p for p in problems)
+
+    def test_small_integer_grace(self):
+        # One extra unit on a tiny count is not a regression (+1 grace).
+        base = {"counters": {"vst.failed": 1.0}, "gauges": {}, "histograms": {}}
+        cur = {"counters": {"vst.failed": 2.0}, "gauges": {}, "histograms": {}}
+        assert compare_snapshots(cur, base, 0.2) == []
+
+    def test_seconds_histogram_has_absolute_floor(self):
+        cur = json.loads(json.dumps(self.BASE))
+        cur["histograms"]["lbi.seconds"]["sum"] = 1.4  # < 0.5*1.2 + 1.0
+        assert compare_snapshots(cur, self.BASE, 0.2) == []
+        cur["histograms"]["lbi.seconds"]["sum"] = 2.0
+        problems = compare_snapshots(cur, self.BASE, 0.2)
+        assert any("lbi.seconds.sum" in p for p in problems)
+
+    def test_non_seconds_histogram_sum_ignored(self):
+        # Load-valued sums vary with the workload; only counts gate.
+        cur = json.loads(json.dumps(self.BASE))
+        cur["histograms"]["vst.distance"]["sum"] = 99999.0
+        assert compare_snapshots(cur, self.BASE, 0.2) == []
+
+    def test_improvement_is_clean(self):
+        cur = json.loads(json.dumps(self.BASE))
+        cur["counters"]["lbi.messages"] = 10.0
+        assert compare_snapshots(cur, self.BASE, 0.2) == []
+
+
+class TestCli:
+    def test_baseline_checks_against_itself(self):
+        proc = run_cli("check", str(BASELINE))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "bench trend OK" in proc.stdout
+
+    def test_injected_regression_exits_nonzero(self, tmp_path):
+        current = json.loads(BASELINE.read_text())
+        name, value = next(iter(current["counters"].items()))
+        current["counters"][name] = value * 2.0 + 10.0
+        bad = tmp_path / "regressed.json"
+        bad.write_text(json.dumps(current))
+        proc = run_cli("check", str(bad))
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "FAILED" in proc.stdout
+        assert name in proc.stdout
+
+    def test_missing_current_exits_two(self, tmp_path):
+        proc = run_cli("check", str(tmp_path / "nope.json"))
+        assert proc.returncode == 2
+        assert "does not exist" in proc.stderr
+
+    def test_missing_baseline_exits_two(self, tmp_path):
+        proc = run_cli(
+            "check", str(BASELINE), "--baseline", str(tmp_path / "nope.json")
+        )
+        assert proc.returncode == 2
+
+    def test_malformed_current_exits_two(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        proc = run_cli("check", str(bad))
+        assert proc.returncode == 2
+
+    def test_gen_matches_committed_baseline(self, tmp_path):
+        """The smoke workload is deterministic: regen == committed dump."""
+        out = tmp_path / "fresh.json"
+        proc = run_cli("gen", "--out", str(out))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        fresh = json.loads(out.read_text())
+        committed = json.loads(BASELINE.read_text())
+        assert fresh["counters"] == committed["counters"]
+        assert fresh["gauges"] == committed["gauges"]
+        # And the fresh dump passes the gate against the committed one.
+        proc = run_cli("check", str(out))
+        assert proc.returncode == 0, proc.stdout + proc.stderr

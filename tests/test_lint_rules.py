@@ -16,6 +16,7 @@ from repro.lint.rules.defaults import MutableDefaultArgsRule
 from repro.lint.rules.docstrings import DocstringCoverageRule
 from repro.lint.rules.exceptions import ExceptionHygieneRule
 from repro.lint.rules.floats import NoFloatEqualityRule
+from repro.lint.rules.forks import NoForkInProtocolRule
 from repro.lint.rules.iteration import NoUnorderedIterationRule
 from repro.lint.rules.retry import BoundedRetryRule
 from repro.lint.rules.rng import NoUnseededRngRule
@@ -613,5 +614,140 @@ class TestBoundedRetry:
                     step()
             """,
             BoundedRetryRule(),
+        )
+        assert findings == []
+
+
+class TestNoForkInProtocol:
+    def test_flags_multiprocessing_import(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/core/x.py",
+            """
+            import multiprocessing
+
+            def go():
+                return multiprocessing.cpu_count()
+            """,
+            NoForkInProtocolRule(),
+        )
+        assert [f.rule for f in findings] == ["no-fork-in-protocol"]
+        assert "multiprocessing" in findings[0].message
+
+    def test_flags_subprocess_and_futures_imports(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/parallel/x.py",
+            """
+            import subprocess
+            from concurrent.futures import ProcessPoolExecutor
+            """,
+            NoForkInProtocolRule(),
+        )
+        assert len(findings) == 2
+
+    def test_flags_os_fork_call(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/sim/x.py",
+            """
+            import os
+
+            def go():
+                return os.fork()
+            """,
+            NoForkInProtocolRule(),
+        )
+        assert len(findings) == 1
+        assert "os.fork" in findings[0].message
+
+    def test_flags_executor_construction_via_alias(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/parallel/x.py",
+            """
+            def go(futures):
+                return futures.ProcessPoolExecutor(max_workers=2)
+            """,
+            NoForkInProtocolRule(),
+        )
+        assert len(findings) == 1
+        assert "ProcessPoolExecutor" in findings[0].message
+
+    def test_pool_module_is_exempt(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/parallel/pool.py",
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def make():
+                return ProcessPoolExecutor(max_workers=2)
+            """,
+            NoForkInProtocolRule(),
+        )
+        assert findings == []
+
+    def test_non_protocol_package_is_exempt(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/analysis/x.py",
+            """
+            import subprocess
+            """,
+            NoForkInProtocolRule(),
+        )
+        assert findings == []
+
+    def test_flags_worker_with_implicit_inputs(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/parallel/x.py",
+            """
+            def fold_worker(state):
+                return state
+            """,
+            NoForkInProtocolRule(),
+        )
+        assert len(findings) == 1
+        assert "fold_worker" in findings[0].message
+        assert "'state'" in findings[0].message
+
+    def test_flags_worker_with_no_args(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/parallel/x.py",
+            """
+            def idle_worker():
+                return None
+            """,
+            NoForkInProtocolRule(),
+        )
+        assert len(findings) == 1
+
+    def test_accepts_explicit_worker_signatures(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/parallel/x.py",
+            """
+            def fold_worker(task):
+                return task
+
+            def trial_worker(seed, scale=1):
+                return seed * scale
+            """,
+            NoForkInProtocolRule(),
+        )
+        assert findings == []
+
+    def test_worker_naming_only_applies_in_parallel(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            "repro/core/x.py",
+            """
+            def fold_worker(state):
+                return state
+            """,
+            NoForkInProtocolRule(),
         )
         assert findings == []

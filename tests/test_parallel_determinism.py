@@ -1,0 +1,163 @@
+"""Byte-identity of sharded balancing rounds against the serial balancer.
+
+The contract under test (docs/parallelism.md): for any shard count that
+is a power of the tree degree, :class:`repro.parallel.ShardedLoadBalancer`
+produces a :class:`~repro.core.report.BalanceReport` whose canonical
+digest — every assignment, transfer, float and counter, in order — is
+byte-identical to the serial :class:`~repro.core.balancer.LoadBalancer`
+on the same scenario and seeds.  This must hold across seeds, with and
+without an active :class:`~repro.faults.FaultPlan`, and regardless of
+whether the shard tasks run inline or in real worker processes.
+"""
+
+import pytest
+
+from repro.core.balancer import LoadBalancer
+from repro.core.config import BalancerConfig
+from repro.exceptions import ConfigError
+from repro.faults import FaultPlan
+from repro.parallel import ShardedLoadBalancer, WorkerPool, shard_depth
+from repro.workloads import GaussianLoadModel, ParetoLoadModel, build_scenario
+
+SEEDS = (42, 7, 123)
+
+#: Mirrors the fault-injection acceptance plan: drops, a mid-round
+#: crash and transfer aborts all active at once.
+FAULTS = FaultPlan(seed=3, drop=0.1, crash_mid_round=1, transfer_abort=0.2)
+
+
+def _scenario(seed, model=None, num_nodes=192):
+    return build_scenario(
+        model if model is not None else GaussianLoadModel(mu=1e6, sigma=2e3),
+        num_nodes=num_nodes,
+        vs_per_node=5,
+        rng=seed,
+    )
+
+
+def _config(tree_degree=2):
+    return BalancerConfig(
+        proximity_mode="ignorant", epsilon=0.05, tree_degree=tree_degree
+    )
+
+
+def _serial_digest(seed, faults=None, model=None):
+    balancer = LoadBalancer(
+        _scenario(seed, model).ring, _config(), rng=7, faults=faults
+    )
+    return balancer.run_round().canonical_digest()
+
+
+def _sharded_digest(seed, num_shards, faults=None, model=None, pool=None):
+    balancer = ShardedLoadBalancer(
+        _scenario(seed, model).ring,
+        _config(),
+        rng=7,
+        faults=faults,
+        num_shards=num_shards,
+        pool=pool if pool is not None else WorkerPool(1, mode="inline"),
+    )
+    try:
+        return balancer.run_round().canonical_digest()
+    finally:
+        balancer.close()
+
+
+class TestShardedByteIdentity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("num_shards", [1, 2, 4])
+    def test_sharded_matches_serial(self, seed, num_shards):
+        assert _sharded_digest(seed, num_shards) == _serial_digest(seed)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("num_shards", [2, 4])
+    def test_sharded_matches_serial_under_faults(self, seed, num_shards):
+        assert _sharded_digest(seed, num_shards, faults=FAULTS) == _serial_digest(
+            seed, faults=FAULTS
+        )
+
+    def test_fault_signatures_match(self):
+        serial = LoadBalancer(
+            _scenario(42).ring, _config(), rng=7, faults=FAULTS
+        ).run_round()
+        sharded_balancer = ShardedLoadBalancer(
+            _scenario(42).ring,
+            _config(),
+            rng=7,
+            faults=FAULTS,
+            num_shards=4,
+            pool=WorkerPool(1, mode="inline"),
+        )
+        sharded = sharded_balancer.run_round()
+        sharded_balancer.close()
+        assert serial.fault_stats is not None
+        assert sharded.fault_stats is not None
+        assert serial.fault_stats.signature == sharded.fault_stats.signature
+
+    def test_pareto_loads_match(self):
+        model = ParetoLoadModel(mu=1e6)
+        assert _sharded_digest(42, 4, model=model) == _serial_digest(
+            42, model=model
+        )
+
+    def test_process_pool_matches_serial(self):
+        with WorkerPool(2, mode="process") as pool:
+            assert _sharded_digest(42, 2, pool=pool) == _serial_digest(42)
+
+    def test_repeated_rounds_stay_identical(self):
+        # Multi-round: state evolves between rounds; digests must track.
+        sc_serial = _scenario(7)
+        sc_sharded = _scenario(7)
+        serial = LoadBalancer(sc_serial.ring, _config(), rng=7)
+        sharded = ShardedLoadBalancer(
+            sc_sharded.ring,
+            _config(),
+            rng=7,
+            num_shards=2,
+            pool=WorkerPool(1, mode="inline"),
+        )
+        for _ in range(2):
+            a = serial.run_round().canonical_digest()
+            b = sharded.run_round().canonical_digest()
+            assert a == b
+        sharded.close()
+
+
+class TestShardValidation:
+    def test_shard_depth_powers(self):
+        assert shard_depth(1, 2) == 0
+        assert shard_depth(2, 2) == 1
+        assert shard_depth(4, 2) == 2
+        assert shard_depth(8, 2) == 3
+        assert shard_depth(9, 3) == 2
+
+    def test_shard_depth_rejects_non_powers(self):
+        with pytest.raises(ConfigError):
+            shard_depth(3, 2)
+        with pytest.raises(ConfigError):
+            shard_depth(0, 2)
+
+    def test_engine_rejects_bad_shard_count(self):
+        with pytest.raises(ConfigError):
+            ShardedLoadBalancer(
+                _scenario(42, num_nodes=32).ring,
+                _config(),
+                rng=7,
+                num_shards=3,
+                pool=WorkerPool(1, mode="inline"),
+            )
+
+    def test_higher_tree_degree(self):
+        serial = LoadBalancer(
+            _scenario(42).ring, _config(tree_degree=4), rng=7
+        ).run_round()
+        sharded_balancer = ShardedLoadBalancer(
+            _scenario(42).ring,
+            _config(tree_degree=4),
+            rng=7,
+            num_shards=4,
+            pool=WorkerPool(1, mode="inline"),
+        )
+        sharded = sharded_balancer.run_round()
+        sharded_balancer.close()
+        assert serial.canonical_digest() == sharded.canonical_digest()

@@ -1,0 +1,211 @@
+"""Unit tests for the shard primitives behind the sharded balancer.
+
+These pin the building blocks — path arithmetic, the worker-side LBI
+fold, and the worker-side sweep — directly against the serial phase
+implementations, independently of the full engine round covered by
+``test_parallel_determinism.py``.  Also covers the shallow-leaf
+alignment fallback, where the engine must fall back to the serial
+phases (and count it) rather than produce a misaligned shard split.
+"""
+
+import pytest
+
+from repro.core.balancer import LoadBalancer
+from repro.core.config import BalancerConfig
+from repro.core.records import LBIRecord, ShedCandidate, SpareCapacity
+from repro.exceptions import ConfigError
+from repro.obs import MetricsRegistry
+from repro.parallel import (
+    LBIShardTask,
+    ShardedLoadBalancer,
+    VSAShardTask,
+    WorkerPool,
+    fold_lbi_paths,
+    lbi_shard_worker,
+    path_of,
+    shard_index,
+    sweep_paths,
+    vsa_shard_worker,
+)
+from repro.workloads import GaussianLoadModel, build_scenario
+
+
+class TestPathArithmetic:
+    def test_path_of_walks_to_root(self):
+        from repro.ktree.tree import KnaryTree
+
+        scenario = build_scenario(
+            GaussianLoadModel(mu=1e6, sigma=2e3),
+            num_nodes=8,
+            vs_per_node=1,
+            rng=42,
+        )
+        tree = KnaryTree(scenario.ring, k=2)
+        leaf = tree.ensure_leaf_for_key(0)
+        path = path_of(leaf)
+        assert len(path) == leaf.level
+        assert all(part == 0 for part in path)  # key 0 = leftmost branch
+        assert path_of(tree.root) == ()
+
+    def test_shard_index_base_k(self):
+        assert shard_index((0, 1, 1), 2, 2) == 1
+        assert shard_index((1, 0, 1), 2, 2) == 2
+        assert shard_index((1, 1, 0), 2, 2) == 3
+        assert shard_index((2, 1), 1, 3) == 2
+
+    def test_shard_index_requires_depth(self):
+        with pytest.raises(ConfigError):
+            shard_index((0,), 2, 2)
+
+
+class TestFoldLbiPaths:
+    def test_matches_sequential_merge_order(self):
+        # Serial LBI merges own reports in arrival order, then children
+        # ascending.  The fold must reproduce that structurally.
+        r = lambda load: LBIRecord(load=load, capacity=load * 2, min_vs_load=load / 10)
+        reports = (
+            ((0, 0), (r(1.0), r(2.0))),
+            ((0, 1), (r(3.0),)),
+            ((1,), (r(4.0),)),
+        )
+        value, upward, at_level, count = fold_lbi_paths(reports, ())
+        assert value is not None
+        assert count == 4
+        assert value.load == pytest.approx(10.0)
+        assert value.capacity == pytest.approx(20.0)
+        assert value.min_vs_load == pytest.approx(0.1)
+        # Edges: (0,0)->(0), (0,1)->(0), (0)->(), (1)->() = 4 messages.
+        assert upward == 4
+        assert at_level == {1: 2, 0: 2}
+
+    def test_empty_reports(self):
+        value, upward, at_level, count = fold_lbi_paths((), ())
+        assert value is None and upward == 0 and count == 0
+        assert not at_level
+
+    def test_subtree_rooted_fold(self):
+        r = LBIRecord(load=5.0, capacity=10.0, min_vs_load=1.0)
+        value, upward, at_level, count = fold_lbi_paths(
+            (((1, 0, 1), (r,)),), (1,)
+        )
+        assert value is not None and value.load == 5.0
+        assert upward == 2  # (1,0,1)->(1,0)->(1)
+        assert at_level == {2: 1, 1: 1}
+
+    def test_worker_wraps_fold(self):
+        r = LBIRecord(load=5.0, capacity=10.0, min_vs_load=1.0)
+        task = LBIShardTask(shard_path=(0,), reports=(((0, 1), (r,)),))
+        result = lbi_shard_worker(task)
+        assert result.shard_path == (0,)
+        assert result.value.load == 5.0
+        assert result.reports == 1
+        assert result.upward_messages == 1
+
+
+class TestSweepPaths:
+    def _entries(self):
+        heavy = (
+            ShedCandidate(load=9.0, vs_id=1, node_index=1),
+            ShedCandidate(load=5.0, vs_id=2, node_index=2),
+        )
+        light = (
+            SpareCapacity(delta=10.0, node_index=3),
+            SpareCapacity(delta=6.0, node_index=4),
+        )
+        return heavy, light
+
+    def test_root_pairs_unconditionally(self):
+        heavy, light = self._entries()
+        result = sweep_paths(
+            (((0, 0), heavy, light),),
+            (),
+            threshold=30,
+            min_vs_load=0.1,
+            strict_heaviest_first=False,
+            root_is_global=True,
+        )
+        assert len(result.leftover_heavy) == 0
+        total_paired = sum(n for _, n in result.pairings_by_level)
+        assert total_paired == 2
+        # Entries climbed (0,0)->(0)->(): two upward hops.
+        assert result.upward_messages == 2
+
+    def test_subtree_root_holds_leftovers_below_threshold(self):
+        heavy, light = self._entries()
+        result = sweep_paths(
+            (((0, 0), heavy, light),),
+            (0,),
+            threshold=30,
+            min_vs_load=0.1,
+            strict_heaviest_first=False,
+            root_is_global=False,
+        )
+        # Nothing reached the threshold: all four entries are leftovers
+        # parked at the shard root for the top-level sweep.
+        assert len(result.leftover_heavy) == 2
+        assert len(result.leftover_light) == 2
+        assert sum(n for _, n in result.pairings_by_level) == 0
+
+    def test_threshold_triggers_interior_pairing(self):
+        heavy, light = self._entries()
+        result = sweep_paths(
+            (((0, 0), heavy, light),),
+            (0,),
+            threshold=4,
+            min_vs_load=0.1,
+            strict_heaviest_first=False,
+            root_is_global=False,
+        )
+        assert sum(n for _, n in result.pairings_by_level) == 2
+
+    def test_worker_wraps_sweep(self):
+        heavy, light = self._entries()
+        task = VSAShardTask(
+            shard_path=(1,),
+            buckets=(((1, 0), heavy, light),),
+            threshold=30,
+            min_vs_load=0.1,
+            strict_heaviest_first=False,
+            root_is_global=False,
+        )
+        result = vsa_shard_worker(task)
+        assert len(result.leftover_heavy) == 2
+
+
+class TestAlignmentFallback:
+    def test_shallow_tree_falls_back_and_counts(self):
+        # A tiny ring yields leaves shallower than the shard depth for
+        # a large shard count; the engine must fall back to the serial
+        # phases (still byte-identical) and count the fallback.
+        scenario = build_scenario(
+            GaussianLoadModel(mu=1e6, sigma=2e3),
+            num_nodes=4,
+            vs_per_node=1,
+            rng=42,
+        )
+        metrics = MetricsRegistry()
+        sharded = ShardedLoadBalancer(
+            scenario.ring,
+            BalancerConfig(proximity_mode="ignorant", epsilon=0.05),
+            rng=7,
+            metrics=metrics,
+            num_shards=64,
+            pool=WorkerPool(1, mode="inline"),
+        )
+        report = sharded.run_round()
+        sharded.close()
+
+        serial_scenario = build_scenario(
+            GaussianLoadModel(mu=1e6, sigma=2e3),
+            num_nodes=4,
+            vs_per_node=1,
+            rng=42,
+        )
+        serial = LoadBalancer(
+            serial_scenario.ring,
+            BalancerConfig(proximity_mode="ignorant", epsilon=0.05),
+            rng=7,
+        ).run_round()
+
+        assert report.canonical_digest() == serial.canonical_digest()
+        assert metrics.snapshot()["counters"]["parallel.fallbacks"] >= 1.0

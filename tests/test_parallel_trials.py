@@ -1,0 +1,204 @@
+"""Tests for the parallel trial engine and the worker pool.
+
+Covers the determinism contract (parallel seed sweeps byte-identical to
+serial loops), the metrics merge-back semantics, seed spawning, pool
+fallback behaviour, and the parallel paths of the variance and chaos
+experiments.
+"""
+
+from functools import partial
+
+import pytest
+
+from repro.exceptions import ConfigError, ReproError
+from repro.obs import MetricsRegistry
+from repro.obs.runtime import current_metrics, set_metrics
+from repro.parallel import (
+    TrialExecutor,
+    TrialTask,
+    WorkerPool,
+    run_trial_worker,
+    spawn_trial_seeds,
+)
+
+
+def square_seed(seed: int) -> int:
+    """Module-level so process pools can pickle it."""
+    return seed * seed
+
+
+def record_and_return(seed: int) -> int:
+    """Trial fn that logs into the ambient (worker-local) registry."""
+    metrics = current_metrics()
+    assert metrics is not None
+    metrics.counter("trial.calls").inc()
+    metrics.gauge("trial.last_seed").set(seed)
+    metrics.histogram("trial.seed_hist").observe(float(seed))
+    return seed + 1
+
+
+class TestSpawnTrialSeeds:
+    def test_deterministic(self):
+        assert spawn_trial_seeds(42, 5) == spawn_trial_seeds(42, 5)
+
+    def test_distinct_per_root(self):
+        assert spawn_trial_seeds(42, 5) != spawn_trial_seeds(43, 5)
+
+    def test_distinct_within_sweep(self):
+        seeds = spawn_trial_seeds(42, 8)
+        assert len(set(seeds)) == 8
+
+    def test_count_validation(self):
+        assert spawn_trial_seeds(42, 0) == ()
+        with pytest.raises(ValueError):
+            spawn_trial_seeds(42, -1)
+
+
+class TestWorkerPool:
+    def test_inline_map(self):
+        with WorkerPool(4, mode="inline") as pool:
+            assert pool.map_ordered(square_seed, [1, 2, 3]) == [1, 4, 9]
+
+    def test_process_map_preserves_order(self):
+        with WorkerPool(2, mode="process") as pool:
+            assert pool.map_ordered(square_seed, range(6)) == [
+                0, 1, 4, 9, 16, 25,
+            ]
+
+    def test_single_worker_runs_inline(self):
+        pool = WorkerPool(1, mode="process")
+        assert pool.map_ordered(square_seed, [3]) == [9]
+        # No executor should have been created for a 1-worker pool.
+        assert pool._executor is None
+        pool.close()
+
+    def test_empty_tasks(self):
+        with WorkerPool(2, mode="inline") as pool:
+            assert pool.map_ordered(square_seed, []) == []
+
+    def test_invalid_workers(self):
+        with pytest.raises(ConfigError):
+            WorkerPool(0)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ConfigError):
+            WorkerPool(2, mode="threads")
+
+
+class TestRunTrialWorker:
+    def test_returns_value_and_registry(self):
+        value, registry = run_trial_worker(
+            TrialTask(fn=record_and_return, seed=5)
+        )
+        assert value == 6
+        snap = registry.snapshot()
+        assert snap["counters"]["trial.calls"] == 1.0
+        assert snap["gauges"]["trial.last_seed"] == 5.0
+
+    def test_restores_ambient_metrics(self):
+        sentinel = MetricsRegistry()
+        previous = set_metrics(sentinel)
+        try:
+            run_trial_worker(TrialTask(fn=record_and_return, seed=1))
+            assert current_metrics() is sentinel
+        finally:
+            set_metrics(previous)
+
+
+class TestTrialExecutor:
+    def test_inline_matches_serial(self):
+        seeds = spawn_trial_seeds(42, 4)
+        with TrialExecutor(workers=1) as executor:
+            parallel = executor.map(square_seed, seeds)
+        assert parallel == [square_seed(s) for s in seeds]
+
+    def test_process_matches_inline(self):
+        seeds = spawn_trial_seeds(7, 4)
+        with TrialExecutor(workers=2) as executor:
+            via_processes = executor.map(square_seed, seeds)
+        with TrialExecutor(workers=1) as executor:
+            inline = executor.map(square_seed, seeds)
+        assert via_processes == inline
+
+    def test_merges_worker_metrics_in_seed_order(self):
+        registry = MetricsRegistry()
+        previous = set_metrics(registry)
+        try:
+            with TrialExecutor(workers=1) as executor:
+                executor.map(record_and_return, [10, 20, 30])
+        finally:
+            set_metrics(previous)
+        snap = registry.snapshot()
+        assert snap["counters"]["trial.calls"] == 3.0
+        # Gauges merge last-write-wins => the final seed's value sticks.
+        assert snap["gauges"]["trial.last_seed"] == 30.0
+        hist = snap["histograms"]["trial.seed_hist"]
+        assert hist["count"] == 3
+        assert hist["min"] == 10.0 and hist["max"] == 30.0
+        assert snap["counters"]["parallel.trials"] == 3.0
+        assert snap["gauges"]["parallel.workers"] == 1.0
+
+    def test_no_ambient_registry_is_fine(self):
+        previous = set_metrics(None)
+        try:
+            with TrialExecutor(workers=1) as executor:
+                assert executor.map(square_seed, [2]) == [4]
+        finally:
+            set_metrics(previous)
+
+    def test_partial_trial_fns(self):
+        def add(offset: int, seed: int) -> int:
+            return offset + seed
+
+        with TrialExecutor(workers=1) as executor:
+            assert executor.map(partial(add, 100), [1, 2]) == [101, 102]
+
+
+class TestMetricsMerge:
+    def test_counter_gauge_histogram_semantics(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(2)
+        b.counter("c").inc(3)
+        a.gauge("g").set(1.0)
+        b.gauge("g").set(9.0)
+        a.histogram("h").observe(1.0)
+        b.histogram("h").observe(5.0)
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["counters"]["c"] == 5.0
+        assert snap["gauges"]["g"] == 9.0
+        assert snap["histograms"]["h"]["count"] == 2
+
+    def test_kind_conflict_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x").inc()
+        b.gauge("x").set(1.0)
+        with pytest.raises(ReproError):
+            a.merge(b)
+
+
+class TestExperimentParallelPaths:
+    def test_variance_parallel_matches_serial(self):
+        from dataclasses import replace
+
+        from repro.experiments import variance
+        from repro.experiments.common import ExperimentSettings
+
+        settings = ExperimentSettings(num_nodes=96, seed=11)
+        serial = variance.run(settings, num_seeds=2)
+        parallel = variance.run(replace(settings, workers=2), num_seeds=2)
+        assert serial.seeds == parallel.seeds
+        assert serial.metrics == parallel.metrics
+
+    def test_chaos_parallel_matches_serial(self):
+        from dataclasses import replace
+
+        from repro.experiments import chaos
+        from repro.experiments.common import ExperimentSettings
+
+        settings = ExperimentSettings(num_nodes=64, seed=11)
+        rates = (0.0, 0.2)
+        serial = chaos.run(settings, drop_rates=rates)
+        parallel = chaos.run(replace(settings, workers=2), drop_rates=rates)
+        assert serial.rows == parallel.rows
+        assert serial.baseline_moved == parallel.baseline_moved

@@ -96,3 +96,43 @@ class TestCaching:
         out = oracle.distances_between([(0, 3)])
         assert out[0] == 6.0
         assert oracle.dijkstra_runs == 1
+
+    def test_many_sources_tight_lru_no_thrash(self, path_topology):
+        """A batch larger than the LRU bound costs one run per unique source.
+
+        The old implementation evicted rows while still inserting the
+        batch, then re-read the cache to stack the result — recomputing
+        rows it had produced moments earlier, one extra Dijkstra per
+        evicted source.
+        """
+        oracle = DistanceOracle(path_topology, max_cached_rows=2)
+        rows = oracle.distances_from_many([0, 1, 2, 3])
+        assert rows.shape == (4, 4)
+        assert oracle.dijkstra_runs == 4
+        assert oracle.cached_sources == 2  # trimmed after stacking
+
+    def test_many_sources_duplicates_counted_once(self, path_topology):
+        oracle = DistanceOracle(path_topology, max_cached_rows=1)
+        rows = oracle.distances_from_many([2, 0, 2, 0, 2])
+        assert rows.shape == (5, 4)
+        assert oracle.dijkstra_runs == 2  # unique sources only
+        assert list(rows[0]) == list(rows[2]) == list(rows[4])
+        assert list(rows[1]) == [0.0, 1.0, 3.0, 6.0]
+
+    def test_distances_between_survives_tight_lru(self, path_topology):
+        """Pair batches larger than the LRU bound must not KeyError.
+
+        ``distances_between`` used to re-read the cache after the batch
+        call; with ``max_cached_rows`` below the batch size, the batch
+        itself evicted the earlier rows it was about to read.
+        """
+        oracle = DistanceOracle(path_topology, max_cached_rows=1)
+        out = oracle.distances_between([(0, 3), (1, 3), (2, 3)])
+        assert list(out) == [6.0, 5.0, 3.0]
+
+    def test_many_sources_mixed_cached_and_missing(self, path_topology):
+        oracle = DistanceOracle(path_topology)
+        oracle.distances_from(1)
+        rows = oracle.distances_from_many([1, 3])
+        assert oracle.dijkstra_runs == 2  # only 3 was recomputed
+        assert list(rows[0]) == [1.0, 0.0, 2.0, 5.0]
