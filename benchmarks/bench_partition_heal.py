@@ -1,0 +1,35 @@
+"""Benchmark: partition sweep — split shape vs heal outcome.
+
+Robustness experiment: several consecutive balancing rounds per
+component count against the same scenario, with the ring cut mid-round
+into that many pieces and healed two rounds later.  Degraded rounds
+balance per component, in-flight transfers ride the books, and the heal
+reconciles every suspended transfer under the global conservation gate
+— the bench asserts the lifecycle completed, conserved and reproduced
+for every split shape.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments import partition
+
+
+def test_partition_heal_sweep(benchmark, settings, report_lines):
+    result = benchmark.pedantic(
+        lambda: partition.run(settings, component_counts=(2, 4)),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report_lines, "Robustness: partition heal sweep", result.format_rows())
+
+    for row in result.rows:
+        # Every point activated, degraded and healed back to one ring.
+        assert row.partitioned_rounds >= 1
+        assert row.final_epoch == 2
+        # The heal accounted for every suspended transfer.
+        assert row.suspended == row.healed_commits + row.healed_rollbacks
+        assert row.regrafts >= row.num_components - 1
+        # Degraded rounds still moved load, and the history replays.
+        assert row.moved_load > 0
+        assert row.signature != ""

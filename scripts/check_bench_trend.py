@@ -8,8 +8,10 @@ gate:
 
 ``gen``
     Run the deterministic smoke workload — one serial balancing round,
-    one sharded round (inline pool), and a distance-oracle probe that
-    exercises the batched LRU path — and write the merged metrics
+    one sharded round (inline pool), one partition lifecycle (mid-round
+    split, degraded rounds, conservation-checked heal) and a
+    distance-oracle probe that exercises the batched LRU path — and
+    write the merged metrics
     snapshot as JSON (default: ``benchmarks/BENCH_BASELINE.json``).
     Every counter and gauge in the workload is a pure function of the
     fixed seeds, so regenerating the file on an unchanged tree
@@ -57,6 +59,7 @@ def _smoke_snapshot() -> dict:
     """Run the smoke workload and return one merged metrics snapshot."""
     from repro.core.balancer import LoadBalancer
     from repro.core.config import BalancerConfig
+    from repro.faults import FaultPlan, PartitionSpec
     from repro.obs import MetricsRegistry
     from repro.parallel import ShardedLoadBalancer, WorkerPool
     from repro.topology import DistanceOracle
@@ -87,6 +90,27 @@ def _smoke_snapshot() -> dict:
             num_shards=4, pool=pool,
         )
         sharded.run_round()
+
+    # One partition lifecycle: a mid-round 2-way split, two degraded
+    # per-component rounds and a conservation-checked heal.  Pins the
+    # membership counters (partition/heal/regraft/quarantine) so a cost
+    # regression in the degraded path — say, quarantining per phase
+    # instead of per round — cannot land silently.
+    plan = FaultPlan(
+        seed=3,
+        drop=0.05,
+        corrupt=0.05,
+        partitions=(
+            PartitionSpec(
+                at_round=1, duration=2, num_components=2, mid_round=True
+            ),
+        ),
+    )
+    partitioned = LoadBalancer(
+        scenario().ring, config, rng=7, metrics=registry, faults=plan
+    )
+    for _ in range(4):
+        partitioned.run_round()
 
     # Distance-oracle probe: a batched query larger than the LRU bound
     # plus a pair batch.  Guards the distances_from_many fix — the old

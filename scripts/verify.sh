@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
 # Repository verify path: tier-1 tests, the observability suite, the
 # repro.lint static-analysis gate, the mypy strict-typing gate (when
-# mypy is installed), the generated-API freshness check and the chaos
-# smoke (a degraded balancing round under injected faults).  Run from
-# the repository root:
+# mypy is installed), the generated-API freshness check, the chaos
+# smoke (a degraded balancing round under injected faults) and the
+# partition smoke (a network split healing under the conservation
+# gate).  Run from the repository root:
 #
 #   bash scripts/verify.sh
+#
+# REPRO_SOAK=1 additionally sweeps partition scenarios across seeds
+# through the parallel trial engine (opt-in; adds a few seconds).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -50,5 +54,35 @@ echo "== chaos smoke: degraded round survives, conserves, reproduces =="
 # the runpy double-import warning: the experiments package __init__
 # already imports chaos through the registry.)
 python -c "import sys; from repro.experiments.chaos import main; sys.exit(main(['--smoke']))"
+
+echo "== partition smoke: split, degraded rounds, conservation-checked heal =="
+# Mid-round 2-way split held for two rounds, then healed; the module
+# asserts epochs, suspended == commits + rollbacks, global conservation
+# and byte-identical signatures/digests across two runs.
+python -c "import sys; from repro.experiments.partition import main; sys.exit(main(['--smoke']))"
+
+if [ "${REPRO_SOAK:-0}" = "1" ]; then
+    echo "== soak: partition seed sweep through the trial engine (REPRO_SOAK=1) =="
+    # Bounded sweep: four scenario seeds x two split shapes, fanned out
+    # by TrialExecutor workers.  Every point must activate, degrade,
+    # heal at epoch 2 and reconcile all suspended transfers.
+    python - <<'PY'
+from dataclasses import replace
+
+from repro.experiments import ExperimentSettings
+from repro.experiments import partition
+
+base = ExperimentSettings(num_nodes=96, workers=2)
+for seed in (7, 11, 23, 42):
+    result = partition.run(replace(base, seed=seed), component_counts=(2, 3))
+    for row in result.rows:
+        assert row.final_epoch == 2, (seed, row)
+        assert row.suspended == row.healed_commits + row.healed_rollbacks, (
+            seed, row,
+        )
+    print(f"  seed {seed}: {len(result.rows)} split shapes healed, conserved")
+print("soak OK: 4 seeds x 2 shapes through TrialExecutor")
+PY
+fi
 
 echo "verify: OK"

@@ -89,7 +89,30 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="SEED",
-        help="chaos only: fault-injector seed (default: scenario seed)",
+        help="chaos/partition: fault-injector seed (default: scenario seed)",
+    )
+    run.add_argument(
+        "--partition-components",
+        type=int,
+        action="append",
+        default=None,
+        metavar="N",
+        help="partition only: component count to sweep (repeatable)",
+    )
+    run.add_argument(
+        "--partition-duration",
+        type=int,
+        default=None,
+        metavar="ROUNDS",
+        help="partition only: rounds the partition stays active",
+    )
+    run.add_argument(
+        "--fault-corrupt",
+        type=float,
+        default=None,
+        metavar="P",
+        help="partition only: per-report LBI corruption probability "
+        "(exercises the aggregate sanity defense)",
     )
     run.add_argument(
         "--trace",
@@ -265,6 +288,12 @@ def main(argv: list[str] | None = None) -> int:
         fault_kwargs["transfer_abort"] = args.fault_abort
     if args.fault_seed is not None:
         fault_kwargs["fault_seed"] = args.fault_seed
+    if args.partition_components is not None:
+        fault_kwargs["component_counts"] = tuple(args.partition_components)
+    if args.partition_duration is not None:
+        fault_kwargs["duration"] = args.partition_duration
+    if args.fault_corrupt is not None:
+        fault_kwargs["corrupt"] = args.fault_corrupt
     if fault_kwargs:
         import functools
         import inspect
@@ -274,8 +303,8 @@ def main(argv: list[str] | None = None) -> int:
         if unsupported:
             print(
                 f"error: {args.experiment} does not accept fault knobs "
-                f"({', '.join(unsupported)}); --fault-* flags apply to "
-                "the 'chaos' experiment",
+                f"({', '.join(unsupported)}); --fault-*/--partition-* "
+                "flags apply to the 'chaos' and 'partition' experiments",
                 file=sys.stderr,
             )
             return 2

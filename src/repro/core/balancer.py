@@ -18,9 +18,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.classification import classify_all
+from repro.core.classification import ClassificationResult, classify_all
 from repro.core.config import BalancerConfig
-from repro.core.lbi import AggregationTrace, aggregate_lbi, collect_lbi_reports
+from repro.core.lbi import (
+    AggregateSanity,
+    AggregationTrace,
+    aggregate_lbi,
+    collect_lbi_reports,
+)
 from repro.core.placement import (
     PlacementStrategy,
     ProximityPlacement,
@@ -37,15 +42,18 @@ from repro.core.records import (
 from repro.core.report import BalanceReport
 from repro.core.selection import select_shed_subset
 from repro.core.vsa import VSAResult, VSASweep
-from repro.core.vst import execute_transfers
+from repro.core.vst import TransferRecord, execute_transfers
 from repro.dht.chord import ChordRing
+from repro.dht.node import PhysicalNode
 from repro.exceptions import ConfigError
 from repro.faults.injector import FaultInjector, ensure_injector
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import FaultPlan, PartitionSpec
 from repro.faults.retry import RetryPolicy
 from repro.faults.stats import FaultRoundStats
 from repro.ktree.node import KTNode
 from repro.ktree.tree import KnaryTree
+from repro.membership import MembershipManager, MembershipView
+from repro.membership.views import ComponentRingView
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import PhaseClock, profile_from_report
 from repro.obs.runtime import current_metrics, current_tracer
@@ -136,6 +144,25 @@ class LoadBalancer:
         #: ``retry.lbi_staleness_rounds``).
         self._stale_lbi: SystemLBI | None = None
         self._stale_lbi_age = 0
+        self._round_index = 0
+        #: Epoch/partition state machine; only materialised when the
+        #: fault plan actually schedules partitions, so every other run
+        #: keeps the exact pre-membership code paths.
+        self.membership: MembershipManager | None = None
+        if self.faults is not None and self.faults.plan.partitions:
+            self.membership = MembershipManager(
+                ring, self.faults, tracer=self.tracer, metrics=self.metrics
+            )
+        #: Aggregate plausibility gate; armed whenever faults are in
+        #: play (honest reports always pass, so fault runs without
+        #: corruption keep their exact behaviour).
+        self._sanity: AggregateSanity | None = None
+        if self.faults is not None:
+            self._sanity = AggregateSanity(
+                self.retry.lbi_staleness_rounds,
+                tracer=self.tracer,
+                metrics=self.metrics,
+            )
         (
             self._lbi_rng,
             self._placement_rng,
@@ -185,14 +212,46 @@ class LoadBalancer:
 
     # ------------------------------------------------------------------
     def run_round(self) -> BalanceReport:
-        """Execute one full LBI -> classify -> VSA -> VST cycle."""
+        """Execute one full LBI -> classify -> VSA -> VST cycle.
+
+        With a membership manager attached (the fault plan schedules
+        partitions), the round first advances the epoch state machine:
+        an expired partition heals (in-flight transfers reconciled,
+        conservation asserted), a due boundary partition activates, and
+        the round then runs either as a normal whole-ring round, a
+        whole-ring round with a mid-round cut inside the VST batch, or
+        one internally consistent degraded sub-round per component.
+        """
+        stats = FaultRoundStats()
+        faults = self.faults
+        if faults is not None:
+            faults.reset_round()
+        round_index = self._round_index
+        self._round_index += 1
+        view: MembershipView | None = None
+        pending: PartitionSpec | None = None
+        if self.membership is not None:
+            view, pending = self.membership.begin_round(round_index, stats)
+        if self._sanity is not None:
+            self._sanity.begin_round(stats.epoch, stats)
+        if view is not None:
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "round.degraded",
+                    epoch=view.epoch,
+                    components=len(view.components),
+                )
+            return self._run_partitioned_round(stats, view)
+        return self._run_plain_round(stats, pending)
+
+    def _run_plain_round(
+        self, stats: FaultRoundStats, pending: PartitionSpec | None = None
+    ) -> BalanceReport:
+        """One whole-ring round (optionally cut mid-VST by ``pending``)."""
         cfg = self.config
         ring = self.ring
         tracer = self.tracer
         faults = self.faults
-        stats = FaultRoundStats()
-        if faults is not None:
-            faults.reset_round()
         alive = ring.alive_nodes
         node_indices = np.asarray([n.index for n in alive], dtype=np.int64)
         capacities = np.asarray([n.capacity for n in alive], dtype=np.float64)
@@ -217,6 +276,8 @@ class LoadBalancer:
                 faults=faults,
                 retry=self.retry,
                 fault_stats=stats,
+                sanity=self._sanity,
+                epoch=stats.epoch,
             )
             if reports or self._stale_lbi is None:
                 # aggregate_lbi raises BalancerError on an empty report
@@ -254,42 +315,7 @@ class LoadBalancer:
         with clock.phase("vsa"):
             # Phase 3a: build VSA entries.
             vsa_span = tracer.span("vsa")
-            published: list[tuple[int, ShedCandidate | SpareCapacity]] = []
-            assert self._placement is not None
-            for node in alive:
-                cls = classification_before.classes[node.index]
-                if cls is NodeClass.HEAVY:
-                    target = classification_before.targets[node.index]
-                    vs_list = node.virtual_servers
-                    loads = [vs.load for vs in vs_list]
-                    shed = select_shed_subset(
-                        loads,
-                        excess=node.load - target,
-                        policy=cfg.selection_policy,
-                        keep_at_least=cfg.keep_at_least,
-                    )
-                    if not shed:
-                        continue
-                    key = self._placement.key_for(node)
-                    for idx in shed:
-                        published.append(
-                            (
-                                key,
-                                ShedCandidate(
-                                    load=vs_list[idx].load,
-                                    vs_id=vs_list[idx].vs_id,
-                                    node_index=node.index,
-                                ),
-                            )
-                        )
-                elif cls is NodeClass.LIGHT:
-                    delta = classification_before.targets[node.index] - node.load
-                    if delta <= 0:
-                        continue
-                    key = self._placement.key_for(node)
-                    published.append(
-                        (key, SpareCapacity(delta=delta, node_index=node.index))
-                    )
+            published = self._publish_vsa_entries(alive, classification_before)
 
             # Phase 3b: bottom-up VSA sweep.
             vsa_result = self._run_vsa_sweep(
@@ -303,10 +329,15 @@ class LoadBalancer:
         skipped: list[Assignment] = []
         failed: list[Assignment] = []
         with clock.phase("vst"), tracer.span("vst"):
-            transfers = execute_transfers(
-                ring, vsa_result.assignments, self.oracle, skipped=skipped,
-                tracer=tracer, faults=faults, failed=failed, fault_stats=stats,
-            )
+            if pending is not None and self.membership is not None:
+                transfers = self._execute_transfers_with_partition(
+                    vsa_result.assignments, pending, skipped, failed, stats
+                )
+            else:
+                transfers = execute_transfers(
+                    ring, vsa_result.assignments, self.oracle, skipped=skipped,
+                    tracer=tracer, faults=faults, failed=failed, fault_stats=stats,
+                )
 
         loads_after = np.asarray([n.load for n in alive], dtype=np.float64)
         classification_after = classify_all(
@@ -342,6 +373,302 @@ class LoadBalancer:
             fault_stats=stats,
             tree_height=tree.height(),
             tree_nodes_materialized=tree.node_count,
+            in_flight_after=(
+                self.membership.in_flight_load
+                if self.membership is not None
+                else 0.0
+            ),
+            phase_seconds=clock.seconds,
+        )
+        report.profile = profile_from_report(report)
+        if self.metrics is not None:
+            self._record_metrics(report)
+        return report
+
+    # ------------------------------------------------------------------
+    def _publish_vsa_entries(
+        self,
+        nodes: list[PhysicalNode],
+        classification: ClassificationResult,
+    ) -> list[tuple[int, ShedCandidate | SpareCapacity]]:
+        """Phase 3a: heavy nodes publish shed candidates, light ones spare
+        capacity, each under its placement key, in node order."""
+        cfg = self.config
+        assert self._placement is not None
+        published: list[tuple[int, ShedCandidate | SpareCapacity]] = []
+        for node in nodes:
+            cls = classification.classes[node.index]
+            if cls is NodeClass.HEAVY:
+                target = classification.targets[node.index]
+                vs_list = node.virtual_servers
+                loads = [vs.load for vs in vs_list]
+                shed = select_shed_subset(
+                    loads,
+                    excess=node.load - target,
+                    policy=cfg.selection_policy,
+                    keep_at_least=cfg.keep_at_least,
+                )
+                if not shed:
+                    continue
+                key = self._placement.key_for(node)
+                for idx in shed:
+                    published.append(
+                        (
+                            key,
+                            ShedCandidate(
+                                load=vs_list[idx].load,
+                                vs_id=vs_list[idx].vs_id,
+                                node_index=node.index,
+                            ),
+                        )
+                    )
+            elif cls is NodeClass.LIGHT:
+                delta = classification.targets[node.index] - node.load
+                if delta <= 0:
+                    continue
+                key = self._placement.key_for(node)
+                published.append(
+                    (key, SpareCapacity(delta=delta, node_index=node.index))
+                )
+        return published
+
+    # ------------------------------------------------------------------
+    # Partition machinery
+    # ------------------------------------------------------------------
+    def _execute_transfers_with_partition(
+        self,
+        assignments: list[Assignment],
+        spec: PartitionSpec,
+        skipped: list[Assignment],
+        failed: list[Assignment],
+        stats: FaultRoundStats,
+    ) -> list[TransferRecord]:
+        """Run the VST batch with a partition striking at a seeded slot.
+
+        Transfers before the cut execute normally; the partition then
+        activates, every remaining cross-component assignment is
+        suspended in flight (its server detached until the heal), and
+        the same-component remainder executes against the whole ring —
+        all parent-side and in serial order, so sharded engines inherit
+        the identical behaviour.
+        """
+        membership = self.membership
+        faults = self.faults
+        assert membership is not None and faults is not None
+        ring = self.ring
+        tracer = self.tracer
+        slot = faults.partition_slot(len(assignments))
+        transfers = execute_transfers(
+            ring, assignments[:slot], self.oracle, skipped=skipped,
+            tracer=tracer, faults=faults, failed=failed, fault_stats=stats,
+        )
+        remainder = assignments[slot:]
+        view = membership.activate(spec, stats)
+        if view is not None:
+            same_component: list[Assignment] = []
+            for a in remainder:
+                if view.component_of(a.candidate.node_index) == view.component_of(
+                    a.target_node
+                ):
+                    same_component.append(a)
+                else:
+                    membership.suspend_assignment(ring, a, skipped, stats)
+            remainder = same_component
+        transfers += execute_transfers(
+            ring, remainder, self.oracle, skipped=skipped,
+            tracer=tracer, faults=faults, failed=failed, fault_stats=stats,
+        )
+        return transfers
+
+    def _run_partitioned_round(
+        self, stats: FaultRoundStats, view: MembershipView
+    ) -> BalanceReport:
+        """One degraded round: an independent sub-round per component.
+
+        Each component sees only its own nodes through a
+        :class:`~repro.membership.views.ComponentRingView`, builds an
+        epoch-tagged tree over it and runs the identical
+        LBI/classify/VSA/VST pipeline (through the same phase hooks the
+        sharded engine overrides, so serial/sharded byte-identity is
+        inherited).  Components run in deterministic order; their
+        results merge into one report whose aggregate is the sum of the
+        component aggregates.  A component left without LBI reports (or
+        without virtual servers) classifies its nodes neutral and moves
+        nothing.  The cached whole-ring aggregate is invalidated — an
+        epoch change makes cross-epoch state inadmissible by definition.
+        """
+        cfg = self.config
+        ring = self.ring
+        tracer = self.tracer
+        faults = self.faults
+        membership = self.membership
+        assert membership is not None
+        self._stale_lbi = None
+        self._stale_lbi_age = 0
+        alive = ring.alive_nodes
+        node_indices = np.asarray([n.index for n in alive], dtype=np.int64)
+        capacities = np.asarray([n.capacity for n in alive], dtype=np.float64)
+        loads_before = np.asarray([n.load for n in alive], dtype=np.float64)
+        in_flight = membership.in_flight_load
+        clock = PhaseClock()
+        round_span = tracer.span(
+            "round",
+            mode=cfg.proximity_mode,
+            nodes=len(alive),
+            virtual_servers=ring.num_virtual_servers,
+            tree_degree=cfg.tree_degree,
+            epoch=view.epoch,
+            components=len(view.components),
+        )
+
+        total_load = 0.0
+        total_capacity = 0.0
+        min_vs_load = float("inf")
+        agg_trace = AggregationTrace()
+        vsa_result = VSAResult()
+        classes_before: dict[int, NodeClass] = {}
+        targets_before: dict[int, float] = {}
+        classes_after: dict[int, NodeClass] = {}
+        targets_after: dict[int, float] = {}
+        transfers: list[TransferRecord] = []
+        skipped: list[Assignment] = []
+        failed: list[Assignment] = []
+        tree_height = 0
+        tree_nodes = 0
+
+        def neutral(nodes: list[PhysicalNode]) -> None:
+            """Classify a degraded component's nodes neutral (no movement)."""
+            for node in nodes:
+                classes_before[node.index] = NodeClass.NEUTRAL
+                targets_before[node.index] = node.load
+                classes_after[node.index] = NodeClass.NEUTRAL
+                targets_after[node.index] = node.load
+
+        for members in view.components:
+            comp = ComponentRingView(ring, members)
+            comp_alive = comp.alive_nodes
+            if not comp_alive:
+                continue
+            if not any(n.virtual_servers for n in comp_alive):
+                neutral(comp_alive)
+                continue
+            with clock.phase("lbi"), tracer.span("lbi", component=members[0]):
+                tree = KnaryTree(
+                    comp, cfg.tree_degree, metrics=self.metrics,
+                    epoch=view.epoch,
+                )
+                reports = collect_lbi_reports(
+                    comp,
+                    tree,
+                    rng=self._lbi_rng,
+                    tracer=tracer,
+                    faults=faults,
+                    retry=self.retry,
+                    fault_stats=stats,
+                    sanity=self._sanity,
+                    epoch=view.epoch,
+                )
+                if not reports:
+                    neutral(comp_alive)
+                    continue
+                system_c, agg_c = self._aggregate_lbi(tree, reports)
+            with clock.phase("classification"), tracer.span("classification"):
+                before_c = classify_all(
+                    comp_alive, system_c, cfg.epsilon, tracer=tracer,
+                    stage="before",
+                )
+            with clock.phase("vsa"):
+                vsa_span = tracer.span("vsa")
+                published = self._publish_vsa_entries(comp_alive, before_c)
+                vsa_c = self._run_vsa_sweep(
+                    tree, published, system_c.min_vs_load, stats
+                )
+                vsa_span.end()
+            with clock.phase("vst"), tracer.span("vst"):
+                transfers_c = execute_transfers(
+                    comp, vsa_c.assignments, self.oracle, skipped=skipped,
+                    tracer=tracer, faults=faults, failed=failed,
+                    fault_stats=stats,
+                )
+            after_c = classify_all(
+                comp_alive, system_c, cfg.epsilon, tracer=tracer, stage="after"
+            )
+            total_load += system_c.total_load
+            total_capacity += system_c.total_capacity
+            min_vs_load = min(min_vs_load, system_c.min_vs_load)
+            agg_trace.tree_height = max(agg_trace.tree_height, agg_c.tree_height)
+            agg_trace.upward_rounds = max(agg_trace.upward_rounds, agg_c.upward_rounds)
+            agg_trace.downward_rounds = max(
+                agg_trace.downward_rounds, agg_c.downward_rounds
+            )
+            agg_trace.upward_messages += agg_c.upward_messages
+            agg_trace.downward_messages += agg_c.downward_messages
+            agg_trace.reports += agg_c.reports
+            vsa_result.assignments.extend(vsa_c.assignments)
+            vsa_result.unassigned_heavy.extend(vsa_c.unassigned_heavy)
+            vsa_result.unassigned_light.extend(vsa_c.unassigned_light)
+            vsa_result.rounds = max(vsa_result.rounds, vsa_c.rounds)
+            vsa_result.upward_messages += vsa_c.upward_messages
+            vsa_result.entries_published += vsa_c.entries_published
+            vsa_result.entries_lost += vsa_c.entries_lost
+            vsa_result.pairings_by_level.update(vsa_c.pairings_by_level)
+            classes_before.update(before_c.classes)
+            targets_before.update(before_c.targets)
+            classes_after.update(after_c.classes)
+            targets_after.update(after_c.targets)
+            transfers.extend(transfers_c)
+            tree_height = max(tree_height, tree.height())
+            tree_nodes += tree.node_count
+
+        if total_capacity <= 0:
+            # Every component lost every report: degrade to the sum of
+            # the advertised node capacities so the round still reports
+            # a well-formed (if uninformative) aggregate.
+            total_capacity = sum(n.capacity for n in alive)
+            total_load = float(np.sum(loads_before))
+        system = SystemLBI(
+            total_load=total_load,
+            total_capacity=total_capacity,
+            min_vs_load=min_vs_load,
+        )
+        loads_after = np.asarray([n.load for n in alive], dtype=np.float64)
+        classification_before = ClassificationResult(
+            classes=classes_before, targets=targets_before
+        )
+        classification_after = ClassificationResult(
+            classes=classes_after, targets=targets_after
+        )
+        if faults is not None:
+            stats.injected_total = faults.injected
+            stats.signature = faults.signature()
+        round_span.end(
+            transfers=len(transfers),
+            moved_load=float(sum(t.load for t in transfers)),
+            heavy_after=len(classification_after.heavy),
+            failed_transfers=len(failed),
+            faults_injected=stats.injected_total,
+        )
+        report = BalanceReport(
+            config=cfg,
+            system_lbi=system,
+            num_nodes=len(alive),
+            num_virtual_servers=ring.num_virtual_servers,
+            node_indices=node_indices,
+            capacities=capacities,
+            loads_before=loads_before,
+            loads_after=loads_after,
+            classification_before=classification_before,
+            classification_after=classification_after,
+            aggregation=agg_trace,
+            vsa=vsa_result,
+            transfers=transfers,
+            skipped_assignments=skipped,
+            failed_assignments=failed,
+            fault_stats=stats,
+            tree_height=tree_height,
+            tree_nodes_materialized=tree_nodes,
+            in_flight_before=in_flight,
+            in_flight_after=membership.in_flight_load,
             phase_seconds=clock.seconds,
         )
         report.profile = profile_from_report(report)

@@ -9,6 +9,17 @@ root's aggregate ``<L, C, L_min>`` is then disseminated top-down.
 Both sweeps take one round per tree level, which is how the paper's
 ``O(log_K N)`` bound is accounted; the trace records rounds and message
 counts so experiments can verify the bound empirically.
+
+The aggregate sanity defense (:class:`AggregateSanity`) guards the
+aggregation against misreporting nodes, in the spirit of Roussopoulos &
+Baker's argument that practical balancers must reject stale or
+implausible state: every report carries the membership epoch it was
+produced under, and a report that is cross-epoch, stale beyond
+``lbi_staleness_rounds``, or fails plausibility bounds (non-negative
+``L``, positive ``C``, ``L_min <= L``, per-node load delta bounded by
+advertised capacity) quarantines the reporting node — the defense falls
+back to the node's last-good report when one is fresh enough, and drops
+the report entirely otherwise.
 """
 
 from __future__ import annotations
@@ -20,7 +31,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.records import LBIRecord, SystemLBI
-from repro.dht.chord import ChordRing
+from repro.dht.ringlike import RingLike
 from repro.dht.node import PhysicalNode
 from repro.exceptions import BalancerError
 from repro.faults.injector import FaultInjector
@@ -29,6 +40,7 @@ from repro.faults.stats import FaultRoundStats
 from repro.idspace.hashing import hash_to_id
 from repro.ktree.node import KTNode
 from repro.ktree.tree import KnaryTree
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 from repro.util.rng import ensure_rng
 
@@ -53,14 +65,166 @@ class AggregationTrace:
         return self.upward_messages + self.downward_messages
 
 
+def _apply_corruption(
+    mode: int,
+    load: float,
+    capacity: float,
+    min_vs: float,
+    epoch: int,
+    staleness: int,
+) -> tuple[float, float, float, int]:
+    """Turn one honest ``<L, C, L_min>`` report into a seeded-mode lie.
+
+    The modes mirror the failure classes :class:`AggregateSanity`
+    defends against: 0 = negative load, 1 = implausibly inflated load
+    (caught by the delta bound once a last-good report exists),
+    2 = zero capacity, 3 = ``L_min > L``, 4 = stale epoch tag.
+    """
+    if mode == 0:
+        return (-abs(load) - 1.0, capacity, min_vs, epoch)
+    if mode == 1:
+        inflated = load + 2.0 * AggregateSanity.DELTA_FACTOR * (capacity + load) + 1.0
+        return (inflated, capacity, min_vs, epoch)
+    if mode == 2:
+        return (load, 0.0, min_vs, epoch)
+    if mode == 3:
+        return (load, capacity, load + abs(load) + 1.0, epoch)
+    return (load, capacity, min_vs, epoch - (staleness + 1))
+
+
+class AggregateSanity:
+    """Per-node plausibility gate in front of the LBI aggregation.
+
+    Keeps the last admitted ``<L, C, L_min>`` per reporting node.  A
+    report failing any rule *quarantines* the node for the round: the
+    defense substitutes the node's last-good report when that report's
+    epoch is still within the staleness bound, and drops the report
+    outright otherwise (the aggregate degrades gracefully instead of
+    being poisoned).
+
+    Rules, in check order:
+
+    1. ``L`` and ``C`` finite, ``L_min`` not NaN;
+    2. ``L >= 0``, ``C > 0``, ``L_min >= 0``;
+    3. ``L_min <= L`` (``L_min = inf`` marks a node with no virtual
+       servers and is exempt);
+    4. the report's epoch tag is neither from the future nor older than
+       ``staleness`` epochs;
+    5. the per-node load delta obeys
+       ``|L - L_last| <= DELTA_FACTOR * (C + L_last)`` — a node can
+       shed at most what it last held and absorb at most a
+       capacity-proportional amount between consecutive reports.
+
+    Parameters
+    ----------
+    staleness:
+        Maximum admissible epoch age (mirrors the retry policy's
+        ``lbi_staleness_rounds``).
+    tracer:
+        Structured tracer for ``lbi.quarantine`` events.
+    metrics:
+        Registry for the ``lbi.quarantine`` counter (``None`` = off).
+    """
+
+    #: Bound on the admissible per-node load swing between consecutive
+    #: reports, as a multiple of ``capacity + last_load``.
+    DELTA_FACTOR = 8.0
+
+    def __init__(
+        self,
+        staleness: int,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        """Create an empty gate; see the class docstring."""
+        self.staleness = staleness
+        self.tracer = tracer
+        self.metrics = metrics
+        self._last_good: dict[int, tuple[float, float, float, int]] = {}
+        self._epoch = 0
+        self._stats: FaultRoundStats | None = None
+
+    def begin_round(
+        self, epoch: int, stats: FaultRoundStats | None = None
+    ) -> None:
+        """Arm the gate for one round under membership view ``epoch``."""
+        self._epoch = epoch
+        self._stats = stats
+
+    def _reason(
+        self, load: float, capacity: float, min_vs: float, epoch: int
+    ) -> str | None:
+        """The first violated rule's name, or ``None`` when plausible."""
+        if not (math.isfinite(load) and math.isfinite(capacity)):
+            return "non_finite"
+        if math.isnan(min_vs):
+            return "non_finite"
+        if load < 0:
+            return "negative_load"
+        if capacity <= 0:
+            return "non_positive_capacity"
+        if min_vs < 0:
+            return "negative_min_vs"
+        if not math.isinf(min_vs) and min_vs > load:
+            return "min_vs_exceeds_load"
+        if epoch > self._epoch or self._epoch - epoch > self.staleness:
+            return "stale_epoch"
+        return None
+
+    def admit(
+        self,
+        node_index: int,
+        load: float,
+        capacity: float,
+        min_vs: float,
+        epoch: int,
+    ) -> tuple[float, float, float] | None:
+        """Gate one report; the admitted ``<L, C, L_min>`` or ``None``.
+
+        ``None`` means the report was quarantined with no usable
+        last-good fallback — the caller must drop it (the node counts
+        as lost for this round's aggregate).
+        """
+        reason = self._reason(load, capacity, min_vs, epoch)
+        if reason is None:
+            last = self._last_good.get(node_index)
+            if last is not None:
+                last_load = last[0]
+                if abs(load - last_load) > self.DELTA_FACTOR * (
+                    capacity + last_load
+                ):
+                    reason = "implausible_delta"
+        if reason is None:
+            self._last_good[node_index] = (load, capacity, min_vs, epoch)
+            return (load, capacity, min_vs)
+        self._quarantine(node_index, reason)
+        last = self._last_good.get(node_index)
+        if last is not None and self._epoch - last[3] <= self.staleness:
+            return (last[0], last[1], last[2])
+        return None
+
+    def _quarantine(self, node_index: int, reason: str) -> None:
+        """Record one quarantine decision (stats, counter, event)."""
+        if self._stats is not None:
+            self._stats.quarantined_nodes.append(node_index)
+        if self.metrics is not None:
+            self.metrics.counter("lbi.quarantine").inc()
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.event(
+                "lbi.quarantine", node=node_index, reason=reason
+            )
+
+
 def collect_lbi_reports(
-    ring: ChordRing,
+    ring: RingLike,
     tree: KnaryTree,
     rng: int | None | np.random.Generator = None,
     tracer: Tracer | None = None,
     faults: FaultInjector | None = None,
     retry: RetryPolicy | None = None,
     fault_stats: FaultRoundStats | None = None,
+    sanity: AggregateSanity | None = None,
+    epoch: int = 0,
 ) -> dict[int, tuple[KTNode, list[LBIRecord]]]:
     """Leaf-indexed LBI reports for every alive node of ``ring``.
 
@@ -80,6 +244,14 @@ def collect_lbi_reports(
     With an enabled ``tracer``, one ``lbi.collect`` event summarises the
     collection (reports filed, distinct leaves, nodes with no virtual
     servers reporting through their notional position, reports lost).
+
+    With a ``sanity`` gate attached, every delivered report passes the
+    plausibility defense before an :class:`~repro.core.records.LBIRecord`
+    is built: the plan's ``corrupt`` channel may first rewrite the raw
+    values into a seeded lie, and the gate then either admits the
+    values, substitutes the node's last-good report, or quarantines the
+    node and drops the report.  ``epoch`` tags each report with the
+    membership view it was produced under.
     """
     gen = ensure_rng(rng)
     policy = retry if retry is not None else RetryPolicy()
@@ -127,8 +299,25 @@ def collect_lbi_reports(
                 # reporter sequence number; the leaf suppresses it, so it
                 # costs a message but never double-counts the load.
                 fault_stats.lbi_duplicates += 1
+        load, capacity, report_epoch = node.load, node.capacity, epoch
+        if faults is not None and sanity is not None:
+            mode = faults.corrupt_report("lbi", f"report:{node.index}")
+            if mode is not None:
+                load, capacity, min_vs, report_epoch = _apply_corruption(
+                    mode, load, capacity, min_vs, report_epoch, sanity.staleness
+                )
+        if sanity is not None:
+            admitted = sanity.admit(
+                node.index, load, capacity, min_vs, report_epoch
+            )
+            if admitted is None:
+                lost += 1
+                if fault_stats is not None:
+                    fault_stats.lbi_reports_lost += 1
+                continue
+            load, capacity, min_vs = admitted
         leaf = tree.ensure_leaf_for_key(key)
-        record = LBIRecord(load=node.load, capacity=node.capacity, min_vs_load=min_vs)
+        record = LBIRecord(load=load, capacity=capacity, min_vs_load=min_vs)
         by_leaf.setdefault(id(leaf), (leaf, []))[1].append(record)
         reports += 1
     if tracer is not None and tracer.enabled:

@@ -62,6 +62,13 @@ class BalanceReport:
     fault_stats: FaultRoundStats = field(default_factory=FaultRoundStats)
     tree_height: int = 0
     tree_nodes_materialized: int = 0
+    #: Load held by transfers already in flight (suspended by a
+    #: mid-round partition cut) when the round's before/after snapshots
+    #: were taken; :func:`check_conservation` balances the books with
+    #: these so a round that parks or re-homes in-flight load still
+    #: verifies.  Both are 0.0 outside partition windows.
+    in_flight_before: float = 0.0
+    in_flight_after: float = 0.0
     #: Wall-clock seconds per phase ("lbi", "classification", "vsa", "vst") —
     #: simulator execution time, not the protocol's simulated time.
     phase_seconds: dict[str, float] = field(default_factory=dict)
@@ -260,6 +267,8 @@ class BalanceReport:
             },
             "tree_height": self.tree_height,
             "tree_nodes_materialized": self.tree_nodes_materialized,
+            "in_flight_before": float(self.in_flight_before).hex(),
+            "in_flight_after": float(self.in_flight_after).hex(),
         }
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
@@ -295,11 +304,14 @@ def check_conservation(
     Sums the before/after load vectors in index order (both arrays are
     snapshots over the same alive-node list, so the orders match) and
     raises :class:`~repro.exceptions.ConservationError` if the totals
-    drifted beyond ``rtol``.  Called by
+    drifted beyond ``rtol``.  Load parked in flight by a mid-round
+    partition cut is accounted on both sides
+    (``in_flight_before``/``in_flight_after``), so a round that
+    suspends or re-homes transfers still balances.  Called by
     :meth:`repro.app.system.P2PSystem.rebalance` after every round; call
     it directly when driving :class:`~repro.core.balancer.LoadBalancer`
     by hand.
     """
-    before = float(np.sum(report.loads_before))
-    after = float(np.sum(report.loads_after))
+    before = float(np.sum(report.loads_before)) + report.in_flight_before
+    after = float(np.sum(report.loads_after)) + report.in_flight_after
     assert_loads_conserved(before, after, context="balance round", rtol=rtol)

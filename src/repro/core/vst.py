@@ -26,7 +26,7 @@ import math
 from dataclasses import dataclass
 
 from repro.core.records import Assignment, assert_loads_conserved
-from repro.dht.chord import ChordRing
+from repro.dht.ringlike import RingLike
 from repro.dht.churn import crash_node
 from repro.dht.node import PhysicalNode
 from repro.dht.virtual_server import VirtualServer
@@ -66,7 +66,7 @@ class TransferTransaction:
 
     def __init__(
         self,
-        ring: ChordRing,
+        ring: RingLike,
         vs: VirtualServer,
         source: PhysicalNode,
         target: PhysicalNode,
@@ -122,7 +122,7 @@ class TransferTransaction:
         self.state = "rolled_back"
 
 
-def _crash_candidates(ring: ChordRing) -> list[int]:
+def _crash_candidates(ring: RingLike) -> list[int]:
     """Node indices eligible for an injected crash (never the last node)."""
     return [
         n.index
@@ -132,7 +132,7 @@ def _crash_candidates(ring: ChordRing) -> list[int]:
 
 
 def execute_transfers(
-    ring: ChordRing,
+    ring: RingLike,
     assignments: list[Assignment],
     oracle: DistanceOracle | None = None,
     skipped: list[Assignment] | None = None,

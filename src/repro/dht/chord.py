@@ -42,7 +42,7 @@ class ChordRing:
     8
     """
 
-    def __init__(self, space: IdentifierSpace | None = None):
+    def __init__(self, space: IdentifierSpace | None = None) -> None:
         self.space = space if space is not None else IdentifierSpace()
         self.nodes: list[PhysicalNode] = []
         self._vs_by_id: dict[int, VirtualServer] = {}

@@ -42,7 +42,7 @@ class PhysicalNode:
         capacity: float,
         site: int | None = None,
         virtual_servers: Iterable[VirtualServer] | None = None,
-    ):
+    ) -> None:
         if capacity <= 0:
             raise DHTError(f"node capacity must be positive, got {capacity}")
         self.index = int(index)

@@ -51,7 +51,7 @@ class PastryRouter:
         Total leaf-set size ``L`` (half on each side).
     """
 
-    def __init__(self, ring: ChordRing, digit_bits: int = 4, leaf_set_size: int = 8):
+    def __init__(self, ring: ChordRing, digit_bits: int = 4, leaf_set_size: int = 8) -> None:
         if digit_bits < 1 or ring.space.bits % digit_bits != 0:
             raise DHTError(
                 f"digit_bits={digit_bits} must divide the identifier width "
@@ -102,7 +102,7 @@ class PastryRouter:
         """
         self.ring.space.validate(key)
         idx = int(np.searchsorted(self._ids, key))
-        candidates = []
+        candidates: list[int] = []
         for j in (idx - 1, idx % len(self._ids)):
             vs_id = int(self._ids[j])  # j = -1 wraps to the largest id
             candidates.append(vs_id)
@@ -119,7 +119,7 @@ class PastryRouter:
         if idx >= len(self._ids) or self._ids[idx] != vs_id:
             raise DHTError(f"virtual server {vs_id} is not on the ring")
         n = len(self._ids)
-        out = []
+        out: list[int] = []
         for off in range(-self.leaf_half, self.leaf_half + 1):
             if off == 0:
                 continue

@@ -51,7 +51,7 @@ class ReplicationManager:
         distinct other nodes are found.
     """
 
-    def __init__(self, ring: ChordRing, replication_factor: int = 2):
+    def __init__(self, ring: ChordRing, replication_factor: int = 2) -> None:
         if replication_factor < 0:
             raise DHTError("replication_factor must be >= 0")
         self.ring = ring

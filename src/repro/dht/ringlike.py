@@ -1,0 +1,68 @@
+"""The structural ring interface the balancing protocol consumes.
+
+:class:`RingLike` is a :class:`typing.Protocol` capturing exactly the
+slice of :class:`~repro.dht.chord.ChordRing` that the K-nary tree and
+the LBI/VSA/VST phases touch.  Both the real ring and a partition
+component's :class:`~repro.membership.views.ComponentRingView` satisfy
+it structurally, which is what lets a degraded per-component round run
+the *identical* protocol code paths as a whole-ring round — the
+partition is a property of the view, never of the algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.dht.node import PhysicalNode
+from repro.dht.virtual_server import VirtualServer
+from repro.idspace import IdentifierSpace, Region
+
+
+@runtime_checkable
+class RingLike(Protocol):
+    """What a ring must offer for the protocol phases to run over it."""
+
+    @property
+    def space(self) -> IdentifierSpace:
+        """The identifier space the ring lives in."""
+        ...
+
+    @property
+    def nodes(self) -> list[PhysicalNode]:
+        """All physical nodes in the view, in stable order."""
+        ...
+
+    @property
+    def alive_nodes(self) -> list[PhysicalNode]:
+        """The nodes still participating."""
+        ...
+
+    @property
+    def virtual_servers(self) -> list[VirtualServer]:
+        """The hosted virtual servers, in ring order."""
+        ...
+
+    @property
+    def num_virtual_servers(self) -> int:
+        """Count of hosted virtual servers."""
+        ...
+
+    def vs(self, vs_id: int) -> VirtualServer:
+        """The virtual server with exactly ``vs_id`` (or DHTError)."""
+        ...
+
+    def successor(self, key: int) -> VirtualServer:
+        """The virtual server owning ``key`` (clockwise, wrapping)."""
+        ...
+
+    def predecessor_id(self, vs_id: int) -> int:
+        """Identifier of the virtual server preceding ``vs_id``."""
+        ...
+
+    def region_of(self, vs: VirtualServer | int) -> Region:
+        """The arc of the identifier space owned by ``vs``."""
+        ...
+
+    def remove_virtual_server(self, vs: VirtualServer | int) -> VirtualServer:
+        """Deregister a virtual server (crash/leave churn)."""
+        ...

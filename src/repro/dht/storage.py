@@ -53,7 +53,7 @@ class ObjectStore:
     the object handoff the join/leave protocol performs).
     """
 
-    def __init__(self, ring: ChordRing):
+    def __init__(self, ring: ChordRing) -> None:
         self.ring = ring
         # Objects are indexed by name; several names may hash to the same
         # key (they simply co-locate on the key's owner).

@@ -36,7 +36,7 @@ class VirtualServer:
 
     __slots__ = ("vs_id", "owner", "load")
 
-    def __init__(self, vs_id: int, owner: "PhysicalNode", load: float = 0.0):
+    def __init__(self, vs_id: int, owner: "PhysicalNode", load: float = 0.0) -> None:
         if load < 0:
             raise ValueError(f"virtual server load must be non-negative, got {load}")
         self.vs_id = vs_id
@@ -44,5 +44,7 @@ class VirtualServer:
         self.load = float(load)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        owner_idx = self.owner.index if self.owner is not None else None
-        return f"VirtualServer(id={self.vs_id}, owner={owner_idx}, load={self.load:.3g})"
+        return (
+            f"VirtualServer(id={self.vs_id}, owner={self.owner.index}, "
+            f"load={self.load:.3g})"
+        )

@@ -14,6 +14,7 @@ from repro.experiments import (
     fig6,
     fig7,
     fig8,
+    partition,
     timing,
     variance,
 )
@@ -37,6 +38,10 @@ EXPERIMENTS: dict[str, tuple[Callable[..., Any], str]] = {
     "chaos": (
         chaos.run,
         "fault-rate sweep: message drop vs achieved load movement",
+    ),
+    "partition": (
+        partition.run,
+        "partition-tolerance sweep: component count vs heal outcome",
     ),
 }
 

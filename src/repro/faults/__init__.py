@@ -34,7 +34,7 @@ from repro.faults.injector import (
     InjectedFault,
     ensure_injector,
 )
-from repro.faults.plan import NULL_PLAN, FaultPlan
+from repro.faults.plan import NULL_PLAN, FaultPlan, PartitionSpec
 from repro.faults.retry import (
     DeliveryOutcome,
     RetryBudget,
@@ -51,6 +51,7 @@ __all__ = [
     "FaultPlan",
     "FaultRoundStats",
     "InjectedFault",
+    "PartitionSpec",
     "RetryBudget",
     "RetryPolicy",
     "deliver_with_retry",

@@ -42,6 +42,9 @@ class FaultKind(enum.Enum):
     DUPLICATE = "duplicate"
     CRASH = "crash"
     TRANSFER_ABORT = "transfer_abort"
+    CORRUPT = "corrupt"
+    PARTITION = "partition"
+    HEAL = "heal"
 
 
 @dataclass(frozen=True, slots=True)
@@ -96,9 +99,12 @@ class FaultInjector:
             self._dup_rng,
             self._crash_rng,
             self._abort_rng,
-        ) = spawn_rngs(ensure_rng(plan.seed), 5)
+            self._corrupt_rng,
+            self._partition_rng,
+        ) = spawn_rngs(ensure_rng(plan.seed), 7)
         self.log: list[InjectedFault] = []
         self._crashes_left = plan.crash_mid_round
+        self._component_of: dict[int, int] | None = None
 
     # -- bookkeeping -----------------------------------------------------
     def _record(self, kind: FaultKind, phase: str, subject: str) -> None:
@@ -171,6 +177,107 @@ class FaultInjector:
         if float(self._abort_rng.random()) >= self.plan.transfer_abort:
             return False
         self._record(FaultKind.TRANSFER_ABORT, "vst", f"vs={vs_id}")
+        return True
+
+    # -- corruption channel ----------------------------------------------
+    #: Number of distinct corruption modes ``corrupt_report`` can draw
+    #: (see :meth:`repro.core.lbi.AggregateSanity` for their meanings).
+    NUM_CORRUPT_MODES = 5
+
+    def corrupt_report(self, phase: str, subject: str) -> int | None:
+        """Decide whether (and how) one LBI report is corrupted.
+
+        Returns the seeded corruption mode in
+        ``[0, NUM_CORRUPT_MODES)`` when the channel fires, ``None``
+        otherwise.  The mode's meaning is owned by the sanity defense
+        in :mod:`repro.core.lbi`.
+        """
+        if self.plan.corrupt <= 0:
+            return None
+        if float(self._corrupt_rng.random()) >= self.plan.corrupt:
+            return None
+        mode = int(self._corrupt_rng.integers(self.NUM_CORRUPT_MODES))
+        self._record(FaultKind.CORRUPT, phase, f"{subject}:mode={mode}")
+        return mode
+
+    # -- partition channel -----------------------------------------------
+    def partition_components(
+        self, alive_indices: Sequence[int], num_components: int
+    ) -> tuple[tuple[int, ...], ...]:
+        """Seeded split of ``alive_indices`` into near-equal components.
+
+        Draws one permutation from the partition stream and cuts it
+        into ``num_components`` contiguous chunks (larger chunks
+        first); each chunk is returned sorted.  Purely a decision —
+        recording happens via :meth:`record_partition` once the
+        membership layer activates the split.
+        """
+        indices = [int(i) for i in alive_indices]
+        perm = self._partition_rng.permutation(len(indices))
+        shuffled = [indices[int(p)] for p in perm]
+        base, extra = divmod(len(shuffled), num_components)
+        components: list[tuple[int, ...]] = []
+        cursor = 0
+        for c in range(num_components):
+            size = base + (1 if c < extra else 0)
+            chunk = shuffled[cursor : cursor + size]
+            cursor += size
+            if chunk:
+                components.append(tuple(sorted(chunk)))
+        return tuple(components)
+
+    def partition_slot(self, num_slots: int) -> int:
+        """Seeded VST-batch position (``[0, num_slots]``) for a mid-round cut."""
+        return int(self._partition_rng.integers(0, num_slots + 1))
+
+    def record_partition(
+        self, epoch: int, components: tuple[tuple[int, ...], ...]
+    ) -> None:
+        """Log a partition activation into the signed fault history."""
+        shape = "/".join(str(len(c)) for c in components)
+        self._record(
+            FaultKind.PARTITION, "membership", f"epoch={epoch}:shape={shape}"
+        )
+
+    def record_heal(self, epoch: int, commits: int, rollbacks: int) -> None:
+        """Log a heal (with its transfer reconciliation tally)."""
+        self._record(
+            FaultKind.HEAL,
+            "membership",
+            f"epoch={epoch}:commits={commits}:rollbacks={rollbacks}",
+        )
+
+    def set_partition(self, assignment: dict[int, int] | None) -> None:
+        """Install (or clear) the node-index → component map used by
+        :meth:`blocked`.  Consumes no randomness and writes no log
+        entries — only activation/heal events are signed.
+        """
+        self._component_of = dict(assignment) if assignment is not None else None
+
+    @property
+    def partition_active(self) -> bool:
+        """Whether a component map is currently installed."""
+        return self._component_of is not None
+
+    def component_of(self, node_index: int) -> int:
+        """Component id of a node under the active partition (0 if none)."""
+        if self._component_of is None:
+            return 0
+        return self._component_of.get(node_index, 0)
+
+    def blocked(self, phase: str, src_index: int, dst_index: int) -> bool:
+        """Whether a message between two nodes crosses the partition.
+
+        A pure membership lookup: consumes no randomness and logs
+        nothing (the partition itself is already in the signed log),
+        but counts blocked deliveries for observability.
+        """
+        if self._component_of is None:
+            return False
+        if self.component_of(src_index) == self.component_of(dst_index):
+            return False
+        if self.metrics is not None:
+            self.metrics.counter("faults.partition_blocked").inc()
         return True
 
     # -- crash channel ---------------------------------------------------

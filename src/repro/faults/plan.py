@@ -22,6 +22,14 @@ Roussopoulos & Baker stress their balancers:
   transfers, after classification already ran against its load;
 * **transfer abort** — a virtual-server move fails mid-flight and must
   be rolled back without violating load conservation.
+* **aggregate corruption** — a node reports an implausible
+  ``<L, C, L_min>`` triple (negative load, zero capacity, stale epoch);
+  the :class:`~repro.core.lbi.AggregateSanity` defense must quarantine
+  it rather than let it poison the global aggregate.
+* **network partition** — a :class:`PartitionSpec` splits the node set
+  into components that cannot exchange protocol messages until a
+  bounded heal; the ``repro.membership`` subsystem runs degraded
+  per-component rounds and the deterministic heal protocol.
 """
 
 from __future__ import annotations
@@ -35,6 +43,78 @@ def _check_probability(name: str, value: float) -> None:
     """Raise :class:`FaultPlanError` unless ``value`` is in ``[0, 1]``."""
     if not 0.0 <= value <= 1.0:
         raise FaultPlanError(f"{name} must be a probability in [0, 1], got {value}")
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionSpec:
+    """One seeded partition event on a fault plan.
+
+    Like every other fault knob, a spec carries *intent* rather than
+    decisions: the component assignment of a seeded split is drawn by
+    the injector's partition stream at activation time, keeping the
+    whole partition/heal history a pure function of
+    ``(scenario seed, plan)``.
+
+    Parameters
+    ----------
+    at_round:
+        Balancing-round index (0-based) at which the partition strikes.
+    duration:
+        Number of rounds the partition lasts; the heal protocol runs at
+        the start of round ``at_round + duration``.
+    num_components:
+        For a *seeded* split: how many components to cut the alive node
+        set into (a seeded permutation split into near-equal chunks).
+        Ignored when ``components`` is given explicitly.
+    components:
+        Optional explicit split: a tuple of node-index tuples.  Indices
+        must be disjoint; alive nodes not listed join component 0.
+    mid_round:
+        When true the partition strikes *inside* round ``at_round``'s
+        VST batch (at a seeded transfer slot) instead of at the round
+        boundary — transfers whose endpoints land in different
+        components are caught in flight and suspended until the heal.
+    """
+
+    at_round: int = 0
+    duration: int = 1
+    num_components: int = 2
+    components: tuple[tuple[int, ...], ...] = ()
+    mid_round: bool = False
+
+    def __post_init__(self) -> None:
+        """Validate every field; raises :class:`FaultPlanError`."""
+        if self.at_round < 0:
+            raise FaultPlanError(f"at_round must be >= 0, got {self.at_round}")
+        if self.duration < 1:
+            raise FaultPlanError(f"duration must be >= 1, got {self.duration}")
+        if self.components:
+            if len(self.components) < 2:
+                raise FaultPlanError(
+                    "an explicit split needs at least 2 components, got "
+                    f"{len(self.components)}"
+                )
+            seen: set[int] = set()
+            for component in self.components:
+                if not component:
+                    raise FaultPlanError("explicit components must be non-empty")
+                for index in component:
+                    if index < 0:
+                        raise FaultPlanError(f"node index must be >= 0, got {index}")
+                    if index in seen:
+                        raise FaultPlanError(
+                            f"node index {index} listed in two components"
+                        )
+                    seen.add(index)
+        elif self.num_components < 2:
+            raise FaultPlanError(
+                f"num_components must be >= 2, got {self.num_components}"
+            )
+
+    @property
+    def heal_round(self) -> int:
+        """Round index at whose start the heal protocol runs."""
+        return self.at_round + self.duration
 
 
 @dataclass(frozen=True, slots=True)
@@ -67,6 +147,13 @@ class FaultPlan:
     transfer_abort:
         Per-transfer probability that a virtual-server move aborts
         mid-flight and is rolled back by the two-phase VST commit.
+    corrupt:
+        Per-report probability that a node's LBI report is corrupted
+        into an implausible ``<L, C, L_min>`` triple (seeded mode draw);
+        exercises the aggregate sanity defense.
+    partitions:
+        Ordered, non-overlapping :class:`PartitionSpec` events; each
+        must heal no later than the next one strikes.
     """
 
     seed: int = 0
@@ -76,6 +163,8 @@ class FaultPlan:
     duplicate: float = 0.0
     crash_mid_round: int = 0
     transfer_abort: float = 0.0
+    corrupt: float = 0.0
+    partitions: tuple[PartitionSpec, ...] = ()
 
     def __post_init__(self) -> None:
         """Validate every knob; raises :class:`FaultPlanError`."""
@@ -83,12 +172,20 @@ class FaultPlan:
         _check_probability("delay", self.delay)
         _check_probability("duplicate", self.duplicate)
         _check_probability("transfer_abort", self.transfer_abort)
+        _check_probability("corrupt", self.corrupt)
         if self.delay_max < 0:
             raise FaultPlanError(f"delay_max must be >= 0, got {self.delay_max}")
         if self.crash_mid_round < 0:
             raise FaultPlanError(
                 f"crash_mid_round must be >= 0, got {self.crash_mid_round}"
             )
+        for prev, nxt in zip(self.partitions, self.partitions[1:]):
+            if prev.heal_round > nxt.at_round:
+                raise FaultPlanError(
+                    "partition events must be ordered and non-overlapping: "
+                    f"one heals at round {prev.heal_round} but the next "
+                    f"strikes at round {nxt.at_round}"
+                )
 
     @property
     def is_null(self) -> bool:
@@ -99,6 +196,8 @@ class FaultPlan:
             and self.duplicate == 0
             and self.crash_mid_round == 0
             and self.transfer_abort == 0
+            and self.corrupt == 0
+            and not self.partitions
         )
 
 

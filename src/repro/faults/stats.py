@@ -23,6 +23,15 @@ class FaultRoundStats:
     injected latency.  ``crashed_nodes`` lists the indices crashed
     mid-round, ``stale_lbi_reused`` records the degraded-mode decision,
     and ``signature`` is the injector's fault-log hash at round end.
+
+    The partition fields track the membership layer: ``epoch`` is the
+    view number the round ran under, ``partition_components`` how many
+    components it split into (0 = no partition), ``suspended_transfers``
+    the in-flight moves parked by a mid-round cut, ``healed_commits`` /
+    ``healed_rollbacks`` the heal protocol's reconciliation tally,
+    ``regrafts`` the subtrees re-grafted at heal, and
+    ``quarantined_nodes`` the indices whose LBI reports failed the
+    aggregate sanity defense this round.
     """
 
     lbi_retries: int = 0
@@ -39,6 +48,13 @@ class FaultRoundStats:
     stale_lbi_reused: bool = False
     injected_total: int = 0
     signature: str = ""
+    epoch: int = 0
+    partition_components: int = 0
+    suspended_transfers: int = 0
+    healed_commits: int = 0
+    healed_rollbacks: int = 0
+    regrafts: int = 0
+    quarantined_nodes: list[int] = field(default_factory=list)
 
     @property
     def total_retries(self) -> int:
@@ -65,4 +81,11 @@ class FaultRoundStats:
             "stale_lbi_reused": self.stale_lbi_reused,
             "injected_total": self.injected_total,
             "signature": self.signature,
+            "epoch": self.epoch,
+            "partition_components": self.partition_components,
+            "suspended_transfers": self.suspended_transfers,
+            "healed_commits": self.healed_commits,
+            "healed_rollbacks": self.healed_rollbacks,
+            "regrafts": self.regrafts,
+            "quarantined_nodes": list(self.quarantined_nodes),
         }

@@ -27,7 +27,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Iterator
 
-from repro.dht.chord import ChordRing
+from repro.dht.ringlike import RingLike
 from repro.dht.virtual_server import VirtualServer
 from repro.exceptions import TreeError
 from repro.idspace import Region
@@ -48,16 +48,28 @@ class KnaryTree:
         Optional metrics registry; when attached, the tree counts node
         materialisations (``ktree.materialized``) and self-repair work
         (``ktree.replanted`` / ``ktree.pruned`` / ``ktree.grown``).
+    epoch:
+        Membership view number this tree was built under (0 = the
+        unpartitioned view).  Per-component trees built during a
+        partition carry the partitioned epoch, and LBI reports
+        aggregated through them are tagged with it so the sanity
+        defense can reject cross-epoch state.
     """
 
     def __init__(
-        self, ring: ChordRing, k: int = 2, metrics: MetricsRegistry | None = None
+        self,
+        ring: RingLike,
+        k: int = 2,
+        metrics: MetricsRegistry | None = None,
+        *,
+        epoch: int = 0,
     ) -> None:
         if not isinstance(k, int) or k < 2:
             raise TreeError(f"tree degree must be an integer >= 2, got {k!r}")
         self.ring = ring
         self.k = k
         self.metrics = metrics
+        self.epoch = epoch
         self.root = self._make_node(Region.full(ring.space), level=0, parent=None)
         self._node_count = 1
 
@@ -231,4 +243,7 @@ class KnaryTree:
                         raise TreeError("child region does not match split position")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"KnaryTree(k={self.k}, materialized={self._node_count})"
+        return (
+            f"KnaryTree(k={self.k}, materialized={self._node_count}, "
+            f"epoch={self.epoch})"
+        )

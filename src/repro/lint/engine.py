@@ -40,11 +40,19 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Sub-packages of ``repro`` that implement the balancing *protocol*:
 #: code whose behaviour must be a pure function of the scenario seed.
 #: Determinism and conservation rules apply only here.
-PROTOCOL_PACKAGES = ("core", "dht", "ktree", "sim", "faults", "parallel")
+PROTOCOL_PACKAGES = (
+    "core",
+    "dht",
+    "ktree",
+    "sim",
+    "faults",
+    "parallel",
+    "membership",
+)
 
 #: Sub-packages whose public surface is operator-facing API and must be
 #: fully documented (the docstring-coverage rule's scope).
-DOCUMENTED_PACKAGES = ("obs", "lint", "faults", "parallel")
+DOCUMENTED_PACKAGES = ("obs", "lint", "faults", "parallel", "membership")
 
 _PRAGMA_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\- ]+)")
 

@@ -67,6 +67,16 @@ class HeartbeatTrace:
     #: Suspicions that a probe refuted (the child's host was alive all
     #: along — its heartbeats were merely dropped in flight).
     false_suspicions: int = 0
+    #: Heartbeats that could not cross an active partition (distinct
+    #: from in-flight drops: the edge itself is severed).
+    heartbeats_blocked: int = 0
+    #: Parent-child edges declared orphaned after ``miss_threshold``
+    #: blocked periods — each marks a subtree cut off by the partition.
+    orphaned_subtrees: int = 0
+    #: Tree refresh passes spent re-grafting orphaned subtrees at heal.
+    regraft_passes: int = 0
+    #: Partitions that healed during the simulated horizon.
+    partitions_healed: int = 0
 
     @property
     def max_detection_latency(self) -> float:
@@ -132,6 +142,12 @@ class HeartbeatMonitor:
         self._handled: set[int] = set()
         self._misses: dict[int, int] = {}  # child host vs_id -> consecutive drops
         self._probing: set[int] = set()  # child host vs_ids with a probe in flight
+        self._component_of: dict[int, int] | None = None  # active partition map
+        # Partition bookkeeping is keyed by the (parent vs, child vs)
+        # pair: a host VS can carry several KT nodes, so the child vs_id
+        # alone would conflate a severed edge with an intact one.
+        self._blocked_misses: dict[tuple[int, int], int] = {}
+        self._orphaned: set[tuple[int, int]] = set()
 
     # ------------------------------------------------------------------
     @property
@@ -148,6 +164,65 @@ class HeartbeatMonitor:
             self._crashed[node_index] = sim.now
 
         self.sim.schedule_at(at_time, do_crash, label=f"crash-{node_index}")
+
+    def schedule_partition(
+        self,
+        components: list[list[int]],
+        at_time: float,
+        heal_at: float,
+    ) -> None:
+        """Sever the network into components between two simulated instants.
+
+        While the partition is active a heartbeat whose parent-child edge
+        crosses components is *blocked* (the link is severed, not lossy);
+        after ``miss_threshold`` blocked periods the parent declares the
+        subtree below that edge orphaned — exactly once per edge, so the
+        trace counts orphaned subtrees, not repeated timeouts.  No probe
+        is dispatched for a blocked edge: a verification probe would be
+        severed by the same cut.
+
+        At ``heal_at`` the components reunify: the map is cleared, miss
+        counters of orphaned edges restart, and bounded tree refresh
+        passes re-graft any structure that drifted during the window
+        (counted as ``regraft_passes``).
+        """
+        if heal_at <= at_time:
+            raise SimulationError("heal_at must be after at_time")
+        if len(components) < 2:
+            raise SimulationError("a partition needs at least 2 components")
+        component_of: dict[int, int] = {}
+        for ci, members in enumerate(components):
+            for node_index in members:
+                if node_index in component_of:
+                    raise SimulationError(
+                        f"node {node_index} listed in two components"
+                    )
+                component_of[node_index] = ci
+
+        def activate(sim: Simulator) -> None:
+            self._component_of = component_of
+
+        def heal(sim: Simulator) -> None:
+            self._component_of = None
+            self._blocked_misses.clear()
+            self._orphaned.clear()
+            passes = 0
+            while passes < 64:
+                passes += 1
+                self.trace.regraft_passes += 1
+                if sum(self.tree.refresh().values()) == 0:
+                    break
+            self.trace.partitions_healed += 1
+
+        self.sim.schedule_at(at_time, activate, label="partition-activate")
+        self.sim.schedule_at(heal_at, heal, label="partition-heal")
+
+    def _edge_blocked(self, parent_index: int, child_index: int) -> bool:
+        """Whether an active partition severs the parent-child edge."""
+        assignment = self._component_of
+        if assignment is None:
+            return False
+        return assignment.get(parent_index, 0) != assignment.get(child_index, 0)
 
     def run(self, until: float) -> HeartbeatTrace:
         """Run heartbeat rounds until the simulated horizon."""
@@ -204,6 +279,17 @@ class HeartbeatMonitor:
                 if not child.host_vs.owner.alive:
                     continue
                 edge = child.host_vs.vs_id
+                if self._edge_blocked(
+                    node.host_vs.owner.index, child.host_vs.owner.index
+                ):
+                    self.trace.heartbeats_blocked += 1
+                    cut = (node.host_vs.vs_id, edge)
+                    blocked = self._blocked_misses.get(cut, 0) + 1
+                    self._blocked_misses[cut] = blocked
+                    if blocked >= self.miss_threshold and cut not in self._orphaned:
+                        self._orphaned.add(cut)
+                        self.trace.orphaned_subtrees += 1
+                    continue
                 if faults is not None and faults.drop(
                     "heartbeat", f"edge:{edge}"
                 ):

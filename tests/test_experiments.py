@@ -14,7 +14,7 @@ class TestRegistry:
         names = [n for n, _ in list_experiments()]
         assert names == [
             "chaos", "convergence", "fig4", "fig5", "fig6", "fig7", "fig8",
-            "timing", "variance",
+            "partition", "timing", "variance",
         ]
 
     def test_get_unknown_raises(self):

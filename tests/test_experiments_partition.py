@@ -1,0 +1,92 @@
+"""Tests for the partition-tolerance experiment and its CLI contract.
+
+The sweep and smoke modes run in-process; the acceptance requirement
+that a corrupted heal aborts the smoke stage with a non-zero exit is
+asserted through a real subprocess, exactly as ``scripts/verify.sh``
+would observe it.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentSettings
+from repro.experiments import partition
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SMALL = ExperimentSettings(num_nodes=96, seed=42)
+
+
+def run_module(*argv: str) -> subprocess.CompletedProcess:
+    env_path = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.experiments.partition", *argv],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": env_path, "PATH": "/usr/bin:/bin:/usr/local/bin"},
+    )
+
+
+class TestPartitionSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return partition.run(SMALL, component_counts=(2, 3))
+
+    def test_every_row_partitioned_and_healed(self, result):
+        assert [r.num_components for r in result.rows] == [2, 3]
+        for row in result.rows:
+            assert row.partitioned_rounds >= 1
+            assert row.final_epoch == 2  # activation + heal
+            assert row.suspended == row.healed_commits + row.healed_rollbacks
+            assert row.regrafts >= row.num_components - 1
+
+    def test_rows_make_progress(self, result):
+        for row in result.rows:
+            assert row.transfers > 0
+            assert row.moved_load > 0
+
+    def test_format_rows(self, result):
+        text = result.format_rows()
+        assert "Partition sweep" in text and "conserved load" in text
+
+    def test_parallel_sweep_matches_serial(self, result):
+        from dataclasses import replace
+
+        parallel = partition.run(
+            replace(SMALL, workers=2), component_counts=(2, 3)
+        )
+        assert parallel.rows == result.rows
+
+    def test_smoke_mode_asserts_and_reports(self):
+        line = partition.smoke(num_nodes=48, seed=11)
+        assert "partition smoke OK" in line and "reproduced" in line
+
+
+class TestPartitionCLI:
+    def test_smoke_exits_zero(self):
+        proc = run_module("--smoke", "--nodes", "48", "--seed", "11")
+        assert proc.returncode == 0, proc.stderr
+        assert "partition smoke OK" in proc.stdout
+
+    def test_corrupted_heal_fails_smoke_with_nonzero_exit(self):
+        """The negative control: a heal that loses a transfer must abort.
+
+        The ``--corrupt-heal`` hook drops one suspended transfer during
+        reconciliation; the membership conservation gate must raise and
+        the process must die non-zero with the violation named — proving
+        a real corruption could never slip through a green smoke stage.
+        """
+        proc = run_module(
+            "--smoke", "--corrupt-heal", "--nodes", "48", "--seed", "11"
+        )
+        assert proc.returncode != 0
+        assert "ConservationError" in proc.stderr
+        assert "membership.heal" in proc.stderr
+        assert "partition smoke OK" not in proc.stdout
+
+    def test_corrupt_heal_requires_smoke(self):
+        proc = run_module("--corrupt-heal")
+        assert proc.returncode != 0

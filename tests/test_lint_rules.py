@@ -604,6 +604,41 @@ class TestBoundedRetry:
         )
         assert findings == []
 
+    def test_flags_unbounded_heal_loop_in_membership_package(self, tmp_path):
+        # The partition-heal protocol lives in repro.membership — protocol
+        # code, so an unbounded reconciliation loop must be flagged...
+        findings = lint(
+            tmp_path,
+            "repro/membership/x.py",
+            """
+            def heal(suspended):
+                while True:
+                    if not suspended:
+                        return
+                    suspended.pop().commit()
+            """,
+            BoundedRetryRule(),
+        )
+        assert [f.rule for f in findings] == ["bounded-retry"]
+
+    def test_allows_bounded_heal_loop_in_membership_package(self, tmp_path):
+        # ...while the shipped shape — reconcile each suspended transfer
+        # exactly once, in suspension order — is bounded and clean.
+        findings = lint(
+            tmp_path,
+            "repro/membership/x.py",
+            """
+            def heal(suspended):
+                for txn in suspended:
+                    if txn.source.alive and txn.target.alive:
+                        txn.commit()
+                    else:
+                        txn.rollback()
+            """,
+            BoundedRetryRule(),
+        )
+        assert findings == []
+
     def test_pragma_silences_reviewed_loop(self, tmp_path):
         findings = lint(
             tmp_path,

@@ -12,6 +12,7 @@ from repro.dht import ChordRing
 from repro.faults import FaultPlan
 from repro.idspace import IdentifierSpace
 from repro.ktree import KnaryTree
+from repro.exceptions import SimulationError
 from repro.sim import HeartbeatMonitor
 from repro.sim.churn import ChurnProcess
 
@@ -32,6 +33,10 @@ def heartbeat_digest(trace):
         trace.heartbeats_dropped,
         trace.probes_sent,
         trace.false_suspicions,
+        trace.heartbeats_blocked,
+        trace.orphaned_subtrees,
+        trace.regraft_passes,
+        trace.partitions_healed,
         [
             (f.crashed_node, f.detection_latency, f.repair_latency, f.refresh_passes)
             for f in trace.failures
@@ -99,6 +104,75 @@ class TestHeartbeatDeterminism:
         assert trace.false_suspicions == trace.probes_sent
         assert trace.failures == []
         tree.check_invariants()
+
+
+class TestHeartbeatPartition:
+    """Partition awareness of the heartbeat monitor."""
+
+    def run_partitioned(self, faults=None, at_time=2.0, heal_at=9.0):
+        ring, tree = build_system()
+        monitor = HeartbeatMonitor(
+            ring, tree, heartbeat_interval=1.0, miss_threshold=3,
+            faults=faults, rng=17,
+        )
+        half = len(ring.nodes) // 2
+        monitor.schedule_partition(
+            [list(range(half)), list(range(half, len(ring.nodes)))],
+            at_time=at_time,
+            heal_at=heal_at,
+        )
+        trace = monitor.run(until=20.0)
+        tree.check_invariants()
+        return trace
+
+    def test_partition_blocks_cross_component_heartbeats(self):
+        trace = self.run_partitioned()
+        assert trace.heartbeats_blocked > 0
+        assert trace.orphaned_subtrees > 0
+        assert trace.partitions_healed == 1
+        assert trace.regraft_passes >= 1
+        # Blocked edges never masquerade as lossy ones.
+        assert trace.heartbeats_dropped == 0
+        assert trace.probes_sent == 0
+        assert trace.failures == []
+
+    def test_orphans_declared_once_per_edge(self):
+        # Twice the window must not double the orphan count: each severed
+        # edge is declared orphaned exactly once per partition.
+        short = self.run_partitioned(at_time=2.0, heal_at=7.0)
+        long = self.run_partitioned(at_time=2.0, heal_at=12.0)
+        assert short.orphaned_subtrees == long.orphaned_subtrees
+        assert long.heartbeats_blocked > short.heartbeats_blocked
+
+    def test_partition_trace_is_deterministic(self):
+        a = self.run_partitioned(faults=FaultPlan(seed=6, drop=0.2))
+        b = self.run_partitioned(faults=FaultPlan(seed=6, drop=0.2))
+        assert heartbeat_digest(a) == heartbeat_digest(b)
+        assert a.heartbeats_blocked > 0
+        assert a.heartbeats_dropped > 0
+
+    def test_no_partition_means_zero_partition_counters(self):
+        ring, tree = build_system()
+        monitor = HeartbeatMonitor(ring, tree, heartbeat_interval=1.0)
+        trace = monitor.run(until=10.0)
+        assert trace.heartbeats_blocked == 0
+        assert trace.orphaned_subtrees == 0
+        assert trace.regraft_passes == 0
+        assert trace.partitions_healed == 0
+
+    def test_schedule_partition_validation(self):
+        ring, tree = build_system()
+        monitor = HeartbeatMonitor(ring, tree)
+        with pytest.raises(SimulationError):
+            monitor.schedule_partition([[0, 1]], at_time=1.0, heal_at=2.0)
+        with pytest.raises(SimulationError):
+            monitor.schedule_partition(
+                [[0], [1]], at_time=2.0, heal_at=2.0
+            )
+        with pytest.raises(SimulationError):
+            monitor.schedule_partition(
+                [[0, 1], [1, 2]], at_time=1.0, heal_at=2.0
+            )
 
 
 class TestChurnDeterminism:
