@@ -91,6 +91,41 @@ def _smoke_snapshot() -> dict:
         )
         sharded.run_round()
 
+    # Three incremental rounds over localized churn: pins the persistent
+    # K-nary tree's repair economy (ktree.materialized / replanted /
+    # pruned / grown) and the shared message counters.  A regression in
+    # dirty-span resolution — say, repairing whole levels instead of
+    # overlapped subtrees — shows up here as materialized/grown growth
+    # long before it costs wall-clock anywhere.
+    import numpy as np
+
+    from repro.core.incremental import IncrementalLoadBalancer
+    from repro.dht import join_node, leave_node
+    from repro.workloads import apply_load_drift
+
+    inc_scenario = scenario()
+    incremental = IncrementalLoadBalancer(
+        inc_scenario.ring, config, rng=7, metrics=registry
+    )
+    churn_gen = np.random.default_rng(11)
+    for _ in range(3):
+        incremental.run_round()
+        ring = inc_scenario.ring
+        sites = []
+        for _ in range(2):
+            joined = join_node(
+                ring, capacity=10.0, vs_count=3,
+                rng=int(churn_gen.integers(1 << 30)),
+            )
+            sites.extend(vs.vs_id for vs in joined.virtual_servers)
+        alive = [n for n in ring.alive_nodes if n.virtual_servers]
+        leave_node(ring, alive[int(churn_gen.integers(len(alive)))])
+        apply_load_drift(
+            ring, GaussianLoadModel(mu=1e6, sigma=2e3),
+            int(churn_gen.integers(1 << 30)), sites[:3], fraction=0.05,
+        )
+    incremental.run_round()
+
     # One partition lifecycle: a mid-round 2-way split, two degraded
     # per-component rounds and a conservation-checked heal.  Pins the
     # membership counters (partition/heal/regraft/quarantine) so a cost

@@ -2,8 +2,9 @@
 # Repository verify path: tier-1 tests, the observability suite, the
 # repro.lint static-analysis gate, the mypy strict-typing gate (when
 # mypy is installed), the generated-API freshness check, the chaos
-# smoke (a degraded balancing round under injected faults) and the
-# partition smoke (a network split healing under the conservation
+# smoke (a degraded balancing round under injected faults), the
+# incremental smoke (persistent-tree digest identity under churn) and
+# the partition smoke (a network split healing under the conservation
 # gate).  Run from the repository root:
 #
 #   bash scripts/verify.sh
@@ -54,6 +55,12 @@ echo "== chaos smoke: degraded round survives, conserves, reproduces =="
 # the runpy double-import warning: the experiments package __init__
 # already imports chaos through the registry.)
 python -c "import sys; from repro.experiments.chaos import main; sys.exit(main(['--smoke']))"
+
+echo "== incremental smoke: persistent-tree rounds match serial digests =="
+# Tiny ring, four rounds with 1% churn + localized drift between them;
+# asserts the incremental engine's canonical digests are byte-identical
+# to the serial engine's on every round.
+python -c "import sys; sys.path.insert(0, '.'); from benchmarks.bench_incremental_scaling import main; sys.exit(main(['--smoke']))"
 
 echo "== partition smoke: split, degraded rounds, conservation-checked heal =="
 # Mid-round 2-way split held for two rounds, then healed; the module

@@ -26,7 +26,13 @@ from repro.core.records import (
     SystemLBI,
     assert_loads_conserved,
 )
-from repro.core.classification import classify_node, classify_all, target_load
+from repro.core.classification import (
+    classification_masks,
+    classify_arrays,
+    classify_node,
+    classify_all,
+    target_load,
+)
 from repro.core.config import BalancerConfig
 from repro.core.selection import select_shed_subset
 from repro.core.rendezvous import PairingOutcome, pair_rendezvous
@@ -34,6 +40,8 @@ from repro.core.vsa import VSAResult, VSASweep
 from repro.core.vst import TransferRecord, execute_transfers
 from repro.core.placement import ProximityPlacement, RandomVSPlacement
 from repro.core.balancer import LoadBalancer
+from repro.core.incremental import IncrementalLoadBalancer
+from repro.core.soa import NodeStateArrays
 from repro.core.costs import CostSheet, cost_sheet, estimate_publication_hops
 from repro.core.report import BalanceReport, check_conservation
 
@@ -47,6 +55,8 @@ __all__ = [
     "ShedCandidate",
     "SpareCapacity",
     "SystemLBI",
+    "classification_masks",
+    "classify_arrays",
     "classify_node",
     "classify_all",
     "target_load",
@@ -61,6 +71,8 @@ __all__ = [
     "ProximityPlacement",
     "RandomVSPlacement",
     "LoadBalancer",
+    "IncrementalLoadBalancer",
+    "NodeStateArrays",
     "BalanceReport",
     "CostSheet",
     "cost_sheet",

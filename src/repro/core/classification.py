@@ -72,6 +72,69 @@ class ClassificationResult:
         }
 
 
+def classification_masks(
+    capacities: np.ndarray,
+    loads: np.ndarray,
+    lbi: SystemLBI,
+    epsilon: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised Section 3.3 rules over capacity/load columns.
+
+    Returns ``(targets, heavy_mask, light_mask)``; neutral is the
+    complement of the two masks.  Targets are evaluated before the
+    epsilon guard fires, matching the historical scalar path (the
+    product is cheap and the guard is a config error either way).
+    """
+    targets = (1.0 + epsilon) * lbi.load_per_capacity * capacities
+    if epsilon < 0:
+        raise ConfigError(f"epsilon must be non-negative, got {epsilon}")
+    heavy_mask = loads > targets
+    light_mask = (~heavy_mask) & ((targets - loads) >= lbi.min_vs_load)
+    return targets, heavy_mask, light_mask
+
+
+def classify_arrays(
+    indices: np.ndarray,
+    capacities: np.ndarray,
+    loads: np.ndarray,
+    lbi: SystemLBI,
+    epsilon: float = 0.0,
+    tracer: Tracer | None = None,
+    stage: str = "",
+) -> ClassificationResult:
+    """Classify a population given as struct-of-arrays columns.
+
+    ``indices`` carries ``node.index`` per row; rows must already be in
+    alive order so the result dicts iterate identically to the
+    object-walking path.
+    """
+    targets, heavy_mask, light_mask = classification_masks(
+        capacities, loads, lbi, epsilon
+    )
+    classes: dict[int, NodeClass] = {}
+    target_map: dict[int, float] = {}
+    for index, is_heavy, is_light, target in zip(
+        indices.tolist(), heavy_mask.tolist(), light_mask.tolist(), targets.tolist()
+    ):
+        if is_heavy:
+            cls = NodeClass.HEAVY
+        elif is_light:
+            cls = NodeClass.LIGHT
+        else:
+            cls = NodeClass.NEUTRAL
+        classes[index] = cls
+        target_map[index] = target
+    result = ClassificationResult(classes=classes, targets=target_map)
+    if tracer is not None and tracer.enabled:
+        tracer.event(
+            "classification.counts",
+            stage=stage,
+            epsilon=epsilon,
+            **result.counts(),
+        )
+    return result
+
+
 def classify_all(
     nodes: list[PhysicalNode],
     lbi: SystemLBI,
@@ -86,30 +149,9 @@ def classify_all(
     event (the balancer classifies twice per round, "before"/"after").
     """
     alive = [n for n in nodes if n.alive]
+    indices = np.asarray([n.index for n in alive], dtype=np.int64)
     caps = np.asarray([n.capacity for n in alive], dtype=np.float64)
     loads = np.asarray([n.load for n in alive], dtype=np.float64)
-    targets = (1.0 + epsilon) * lbi.load_per_capacity * caps
-    if epsilon < 0:
-        raise ConfigError(f"epsilon must be non-negative, got {epsilon}")
-    heavy_mask = loads > targets
-    light_mask = (~heavy_mask) & ((targets - loads) >= lbi.min_vs_load)
-    classes: dict[int, NodeClass] = {}
-    target_map: dict[int, float] = {}
-    for i, node in enumerate(alive):
-        if heavy_mask[i]:
-            cls = NodeClass.HEAVY
-        elif light_mask[i]:
-            cls = NodeClass.LIGHT
-        else:
-            cls = NodeClass.NEUTRAL
-        classes[node.index] = cls
-        target_map[node.index] = float(targets[i])
-    result = ClassificationResult(classes=classes, targets=target_map)
-    if tracer is not None and tracer.enabled:
-        tracer.event(
-            "classification.counts",
-            stage=stage,
-            epsilon=epsilon,
-            **result.counts(),
-        )
-    return result
+    return classify_arrays(
+        indices, caps, loads, lbi, epsilon, tracer=tracer, stage=stage
+    )

@@ -1,0 +1,670 @@
+"""Incremental round engine: dirty-subtree repair + vectorized hot paths.
+
+:class:`IncrementalLoadBalancer` produces **byte-identical**
+:meth:`~repro.core.report.BalanceReport.canonical_digest` output to the
+serial :class:`~repro.core.balancer.LoadBalancer` while replacing its
+per-round O(N) object churn with work proportional to what actually
+changed:
+
+* The K-nary tree persists across rounds.  A :class:`RingEventLog`
+  records ring membership events; at round start
+  :meth:`KnaryTree.refresh_dirty` repairs only the subtrees overlapping
+  the dirty identifier spans those events imply, and the
+  :class:`TreeIndex` slot arrays absorb the structural delta.
+* Key-to-leaf resolutions (reporter centers, notional hash positions,
+  VSA placement keys) are cached and validated in O(1) against the slot
+  index (``alive & is_leaf``) instead of re-descending the tree.
+* The LBI fold, classification and the node-state snapshot run as NumPy
+  array programs over struct-of-arrays columns
+  (:class:`~repro.core.soa.NodeStateArrays`); the VSA sweep visits only
+  bucket-holding slots through a heap ordered exactly like the serial
+  deepest-first walk.
+
+Bit-exactness rests on three identities, each exercised by the digest
+property tests: ``0.0 + x == x`` and ``min(inf, x) == x`` make the
+zero/inf-initialised scatter-fold reproduce the serial left-fold; an
+``np.add.at``/``np.minimum.at`` call applies its updates sequentially in
+index order, so ordering the per-level merge by ``(parent, child_rank)``
+reproduces the serial ascending-child merge; and batched
+``Generator.integers(0, counts)`` draws are stream-identical to the
+serial per-node scalar draws.
+
+Anything the fast path cannot reproduce exactly — fault injection,
+partitions, enabled tracing — falls back to the inherited serial round
+wholesale, so digest identity under those regimes holds by construction.
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+
+from repro.core.balancer import LoadBalancer
+from repro.core.classification import (
+    ClassificationResult,
+    classify_arrays,
+)
+from repro.core.lbi import AggregationTrace
+from repro.core.records import (
+    Assignment,
+    NodeClass,
+    ShedCandidate,
+    SpareCapacity,
+    SystemLBI,
+)
+from repro.core.rendezvous import pair_rendezvous
+from repro.core.selection import select_shed_subset
+from repro.core.report import BalanceReport
+from repro.core.soa import NodeStateArrays
+from repro.core.vsa import VSAResult
+from repro.core.vst import execute_transfers
+from repro.dht.events import RingEventLog
+from repro.dht.node import PhysicalNode
+from repro.exceptions import BalancerError
+from repro.faults.stats import FaultRoundStats
+from repro.idspace.hashing import hash_to_id
+from repro.ktree.index import TreeIndex
+from repro.ktree.tree import KnaryTree
+from repro.obs.profile import PhaseClock, profile_from_report
+
+
+class IncrementalLoadBalancer(LoadBalancer):
+    """Drop-in :class:`LoadBalancer` with incremental, vectorized rounds.
+
+    Accepts the same constructor arguments; selection between the fast
+    path and the serial fallback happens per round (see the module
+    docstring).  The config is untouched — engine choice is not part of
+    the digested experiment identity.
+    """
+
+    #: Above this many logged ring events per round (relative floor 64,
+    #: else 1/8 of the virtual-server population) the span machinery
+    #: costs more than a from-scratch rebuild; the engine rebuilds.
+    REBUILD_EVENT_FLOOR = 64
+
+    def __init__(self, *args: object, **kwargs: object) -> None:
+        super().__init__(*args, **kwargs)  # type: ignore[arg-type]
+        self._events = RingEventLog(self.ring)
+        self._tree: KnaryTree | None = None
+        self._index: TreeIndex | None = None
+        #: vs_id -> (region center, leaf slot) for reporter resolution.
+        self._center_cache: dict[int, tuple[int, int]] = {}
+        #: node index -> notional hash position (pure, survives rebuilds).
+        self._hash_keys: dict[int, int] = {}
+        #: identifier key -> leaf slot, validated on use.
+        self._key_leaf: dict[int, int] = {}
+        self._needs_reset = True
+        self._acc_load: np.ndarray | None = None
+        self._acc_cap: np.ndarray | None = None
+        self._acc_min: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Round dispatch
+    # ------------------------------------------------------------------
+    def run_round(self) -> BalanceReport:
+        """One round: fast path when exactness allows, else serial.
+
+        Fault injection, partitions and enabled tracing run through the
+        inherited serial implementation (their rng/event interleavings
+        are inherently per-object); the persistent tree is invalidated
+        so the next fast round rebuilds from the current ring.
+        """
+        if (
+            self.faults is not None
+            or self.membership is not None
+            or self.tracer.enabled
+            or self.ring.num_virtual_servers == 0
+            or not self.ring.alive_nodes
+        ):
+            self._needs_reset = True
+            self._events.drain(resolve=False)
+            return super().run_round()
+        stats = FaultRoundStats()
+        self._round_index += 1
+        return self._run_incremental_round(stats)
+
+    # ------------------------------------------------------------------
+    # World synchronisation
+    # ------------------------------------------------------------------
+    def _rebuild(self) -> None:
+        self._tree = KnaryTree(
+            self.ring, self.config.tree_degree, metrics=self.metrics
+        )
+        self._index = TreeIndex(self._tree)
+        self._center_cache.clear()
+        self._key_leaf.clear()
+        self._needs_reset = False
+
+    def _sync_world(self) -> None:
+        """Bring the persistent tree and caches up to the current ring."""
+        log = self._events
+        if self._needs_reset or self._tree is None or self._index is None:
+            log.drain(resolve=False)
+            self._rebuild()
+            return
+        limit = max(
+            self.REBUILD_EVENT_FLOOR, self.ring.num_virtual_servers // 8
+        )
+        if log.pending_events > limit:
+            log.drain(resolve=False)
+            self._rebuild()
+            return
+        delta = log.drain()
+        if delta.full_reset:
+            self._rebuild()
+            return
+        if delta.empty:
+            return
+        assert delta.dirty is not None
+        refresh = self._tree.refresh_dirty(delta.dirty)
+        index = self._index
+        for node in refresh.pruned_nodes:
+            index.drop(node)
+        for node in refresh.became_leaf:
+            index.set_leaf(node, True)
+        for node in refresh.became_internal:
+            index.set_leaf(node, False)
+        for vs_id in delta.affected_vs_ids:
+            self._center_cache.pop(vs_id, None)
+
+    # ------------------------------------------------------------------
+    # Cached key-to-leaf resolution
+    # ------------------------------------------------------------------
+    def _leaf_slot_for_key(self, key: int) -> int:
+        """Leaf slot owning ``key``, via the validated cache.
+
+        A cached slot is reusable iff it still names a live leaf: leaf
+        regions are immutable and tree shape is a pure function of the
+        ring, so a live leaf containing ``key`` is always the node a
+        fresh root-to-leaf descent would end at.
+        """
+        index = self._index
+        tree = self._tree
+        assert index is not None and tree is not None
+        slot = self._key_leaf.get(key)
+        if slot is not None and index.valid_leaf(slot):
+            return slot
+        leaf = tree.ensure_leaf_for_key(key)
+        slot = index.slot(leaf)
+        self._key_leaf[key] = slot
+        return slot
+
+    # ------------------------------------------------------------------
+    # The incremental round
+    # ------------------------------------------------------------------
+    def _run_incremental_round(self, stats: FaultRoundStats) -> BalanceReport:
+        """Mirror of ``LoadBalancer._run_plain_round`` over slot arrays."""
+        cfg = self.config
+        ring = self.ring
+        tracer = self.tracer
+        alive = ring.alive_nodes
+        arrays = NodeStateArrays.snapshot(alive)
+        clock = PhaseClock()
+        round_span = tracer.span(
+            "round",
+            mode=cfg.proximity_mode,
+            nodes=len(alive),
+            virtual_servers=ring.num_virtual_servers,
+            tree_degree=cfg.tree_degree,
+        )
+
+        # Phase 1: dirty-subtree repair + vectorized LBI fold.
+        with clock.phase("lbi"), tracer.span("lbi"):
+            self._sync_world()
+            system, agg_trace, lbi_count, lbi_height = self._fold_lbi(
+                alive, arrays
+            )
+            self._stale_lbi = system
+            self._stale_lbi_age = 0
+
+        # Phase 2: classification over the state columns.
+        with clock.phase("classification"), tracer.span("classification"):
+            classification_before = classify_arrays(
+                arrays.indices,
+                arrays.capacities,
+                arrays.loads,
+                system,
+                cfg.epsilon,
+                tracer=tracer,
+                stage="before",
+            )
+
+        with clock.phase("vsa"):
+            # Phase 3a: publication, with the placement draws batched
+            # into one stream-identical ``integers(0, counts)`` call.
+            vsa_span = tracer.span("vsa")
+            published = self._publish_vsa_entries(alive, classification_before)
+            # Phase 3b: sparse bottom-up sweep over bucket-holding slots.
+            vsa_result, vsa_count, vsa_height = self._sweep_sparse(
+                published, system.min_vs_load
+            )
+            tree_height = max(lbi_height, vsa_height)
+            tree_nodes = lbi_count + vsa_count
+            vsa_result.rounds = tree_height
+            vsa_span.end()
+
+        # Phase 4: transfers, identical to the serial batch (no faults
+        # on this path by construction).
+        skipped: list[Assignment] = []
+        failed: list[Assignment] = []
+        with clock.phase("vst"), tracer.span("vst"):
+            transfers = execute_transfers(
+                ring,
+                vsa_result.assignments,
+                self.oracle,
+                skipped=skipped,
+                tracer=tracer,
+                faults=None,
+                failed=failed,
+                fault_stats=stats,
+            )
+
+        loads_after = np.asarray([n.load for n in alive], dtype=np.float64)
+        classification_after = classify_arrays(
+            arrays.indices,
+            arrays.capacities,
+            loads_after,
+            system,
+            cfg.epsilon,
+            tracer=tracer,
+            stage="after",
+        )
+        round_span.end(
+            transfers=len(transfers),
+            moved_load=float(sum(t.load for t in transfers)),
+            heavy_after=len(classification_after.heavy),
+            failed_transfers=len(failed),
+            faults_injected=stats.injected_total,
+        )
+
+        report = BalanceReport(
+            config=cfg,
+            system_lbi=system,
+            num_nodes=len(alive),
+            num_virtual_servers=ring.num_virtual_servers,
+            node_indices=arrays.indices,
+            capacities=arrays.capacities,
+            loads_before=arrays.loads,
+            loads_after=loads_after,
+            classification_before=classification_before,
+            classification_after=classification_after,
+            aggregation=agg_trace,
+            vsa=vsa_result,
+            transfers=transfers,
+            skipped_assignments=skipped,
+            failed_assignments=failed,
+            fault_stats=stats,
+            tree_height=tree_height,
+            tree_nodes_materialized=tree_nodes,
+            in_flight_after=0.0,
+            phase_seconds=clock.seconds,
+        )
+        report.profile = profile_from_report(report)
+        if self.metrics is not None:
+            self._record_metrics(report)
+        return report
+
+    # ------------------------------------------------------------------
+    def _publish_vsa_entries(
+        self,
+        nodes: list[PhysicalNode],
+        classification: ClassificationResult,
+    ) -> list[tuple[int, ShedCandidate | SpareCapacity]]:
+        """Serial publication with the placement draws batched.
+
+        The shed-subset selection consumes no rng and the placement key
+        draw depends only on the generator state and the publisher's VS
+        count, so deciding every publisher first and then drawing all
+        keys in one :meth:`RandomVSPlacement.keys_for` call leaves the
+        rng stream — and hence the published list — byte-identical to
+        the inherited per-node loop.
+        """
+        cfg = self.config
+        placement = self._placement
+        assert placement is not None
+        keys_for = getattr(placement, "keys_for", None)
+        if keys_for is None:
+            return super()._publish_vsa_entries(nodes, classification)
+        publishers: list[PhysicalNode] = []
+        payloads: list[list[ShedCandidate] | SpareCapacity] = []
+        for node in nodes:
+            cls = classification.classes[node.index]
+            if cls is NodeClass.HEAVY:
+                target = classification.targets[node.index]
+                vs_list = node.virtual_servers
+                loads = [vs.load for vs in vs_list]
+                shed = select_shed_subset(
+                    loads,
+                    excess=node.load - target,
+                    policy=cfg.selection_policy,
+                    keep_at_least=cfg.keep_at_least,
+                )
+                if not shed:
+                    continue
+                publishers.append(node)
+                payloads.append(
+                    [
+                        ShedCandidate(
+                            load=vs_list[idx].load,
+                            vs_id=vs_list[idx].vs_id,
+                            node_index=node.index,
+                        )
+                        for idx in shed
+                    ]
+                )
+            elif cls is NodeClass.LIGHT:
+                delta = classification.targets[node.index] - node.load
+                if delta <= 0:
+                    continue
+                publishers.append(node)
+                payloads.append(SpareCapacity(delta=delta, node_index=node.index))
+        published: list[tuple[int, ShedCandidate | SpareCapacity]] = []
+        for key, payload in zip(keys_for(publishers), payloads):
+            if isinstance(payload, SpareCapacity):
+                published.append((key, payload))
+            else:
+                for entry in payload:
+                    published.append((key, entry))
+        return published
+
+    # ------------------------------------------------------------------
+    # Phase 1: vectorized LBI aggregation
+    # ------------------------------------------------------------------
+    def _ensure_accumulators(self, needed: int) -> None:
+        if self._acc_load is None or self._acc_load.size < needed:
+            size = max(needed, 1024)
+            if self._acc_load is not None:
+                size = max(size, self._acc_load.size * 2)
+            # No copy: accumulator cells are reset per round at exactly
+            # the slots the round touches; stale cells are never read.
+            self._acc_load = np.empty(size, dtype=np.float64)
+            self._acc_cap = np.empty(size, dtype=np.float64)
+            self._acc_min = np.empty(size, dtype=np.float64)
+
+    def _fold_lbi(
+        self, alive: list[PhysicalNode], arrays: NodeStateArrays
+    ) -> tuple[SystemLBI, AggregationTrace, int, int]:
+        """Reporter draws, cached leaf resolution, scatter + level fold.
+
+        Returns ``(system, trace, path_nodes, path_height)`` where the
+        last two describe the union of report root-to-leaf paths — the
+        node set a fresh serial tree would have materialised.
+        """
+        index = self._index
+        assert index is not None
+        ring = self.ring
+        # Batched reporter draws: stream-identical to the serial
+        # per-node ``integers(len(vs))`` scalar draws, in alive order
+        # (nodes without virtual servers draw nothing, as in serial).
+        has_vs = arrays.vs_counts > 0
+        counts = arrays.vs_counts[has_vs]
+        if counts.size:
+            draws = self._lbi_rng.integers(0, counts).tolist()
+        else:
+            draws = []
+        leaf_slots = np.empty(len(alive), dtype=np.int64)
+        center_cache = self._center_cache
+        draw_pos = 0
+        for i, node in enumerate(alive):
+            vs_list = node.virtual_servers
+            if vs_list:
+                vs = vs_list[draws[draw_pos]]
+                draw_pos += 1
+                cached = center_cache.get(vs.vs_id)
+                if cached is not None:
+                    center, slot = cached
+                    if not index.valid_leaf(slot):
+                        slot = self._leaf_slot_for_key(center)
+                        center_cache[vs.vs_id] = (center, slot)
+                else:
+                    center = ring.region_of(vs).center
+                    slot = self._leaf_slot_for_key(center)
+                    center_cache[vs.vs_id] = (center, slot)
+            else:
+                key = self._hash_keys.get(node.index)
+                if key is None:
+                    key = hash_to_id(f"node-{node.index}", ring.space)
+                    self._hash_keys[node.index] = key
+                slot = self._leaf_slot_for_key(key)
+            leaf_slots[i] = slot
+
+        index.new_stamp()
+        fresh, count, height = index.stamp_paths(leaf_slots)
+        self._ensure_accumulators(len(index))
+        acc_load = self._acc_load
+        acc_cap = self._acc_cap
+        acc_min = self._acc_min
+        assert acc_load is not None and acc_cap is not None and acc_min is not None
+        acc_load[fresh] = 0.0
+        acc_cap[fresh] = 0.0
+        acc_min[fresh] = np.inf
+        # Record scatter in alive order == the serial per-leaf append
+        # order (ufunc .at applies updates sequentially in index order).
+        np.add.at(acc_load, leaf_slots, arrays.loads)
+        np.add.at(acc_cap, leaf_slots, arrays.capacities)
+        np.minimum.at(acc_min, leaf_slots, arrays.min_vs)
+
+        # Child-to-parent merges, one level at a time from the deepest:
+        # a child's accumulator is final before its level is gathered,
+        # and (parent, rank) ordering inside a level reproduces the
+        # serial ascending-child left-fold after the record fold.
+        levels = index.level[fresh]
+        parents = index.parent[fresh]
+        ranks = index.child_rank[fresh]
+        order = np.lexsort((ranks, parents, -levels))
+        s_slots = fresh[order]
+        s_levels = levels[order]
+        s_parents = parents[order]
+        cuts = np.nonzero(np.diff(s_levels))[0] + 1
+        starts = np.concatenate([[0], cuts])
+        ends = np.concatenate([cuts, [s_levels.size]])
+        for a, b in zip(starts.tolist(), ends.tolist()):
+            if s_levels[a] == 0:
+                continue
+            children = s_slots[a:b]
+            merge_parents = s_parents[a:b]
+            np.add.at(acc_load, merge_parents, acc_load[children])
+            np.add.at(acc_cap, merge_parents, acc_cap[children])
+            np.minimum.at(acc_min, merge_parents, acc_min[children])
+
+        if not count:  # pragma: no cover - alive is non-empty here
+            raise BalancerError("no LBI reports to aggregate")
+        system = SystemLBI(
+            total_load=float(acc_load[0]),
+            total_capacity=float(acc_cap[0]),
+            min_vs_load=float(acc_min[0]),
+        )
+        trace = AggregationTrace(
+            tree_height=height,
+            upward_rounds=height,
+            downward_rounds=height,
+            upward_messages=count - 1,
+            downward_messages=count - 1,
+            reports=len(alive),
+        )
+        return system, trace, count, height
+
+    # ------------------------------------------------------------------
+    # Phase 3b: sparse bottom-up sweep
+    # ------------------------------------------------------------------
+    def _sweep_sparse(
+        self,
+        published: list[tuple[int, ShedCandidate | SpareCapacity]],
+        min_vs_load: float,
+    ) -> tuple[VSAResult, int, int]:
+        """Deliver publications and sweep only the pairing frontier.
+
+        Pairing fires only where a bucket reaches the rendezvous
+        threshold, and a bucket never holds more entries than were
+        delivered into the slot's subtree — a count that is monotone up
+        the tree.  The slots whose subtree count reaches the threshold
+        therefore form an upward-closed *frontier* subtree (plus the
+        root), and everything below it is pure ordered concatenation:
+        no pairing, one relayed upward message per visited slot.  Below
+        the frontier the serial merge order is a DFS — own deliveries
+        first, then children by descending region start — which for
+        leaf-delivered entries equals a stable sort by ``(-region end,
+        level, publication index)``, because tree regions never wrap
+        and children tile their parent in rank order.  So the
+        sub-frontier cascade collapses to one ``np.lexsort`` and the
+        Python loop runs only over frontier slots, in the serial
+        snapshot's ``(-level, -start)`` pop order.  Returns the result
+        plus the count/height of delivery path nodes *newly* stamped
+        beyond the LBI walk (same stamp generation).
+        """
+        index = self._index
+        tree = self._tree
+        assert index is not None and tree is not None
+        result = VSAResult(entries_published=len(published))
+        if not published:
+            return result, 0, 0
+        # Batch-resolve the placement keys against the sorted leaf
+        # directory; only keys landing in never-materialised gaps (-1)
+        # descend the tree.
+        keys = np.fromiter(
+            (key for key, _ in published),
+            dtype=np.int64,
+            count=len(published),
+        )
+        slots_e = index.resolve_leaves(keys)
+        for i in np.flatnonzero(slots_e < 0):
+            slots_e[i] = index.slot(tree.ensure_leaf_for_key(int(keys[i])))
+        _, count, height = index.stamp_paths(slots_e)
+
+        threshold = self.config.rendezvous_threshold
+        strict = self.config.strict_heaviest_first
+        level_arr = index.level
+        parent_arr = index.parent
+        start_arr = index.start
+        length_arr = index.length
+
+        # Per-slot subtree delivery counts: chase every delivery path to
+        # the root, merging duplicate parents per step so each slot is
+        # touched once per distinct depth it is reached from.
+        counts = np.zeros(parent_arr.shape[0], dtype=np.int64)
+        cur, weight = np.unique(slots_e, return_counts=True)
+        while cur.size:
+            counts[cur] += weight
+            parents = parent_arr[cur]
+            keep = parents >= 0
+            parents, weight = parents[keep], weight[keep]
+            if parents.size:
+                cur, inverse = np.unique(parents, return_inverse=True)
+                weight = np.bincount(
+                    inverse, weights=weight, minlength=cur.size
+                ).astype(np.int64)
+            else:
+                cur = parents
+        in_frontier = counts >= threshold
+        in_frontier[0] = True  # the root pairs unconditionally
+
+        # Every sub-frontier slot on a delivery path holds a non-empty
+        # bucket when popped (nothing below it can pair) and relays it
+        # in exactly one upward message.
+        result.upward_messages += int(
+            np.count_nonzero((counts > 0) & ~in_frontier)
+        )
+
+        # Per entry: the deepest frontier ancestor (its pairing anchor)
+        # and the topmost sub-frontier slot under it (the child position
+        # its clean-merged group occupies in the anchor's bucket).
+        anchor = slots_e.copy()
+        attach = np.full(anchor.shape, -1, dtype=np.int64)
+        active = np.flatnonzero(~in_frontier[anchor])
+        while active.size:
+            attach[active] = anchor[active]
+            anchor[active] = parent_arr[anchor[active]]
+            active = active[~in_frontier[anchor[active]]]
+
+        # Assemble the clean groups in serial merge order.  The level
+        # key only breaks end-ties between nested slots; deliveries all
+        # land on (disjoint) leaves, so it is inert armour in case
+        # interior delivery ever appears.
+        entries = [entry for _, entry in published]
+        end_e = start_arr[slots_e] + length_arr[slots_e]
+        grouped = np.flatnonzero(attach >= 0)
+        order = grouped[
+            np.lexsort((grouped, level_arr[slots_e[grouped]], -end_e[grouped]))
+        ]
+        groups: dict[int, tuple[list[ShedCandidate], list[SpareCapacity]]] = {}
+        for i in order.tolist():
+            buck = groups.get(int(attach[i]))
+            if buck is None:
+                buck = ([], [])
+                groups[int(attach[i])] = buck
+            entry = entries[i]
+            if isinstance(entry, ShedCandidate):
+                buck[0].append(entry)
+            elif isinstance(entry, SpareCapacity):
+                buck[1].append(entry)
+            else:
+                raise BalancerError(f"unknown VSA entry type {type(entry)!r}")
+        direct: dict[int, tuple[list[ShedCandidate], list[SpareCapacity]]] = {}
+        for i in np.flatnonzero(attach < 0).tolist():
+            buck = direct.get(int(anchor[i]))
+            if buck is None:
+                buck = ([], [])
+                direct[int(anchor[i])] = buck
+            entry = entries[i]
+            if isinstance(entry, ShedCandidate):
+                buck[0].append(entry)
+            elif isinstance(entry, SpareCapacity):
+                buck[1].append(entry)
+            else:
+                raise BalancerError(f"unknown VSA entry type {type(entry)!r}")
+
+        # Contributions pending at each frontier slot, keyed by the
+        # feeding child's region start; children of one parent share a
+        # level, so the serial pop order extends them into the parent
+        # bucket in descending start order.
+        feeders: dict[
+            int, list[tuple[int, list[ShedCandidate], list[SpareCapacity]]]
+        ] = {}
+        for child, buck in groups.items():
+            feeders.setdefault(int(parent_arr[child]), []).append(
+                (int(start_arr[child]), buck[0], buck[1])
+            )
+
+        frontier = np.flatnonzero(in_frontier & (counts > 0))
+        pop_order = frontier[
+            np.lexsort((-start_arr[frontier], -level_arr[frontier]))
+        ]
+        for slot in pop_order.tolist():
+            base = direct.get(slot)
+            heavy = list(base[0]) if base else []
+            light = list(base[1]) if base else []
+            feed = feeders.pop(slot, None)
+            if feed is not None:
+                feed.sort(key=lambda item: -item[0])
+                for _, add_heavy, add_light in feed:
+                    heavy.extend(add_heavy)
+                    light.extend(add_light)
+            if not heavy and not light:
+                continue
+            level = int(level_arr[slot])
+            is_root = slot == 0
+            if is_root or (len(heavy) + len(light)) >= threshold:
+                outcome = pair_rendezvous(
+                    heavy,
+                    light,
+                    min_vs_load=min_vs_load,
+                    level=level,
+                    strict_heaviest_first=strict,
+                )
+                result.assignments.extend(outcome.assignments)
+                result.pairings_by_level[level] += len(outcome.assignments)
+                up_heavy, up_light = (
+                    outcome.leftover_heavy,
+                    outcome.leftover_light,
+                )
+            else:
+                up_heavy, up_light = heavy, light
+            if is_root:
+                result.unassigned_heavy.extend(up_heavy)
+                result.unassigned_light.extend(up_light)
+            elif up_heavy or up_light:
+                feeders.setdefault(int(parent_arr[slot]), []).append(
+                    (int(start_arr[slot]), up_heavy, up_light)
+                )
+                result.upward_messages += 1
+        return result, count, height

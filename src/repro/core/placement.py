@@ -96,3 +96,42 @@ class RandomVSPlacement:
             return hash_to_id(f"node-{node.index}", self._ring.space)
         vs = node.virtual_servers[int(self._gen.integers(len(node.virtual_servers)))]
         return self._ring.region_of(vs).center
+
+    def keys_for(self, nodes: list[PhysicalNode]) -> list[int]:
+        """Batched :meth:`key_for` over ``nodes``, in order.
+
+        Stream-identical to sequential :meth:`key_for` calls: nodes with
+        virtual servers consume exactly one generator draw each (one
+        batched ``integers(0, counts)`` call emits the same variates),
+        vs-less nodes consume none, and region centers come from the
+        ring's vectorized predecessor lookup.
+        """
+        counts = np.array(
+            [len(n.virtual_servers) for n in nodes if n.virtual_servers],
+            dtype=np.int64,
+        )
+        draws = (
+            self._gen.integers(0, counts)
+            if counts.size
+            else np.empty(0, dtype=np.int64)
+        )
+        chosen: list[int] = []
+        pos = 0
+        for node in nodes:
+            if node.virtual_servers:
+                chosen.append(node.virtual_servers[int(draws[pos])].vs_id)
+                pos += 1
+        centers = (
+            self._ring.centers_of(np.asarray(chosen, dtype=np.int64))
+            if chosen
+            else np.empty(0, dtype=np.int64)
+        )
+        keys: list[int] = []
+        pos = 0
+        for node in nodes:
+            if node.virtual_servers:
+                keys.append(int(centers[pos]))
+                pos += 1
+            else:
+                keys.append(hash_to_id(f"node-{node.index}", self._ring.space))
+        return keys

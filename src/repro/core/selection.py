@@ -24,7 +24,10 @@ constraint the paper leaves implicit.
 from __future__ import annotations
 
 from bisect import bisect_left
+from functools import lru_cache
 from itertools import combinations
+
+import numpy as np
 
 from repro.exceptions import BalancerError
 
@@ -57,10 +60,13 @@ def select_shed_subset(
     if max_shed <= 0:
         return []
 
-    order = sorted(range(n), key=lambda i: loads[i])
-    sheddable_total = sum(loads[i] for i in order[-max_shed:]) if max_shed else 0.0
+    # Feasibility needs only the load *values*; the index order is
+    # built lazily on the (rare) infeasible path.  Summing the sorted
+    # values ascending reproduces the index-ordered sum bit for bit.
+    sheddable_total = sum(sorted(loads)[-max_shed:])
     if sheddable_total < excess:
         # Infeasible: shed the largest max_shed loads (maximal best effort).
+        order = sorted(range(n), key=loads.__getitem__)
         return sorted(order[-max_shed:])
 
     if policy == "exact" and n <= EXACT_POLICY_LIMIT:
@@ -87,11 +93,219 @@ def _greedy(loads: list[float], excess: float, max_shed: int) -> list[int]:
     return sorted(chosen)
 
 
+#: Side widths up to this use the cached-table fast path in ``_exact``;
+#: wider sides (n > 2 * limit) take the tuple-enumeration path, whose
+#: memory stays proportional to the combination count actually walked.
+_TABLE_SIDE_LIMIT = 10
+
+
+@lru_cache(maxsize=64)
+def _side_table(side_len: int) -> tuple[tuple[int, int], ...]:
+    """``(size, bitmask)`` per subset, in ``_exact`` enumeration order.
+
+    Mirrors ``enumerate_side``: the empty set first, then sizes
+    ascending with ``itertools.combinations`` lexicographic order
+    within each size.  Depends only on the side width, so one table
+    serves every call.
+    """
+    entries: list[tuple[int, int]] = [(0, 0)]
+    for r in range(1, side_len + 1):
+        for combo in combinations(range(side_len), r):
+            mask = 0
+            for i in combo:
+                mask |= 1 << i
+            entries.append((r, mask))
+    return tuple(entries)
+
+
+def _subset_sums(vals: list[float]) -> list[float]:
+    """Sum per bitmask-subset of ``vals``, ascending-index fold order.
+
+    ``sums[mask]`` strips the highest bit, so every total accumulates
+    lowest index first — the same left fold (and therefore the same
+    float rounding) as ``sum(vals[i] for i in combo)`` over an
+    ascending combo.
+    """
+    sums = [0.0] * (1 << len(vals))
+    for mask in range(1, len(sums)):
+        high = 1 << (mask.bit_length() - 1)
+        sums[mask] = sums[mask ^ high] + vals[high.bit_length() - 1]
+    return sums
+
+
 def _exact(loads: list[float], excess: float, max_shed: int) -> list[int]:
     """Optimal subset via meet-in-the-middle.
 
     Minimises (total shed, subset size) lexicographically among subsets
-    with total >= excess and size <= max_shed.
+    with total >= excess and size <= max_shed.  Candidates are examined
+    in a fixed enumeration order and only a strictly better
+    ``(total, size)`` replaces the incumbent, so equal-sum ties resolve
+    identically no matter which implementation path runs.
+    """
+    n = len(loads)
+    half = n // 2
+    if n - half <= _TABLE_SIDE_LIMIT:
+        return _exact_tabled(loads, excess, max_shed)
+    return _exact_vec(loads, excess, max_shed)
+
+
+def _exact_tabled(loads: list[float], excess: float, max_shed: int) -> list[int]:
+    """``_exact`` over cached per-side subset tables (small VS counts).
+
+    Same enumeration order, same float folds, same tie-breaks as
+    :func:`_exact_enum` — only the per-call tuple building is hoisted
+    into :func:`_side_table` / :func:`_subset_sums`.
+    """
+    n = len(loads)
+    half = n // 2
+    left_table = _side_table(half)
+    right_table = _side_table(n - half)
+    lsums = _subset_sums(loads[:half])
+    rsums = _subset_sums(loads[half:])
+
+    # Size-grouped right subsets, stably sorted by sum so "smallest sum
+    # >= need" is a binary search; stability keeps enumeration order
+    # among equal sums, exactly like the list.sort in _exact_enum.
+    by_size: dict[int, tuple[list[float], list[int]]] = {}
+    for rsize, rmask in right_table:
+        group = by_size.get(rsize)
+        if group is None:
+            group = ([], [])
+            by_size[rsize] = group
+        group[0].append(rsums[rmask])
+        group[1].append(rmask)
+    groups: list[tuple[int, list[float], list[int]]] = []
+    for rsize, (vals, masks) in by_size.items():
+        order = sorted(range(len(vals)), key=vals.__getitem__)
+        groups.append(
+            (rsize, [vals[j] for j in order], [masks[j] for j in order])
+        )
+
+    best_total: tuple[float, int] | None = None
+    best_masks: tuple[int, int] | None = None
+    for lsize, lmask in left_table:
+        if lsize > max_shed:
+            continue
+        lsum = lsums[lmask]
+        need = excess - lsum
+        if need <= 0:
+            cand_total = (lsum, lsize)
+            if best_total is None or cand_total < best_total:
+                best_total = cand_total
+                best_masks = (lmask, 0)
+            continue
+        for rsize, sums, masks in groups:
+            if lsize + rsize > max_shed:
+                continue
+            pos = bisect_left(sums, need)
+            if pos == len(sums):
+                continue
+            cand_total = (lsum + sums[pos], lsize + rsize)
+            if best_total is None or cand_total < best_total:
+                best_total = cand_total
+                best_masks = (lmask, masks[pos])
+    if best_masks is None:
+        # No feasible subset within the size budget covers the excess;
+        # fall back to greedy best effort.
+        return _greedy(loads, excess, max_shed)
+    lmask, rmask = best_masks
+    chosen = [i for i in range(half) if lmask >> i & 1]
+    chosen.extend(half + i for i in range(n - half) if rmask >> i & 1)
+    return chosen  # ascending bit order == sorted
+
+
+@lru_cache(maxsize=64)
+def _side_arrays(side_len: int) -> tuple[np.ndarray, np.ndarray]:
+    """:func:`_side_table` as parallel ``(sizes, masks)`` int64 arrays."""
+    table = _side_table(side_len)
+    sizes = np.fromiter((s for s, _ in table), dtype=np.int64, count=len(table))
+    masks = np.fromiter((m for _, m in table), dtype=np.int64, count=len(table))
+    return sizes, masks
+
+
+def _subset_sums_np(vals: list[float]) -> np.ndarray:
+    """:func:`_subset_sums` as one float64 array, bit for bit.
+
+    The level-``b`` slice assignment adds ``vals[b]`` to every sum whose
+    mask gains bit ``b`` as its new highest bit — the same operand pairs
+    as the scalar DP, and NumPy's elementwise float64 add rounds
+    identically to Python's ``+``.
+    """
+    sums = np.zeros(1 << len(vals), dtype=np.float64)
+    for b, v in enumerate(vals):
+        sums[1 << b : 2 << b] = sums[: 1 << b] + v
+    return sums
+
+
+def _exact_vec(loads: list[float], excess: float, max_shed: int) -> list[int]:
+    """``_exact`` with a vectorized candidate scan (wide VS counts).
+
+    Row-major over a candidate matrix — rows are left subsets in
+    enumeration order, columns are right-size groups ascending — is
+    exactly the scan order of :func:`_exact_enum`, where only a strictly
+    better ``(total, size)`` replaces the incumbent.  The matrix also
+    fills the group cells of ``need <= 0`` rows (the serial scan skips
+    them), which is safe: each such cell is dominated by the same row's
+    empty-right cell (``total >= lsum`` with a strictly larger size on
+    equality), so it can never become the row-major argmin.
+    """
+    n = len(loads)
+    half = n // 2
+    lsizes, lmasks = _side_arrays(half)
+    rsizes_all, rmasks_all = _side_arrays(n - half)
+    lsums = _subset_sums_np(loads[:half])[lmasks]
+    rsums_all = _subset_sums_np(loads[half:])[rmasks_all]
+    need = excess - lsums
+    row_ok = lsizes <= max_shed
+
+    # Per right-size group: sums stably sorted (ties keep enumeration
+    # order, like the list.sort in _exact_enum) with their masks.
+    group_sums: list[np.ndarray] = []
+    group_masks: list[np.ndarray] = []
+    for rsize in range(n - half + 1):
+        sel = np.flatnonzero(rsizes_all == rsize)
+        order = np.argsort(rsums_all[sel], kind="stable")
+        group_sums.append(rsums_all[sel][order])
+        group_masks.append(rmasks_all[sel][order])
+
+    num_rows = lmasks.shape[0]
+    num_groups = len(group_sums)
+    totals = np.empty((num_rows, num_groups), dtype=np.float64)
+    sizes = np.empty((num_rows, num_groups), dtype=np.int64)
+    valid = np.zeros((num_rows, num_groups), dtype=bool)
+    pos_by_group: list[np.ndarray] = []
+    for g, gsums in enumerate(group_sums):
+        pos = np.searchsorted(gsums, need, side="left")
+        pos_by_group.append(pos)
+        ok = row_ok & (lsizes + g <= max_shed) & (pos < gsums.shape[0])
+        idx = np.flatnonzero(ok)
+        totals[idx, g] = lsums[idx] + gsums[pos[idx]]
+        sizes[idx, g] = lsizes[idx] + g
+        valid[idx, g] = True
+
+    cand = np.flatnonzero(valid.ravel())
+    if cand.size == 0:
+        # No feasible subset within the size budget covers the excess;
+        # fall back to greedy best effort.
+        return _greedy(loads, excess, max_shed)
+    ctotals = totals.ravel()[cand]
+    cand = cand[ctotals == ctotals.min()]
+    csizes = sizes.ravel()[cand]
+    winner = int(cand[csizes == csizes.min()][0])
+    row, g = divmod(winner, num_groups)
+    lmask = int(lmasks[row])
+    rmask = int(group_masks[g][pos_by_group[g][row]])
+    chosen = [i for i in range(half) if lmask >> i & 1]
+    chosen.extend(half + i for i in range(n - half) if rmask >> i & 1)
+    return chosen  # ascending bit order == sorted
+
+
+def _exact_enum(loads: list[float], excess: float, max_shed: int) -> list[int]:
+    """``_exact`` by direct tuple enumeration — the reference scan.
+
+    No longer on the dispatch path (``_exact_tabled`` covers narrow
+    sides, :func:`_exact_vec` wide ones) but kept as the executable
+    specification both vectorized paths are property-tested against.
     """
     n = len(loads)
     half = n // 2

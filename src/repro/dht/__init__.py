@@ -19,6 +19,7 @@ from repro.dht.chord import ChordRing
 from repro.dht.ringlike import RingLike
 from repro.dht.lookup import lookup_hops, lookup_path
 from repro.dht.churn import ChurnStats, crash_node, join_node, leave_node
+from repro.dht.events import RingDelta, RingEventLog
 from repro.dht.storage import ObjectStore, StoredObject
 from repro.dht.split import split_until_movable, split_virtual_server
 
@@ -30,6 +31,8 @@ __all__ = [
     "lookup_hops",
     "lookup_path",
     "ChurnStats",
+    "RingDelta",
+    "RingEventLog",
     "crash_node",
     "join_node",
     "leave_node",

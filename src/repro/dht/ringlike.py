@@ -59,6 +59,15 @@ class RingLike(Protocol):
         """Identifier of the virtual server preceding ``vs_id``."""
         ...
 
+    def host_with_region(self, key: int) -> tuple[VirtualServer, int, int]:
+        """``successor(key)`` plus its owned arc as raw ``(start, length)``.
+
+        Must agree exactly with ``successor`` + ``region_of`` (including
+        the single-VS full-ring convention); rings back it with one index
+        probe, which is why the K-nary tree prefers it on its hot path.
+        """
+        ...
+
     def region_of(self, vs: VirtualServer | int) -> Region:
         """The arc of the identifier space owned by ``vs``."""
         ...

@@ -8,10 +8,12 @@ deterministic hashing helpers used to derive identifiers.
 
 from repro.idspace.space import IdentifierSpace
 from repro.idspace.region import Region
+from repro.idspace.intervals import IntervalSet
 from repro.idspace.hashing import hash_to_id, hash_bytes_to_id
 
 __all__ = [
     "IdentifierSpace",
+    "IntervalSet",
     "Region",
     "hash_to_id",
     "hash_bytes_to_id",

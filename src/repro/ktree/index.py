@@ -1,0 +1,290 @@
+"""A struct-of-arrays index over a persistent K-nary tree.
+
+:class:`TreeIndex` assigns every materialised :class:`~repro.ktree.node.KTNode`
+a stable integer *slot* and mirrors the tree's linkage into contiguous
+NumPy arrays (``parent``, ``level``, ``child_rank``, ``alive``,
+``is_leaf``).  The incremental balancer folds LBI aggregates and sweeps
+VSA buckets over slots instead of objects, which is what makes its hot
+paths vectorisable:
+
+* *Stamp walks* (:meth:`stamp_paths`) mark the union of root-to-leaf
+  paths touched in the current round.  The stamped slot set is exactly
+  the node set a from-scratch lazily-built tree would materialise for
+  the same keys, so the serial path's message/height accounting can be
+  reproduced from the stamps alone.
+* *Leaf validity* (:attr:`alive` / :attr:`is_leaf`) lets cached
+  key-to-leaf resolutions be checked in O(1): a cached leaf is still
+  the correct destination for its key iff it is alive and still a leaf
+  (tree shape is a pure function of the ring, so the root-to-leaf
+  descent for the key cannot end anywhere else).
+
+Slots are never reused: a pruned node's slot stays dead forever, so a
+stale cached slot can never silently alias a new node.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import TreeError
+from repro.ktree.node import KTNode
+from repro.ktree.tree import KnaryTree
+
+
+class TreeIndex:
+    """Slot registry and linkage arrays for one :class:`KnaryTree`.
+
+    Parameters
+    ----------
+    tree:
+        The tree to index.  The root is registered eagerly as slot 0;
+        every other node registers lazily on first :meth:`slot` lookup
+        (ancestor chains register root-down so ``parent[slot]`` is
+        always valid).
+    """
+
+    __slots__ = (
+        "tree",
+        "nodes",
+        "_slot_of",
+        "_size",
+        "_capacity",
+        "parent",
+        "level",
+        "child_rank",
+        "alive",
+        "is_leaf",
+        "start",
+        "length",
+        "_stamp",
+        "_stamp_id",
+        "_heap_keys",
+        "_dir_starts",
+        "_dir_ends",
+        "_dir_slots",
+    )
+
+    def __init__(self, tree: KnaryTree, capacity: int = 1024) -> None:
+        self.tree = tree
+        self.nodes: list[KTNode | None] = []
+        self._slot_of: dict[int, int] = {}
+        self._size = 0
+        self._capacity = max(int(capacity), 16)
+        self.parent = np.full(self._capacity, -1, dtype=np.int64)
+        self.level = np.zeros(self._capacity, dtype=np.int64)
+        self.child_rank = np.zeros(self._capacity, dtype=np.int64)
+        self.alive = np.zeros(self._capacity, dtype=bool)
+        self.is_leaf = np.zeros(self._capacity, dtype=bool)
+        self.start = np.zeros(self._capacity, dtype=np.int64)
+        self.length = np.zeros(self._capacity, dtype=np.int64)
+        self._stamp = np.zeros(self._capacity, dtype=np.int64)
+        self._stamp_id = 0
+        #: slot -> heap ordering key.  Safe to cache forever: a node's
+        #: root path is fixed at registration and slots are never reused.
+        self._heap_keys: dict[int, tuple[int, ...]] = {}
+        # Sorted leaf directory (lazily built, see resolve_leaves).
+        self._dir_starts: np.ndarray | None = None
+        self._dir_ends: np.ndarray | None = None
+        self._dir_slots: np.ndarray | None = None
+        self._register(tree.root, parent_slot=-1, rank=0)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def _grow(self) -> None:
+        new_cap = self._capacity * 2
+        for name in (
+            "parent",
+            "level",
+            "child_rank",
+            "alive",
+            "is_leaf",
+            "start",
+            "length",
+            "_stamp",
+        ):
+            old = getattr(self, name)
+            fresh = np.full(new_cap, -1, dtype=np.int64) if name == "parent" else (
+                np.zeros(new_cap, dtype=old.dtype)
+            )
+            fresh[: self._capacity] = old
+            setattr(self, name, fresh)
+        self._capacity = new_cap
+
+    def _register(self, node: KTNode, parent_slot: int, rank: int) -> int:
+        # Integer slot-count comparison; the rule keys on the "capacity"
+        # name, but no float is involved.
+        if self._size == self._capacity:  # lint: disable=no-float-equality
+            self._grow()
+        slot = self._size
+        self._size += 1
+        self.nodes.append(node)
+        self._slot_of[id(node)] = slot
+        self.parent[slot] = parent_slot
+        self.level[slot] = node.level
+        self.child_rank[slot] = rank
+        self.alive[slot] = True
+        self.is_leaf[slot] = node.is_leaf
+        self.start[slot] = node.region.start
+        self.length[slot] = node.region.length
+        if node.is_leaf:
+            self._dir_starts = None
+        return slot
+
+    def slot(self, node: KTNode) -> int:
+        """The slot of ``node``, registering its ancestor chain if new."""
+        found = self._slot_of.get(id(node))
+        if found is not None:
+            return found
+        chain: list[KTNode] = []
+        current: KTNode | None = node
+        while current is not None and id(current) not in self._slot_of:
+            chain.append(current)
+            current = current.parent
+        if current is None:
+            raise TreeError("node does not descend from the indexed root")
+        slot = self._slot_of[id(current)]
+        for item in reversed(chain):
+            assert item.parent is not None
+            rank = item.parent.children.index(item)
+            slot = self._register(item, parent_slot=self._slot_of[id(item.parent)], rank=rank)
+        return slot
+
+    def node_at(self, slot: int) -> KTNode:
+        """The live node registered at ``slot``."""
+        node = self.nodes[slot]
+        if node is None:
+            raise TreeError(f"slot {slot} was pruned")
+        return node
+
+    # ------------------------------------------------------------------
+    # Maintenance (driven by KnaryTree.refresh_dirty deltas)
+    # ------------------------------------------------------------------
+    def drop(self, node: KTNode) -> None:
+        """Retire a pruned node's slot (slots are never reused)."""
+        slot = self._slot_of.pop(id(node), None)
+        if slot is None:
+            return
+        self.nodes[slot] = None
+        self.alive[slot] = False
+        self.is_leaf[slot] = False
+        self._dir_starts = None
+
+    def set_leaf(self, node: KTNode, flag: bool) -> None:
+        """Record a leaf-ness flip for ``node`` if it is registered."""
+        slot = self._slot_of.get(id(node))
+        if slot is not None:
+            self.is_leaf[slot] = flag
+            self._dir_starts = None
+
+    def valid_leaf(self, slot: int) -> bool:
+        """Whether ``slot`` still names a live leaf (cached-slot check)."""
+        return bool(self.alive[slot]) and bool(self.is_leaf[slot])
+
+    # ------------------------------------------------------------------
+    # Batch key resolution
+    # ------------------------------------------------------------------
+    def resolve_leaves(self, keys: np.ndarray) -> np.ndarray:
+        """Slots of the *already materialised* leaves owning ``keys``.
+
+        Returns one slot per key, or ``-1`` where no materialised leaf
+        contains the key (the caller descends the tree for those).  Works
+        off a sorted directory of live leaf regions, rebuilt lazily when
+        a leaf is registered, pruned or flipped; tree-node regions never
+        wrap (splits of ``[0, size)`` stay within it) so a binary search
+        on the region starts suffices.
+        """
+        starts = self._dir_starts
+        if starts is None:
+            live = np.flatnonzero(
+                self.alive[: self._size] & self.is_leaf[: self._size]
+            )
+            raw = self.start[live]
+            order = np.argsort(raw, kind="stable")
+            starts = raw[order]
+            self._dir_starts = starts
+            self._dir_ends = starts + self.length[live][order]
+            self._dir_slots = live[order]
+        assert self._dir_ends is not None and self._dir_slots is not None
+        if not starts.size:
+            return np.full(len(keys), -1, dtype=np.int64)
+        pos = np.searchsorted(starts, keys, side="right") - 1
+        hit = pos >= 0
+        safe = np.where(hit, pos, 0)
+        hit &= keys < self._dir_ends[safe]
+        return np.where(hit, self._dir_slots[safe], -1)
+
+    # ------------------------------------------------------------------
+    # Stamp walks
+    # ------------------------------------------------------------------
+    def new_stamp(self) -> None:
+        """Start a fresh stamp generation (call once per round)."""
+        self._stamp_id += 1
+
+    def stamp_paths(self, slots: np.ndarray) -> tuple[np.ndarray, int, int]:
+        """Stamp the root paths of ``slots`` under the current generation.
+
+        Returns ``(fresh, count, max_level)``: the slots newly stamped by
+        this call (deduplicated, unordered), how many there were, and the
+        maximum level among them (0 when nothing fresh was stamped).
+        Calling again within the same generation unions further paths
+        without double-counting — the LBI walk and the VSA delivery walk
+        share one generation so their union reproduces the serial
+        fresh-tree materialisation count.
+        """
+        sid = self._stamp_id
+        stamp = self._stamp
+        parent = self.parent
+        chunks: list[np.ndarray] = []
+        count = 0
+        max_level = 0
+        current = np.unique(np.asarray(slots, dtype=np.int64))
+        if current.size:
+            current = current[stamp[current] != sid]
+        while current.size:
+            stamp[current] = sid
+            chunks.append(current)
+            count += int(current.size)
+            max_level = max(max_level, int(self.level[current].max()))
+            parents = parent[current]
+            parents = parents[parents >= 0]
+            if parents.size:
+                parents = np.unique(parents)
+                current = parents[stamp[parents] != sid]
+            else:
+                current = parents
+        if chunks:
+            fresh = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+        else:
+            fresh = np.empty(0, dtype=np.int64)
+        return fresh, count, max_level
+
+    # ------------------------------------------------------------------
+    # Sweep ordering
+    # ------------------------------------------------------------------
+    def heap_key(self, slot: int) -> tuple[int, ...]:
+        """Negated root-to-node child-rank path for min-heap ordering.
+
+        Sorting ascending by this key walks equal-level nodes in
+        *descending* path order — the order the serial bottom-up VSA
+        sweep visits them (preorder with children pushed ascending and
+        popped in reverse).  Keys are cached per slot: the root path is
+        fixed at registration and slots are never reused.
+        """
+        key = self._heap_keys.get(slot)
+        if key is not None:
+            return key
+        parts: list[int] = []
+        parent = self.parent
+        rank = self.child_rank
+        current = int(slot)
+        while parent[current] >= 0:
+            parts.append(-int(rank[current]))
+            current = int(parent[current])
+        parts.reverse()
+        key = tuple(parts)
+        self._heap_keys[slot] = key
+        return key

@@ -25,14 +25,40 @@ round of the paper's periodic top-down checking.
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.dht.ringlike import RingLike
 from repro.dht.virtual_server import VirtualServer
 from repro.exceptions import TreeError
-from repro.idspace import Region
+from repro.idspace import IntervalSet, Region
 from repro.ktree.node import KTNode
 from repro.obs.metrics import MetricsRegistry
+
+
+@dataclass
+class RefreshDelta:
+    """Structural outcome of one :meth:`KnaryTree.refresh_dirty` pass.
+
+    Carries the affected node *objects* (not just counters) so slot
+    indexes and key-to-leaf caches can invalidate exactly the entries
+    the repair touched.
+    """
+
+    replanted: int = 0
+    pruned_nodes: list[KTNode] = field(default_factory=list)
+    became_leaf: list[KTNode] = field(default_factory=list)
+    became_internal: list[KTNode] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        """Whether the pass changed any structure or planting."""
+        return bool(
+            self.replanted
+            or self.pruned_nodes
+            or self.became_leaf
+            or self.became_internal
+        )
 
 
 class KnaryTree:
@@ -77,21 +103,31 @@ class KnaryTree:
     # Node construction helpers
     # ------------------------------------------------------------------
     def _make_node(self, region: Region, level: int, parent: KTNode | None) -> KTNode:
-        host = self.ring.successor(region.center)
-        is_leaf = self._is_leaf_region(region, host)
+        host, is_leaf = self._host_and_leaf(region)
         return KTNode(region=region, level=level, parent=parent, host_vs=host, is_leaf=is_leaf, k=self.k)
 
-    def _is_leaf_region(self, region: Region, host_vs: VirtualServer) -> bool:
-        """The paper's leaf rule, plus the integer-arithmetic floor.
+    def _host_and_leaf(self, region: Region) -> tuple[VirtualServer, bool]:
+        """Hosting VS of ``region`` and the paper's leaf rule, in one probe.
 
         A KT node is a leaf when its region is completely covered by the
-        region of its hosting virtual server.  On degenerate tiny rings a
-        region may also become too small to split into K parts; such a
-        region cannot grow children either, so it is a leaf.
+        region of its hosting virtual server (the successor of its center
+        point).  On degenerate tiny rings a region may also become too
+        small to split into K parts; such a region cannot grow children
+        either, so it is a leaf.
+
+        Uses :meth:`~repro.dht.ringlike.RingLike.host_with_region` so the
+        host lookup and the coverage test share a single index probe; the
+        raw-integer arithmetic mirrors :meth:`Region.covers` exactly.
         """
-        if self.ring.region_of(host_vs).covers(region):
-            return True
-        return region.length < self.k
+        host, hstart, hlength = self.ring.host_with_region(region.center)
+        size = self.ring.space.size
+        if hlength == size:
+            covered = True
+        elif region.length == size:
+            covered = False
+        else:
+            covered = (region.start - hstart) % size + region.length <= hlength
+        return host, covered or region.length < self.k
 
     def _materialize_child(self, node: KTNode, index: int) -> KTNode:
         if node.is_leaf:
@@ -135,13 +171,37 @@ class KnaryTree:
 
         The returned leaf is identical to the one :meth:`build_full`
         would produce, because the split sequence is deterministic.
+
+        The descent tracks the current region as raw ``(start, length)``
+        integers and replicates :meth:`Region.child_index_for` inline, so
+        steps through already-materialised children cost no region
+        allocation or validation; :class:`~repro.idspace.Region` objects
+        are only built when a child is genuinely new.
         """
         self.ring.space.validate(key)
+        size = self.ring.space.size
+        k = self.k
         node = self.root
+        start, length = 0, size
         guard = 0
         while not node.is_leaf:
-            index = node.region.child_index_for(self.k, key)
-            node = self._materialize_child(node, index)
+            offset = (key - start) % size
+            base, extra = divmod(length, k)
+            boundary = (base + 1) * extra
+            if offset < boundary:
+                index = offset // (base + 1)
+                child_offset = index * (base + 1)
+                child_length = base + 1
+            else:
+                index = extra + (offset - boundary) // base
+                child_offset = boundary + (index - extra) * base
+                child_length = base
+            child = node.children[index]
+            if child is None:
+                child = self._materialize_child(node, index)
+            node = child
+            start = (start + child_offset) % size
+            length = child_length
             guard += 1
             if guard > 8 * self.ring.space.bits:  # pragma: no cover
                 raise TreeError("runaway descent in ensure_leaf_for_key")
@@ -192,11 +252,10 @@ class KnaryTree:
         stack = [self.root]
         while stack:
             node = stack.pop()
-            new_host = self.ring.successor(node.region.center)
+            new_host, leaf_now = self._host_and_leaf(node.region)
             if new_host is not node.host_vs:
                 node.host_vs = new_host
                 replanted += 1
-            leaf_now = self._is_leaf_region(node.region, node.host_vs)
             if leaf_now and not node.is_leaf:
                 removed = sum(1 for _ in self._count_subtree(node)) - 1
                 pruned += removed
@@ -213,6 +272,54 @@ class KnaryTree:
             self.metrics.counter("ktree.pruned").inc(pruned)
             self.metrics.counter("ktree.grown").inc(grown)
         return {"replanted": replanted, "pruned": pruned, "grown": grown}
+
+    def refresh_dirty(self, dirty: IntervalSet) -> RefreshDelta:
+        """Self-repair restricted to the subtrees overlapping ``dirty``.
+
+        Behaviourally a :meth:`refresh` that skips every subtree whose
+        region does not intersect the dirty identifier spans.  This is
+        sound because a KT node's planting and leaf-ness depend only on
+        the ring ownership of identifiers inside its own region: when no
+        ownership inside the region changed, ``successor(center)`` and
+        the covering test give the answers they gave last round.  The
+        caller is responsible for ``dirty`` covering every region whose
+        ownership changed (see
+        :meth:`repro.dht.events.RingEventLog.drain`, which derives the
+        spans from the logged ring events).
+
+        Returns a :class:`RefreshDelta` naming the pruned and flipped
+        nodes so slot indexes and key-to-leaf caches can be updated
+        without rescanning the tree.
+        """
+        delta = RefreshDelta()
+        if not dirty:
+            return delta
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            new_host, leaf_now = self._host_and_leaf(node.region)
+            if new_host is not node.host_vs:
+                node.host_vs = new_host
+                delta.replanted += 1
+            if leaf_now and not node.is_leaf:
+                removed = [n for n in self._count_subtree(node) if n is not node]
+                delta.pruned_nodes.extend(removed)
+                self._node_count -= len(removed)
+                node.children = []
+                node.is_leaf = True
+                delta.became_leaf.append(node)
+            elif not leaf_now and node.is_leaf:
+                node.is_leaf = False
+                node.children = [None] * self.k
+                delta.became_internal.append(node)
+            for child in node.materialized_children():
+                if dirty.overlaps_region(child.region):
+                    stack.append(child)
+        if self.metrics is not None:
+            self.metrics.counter("ktree.replanted").inc(delta.replanted)
+            self.metrics.counter("ktree.pruned").inc(len(delta.pruned_nodes))
+            self.metrics.counter("ktree.grown").inc(len(delta.became_internal))
+        return delta
 
     def _count_subtree(self, node: KTNode) -> Iterator[KTNode]:
         stack = [node]

@@ -119,6 +119,28 @@ class ComponentRingView:
             idx = 0
         return self._sorted_vs[idx]
 
+    def host_with_region(self, key: int) -> tuple[VirtualServer, int, int]:
+        """:meth:`successor` plus its owned arc as raw ``(start, length)``.
+
+        Component analogue of :meth:`ChordRing.host_with_region`: one
+        ``searchsorted`` over the component index yields the owner and
+        its predecessor, with the single-VS full-ring convention of
+        :meth:`region_of`.
+        """
+        self.space.validate(key)
+        self._ensure_index()
+        assert self._sorted_ids is not None and self._sorted_vs is not None
+        ids = self._sorted_ids
+        idx = int(np.searchsorted(ids, key, side="left"))
+        if idx == len(ids):
+            idx = 0
+        vs = self._sorted_vs[idx]
+        if len(ids) == 1:
+            return vs, 0, self.space.size
+        pred = int(ids[idx - 1])  # idx-1 == -1 wraps correctly
+        size = self.space.size
+        return vs, (pred + 1) % size, (vs.vs_id - pred) % size
+
     def predecessor_id(self, vs_id: int) -> int:
         """Identifier of the component VS preceding ``vs_id`` on the ring."""
         self._ensure_index()

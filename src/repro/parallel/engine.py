@@ -49,7 +49,7 @@ from repro.obs.trace import Tracer
 from repro.topology.graph import Topology
 from repro.topology.routing import DistanceOracle
 from repro.parallel.pool import WorkerPool
-from repro.parallel.shards import Path, path_of, shard_depth
+from repro.parallel.shards import Path, descending_paths, path_of, shard_depth
 from repro.parallel.shardwork import (
     LBIShardTask,
     VSAShardTask,
@@ -58,11 +58,6 @@ from repro.parallel.shardwork import (
     sweep_paths,
     vsa_shard_worker,
 )
-
-
-def _descending_paths(paths: list[Path]) -> list[Path]:
-    """Equal-length paths in descending path order (serial sweep order)."""
-    return sorted(paths, key=lambda p: tuple(-part for part in p))
 
 
 class ShardedLoadBalancer(LoadBalancer):
@@ -285,7 +280,7 @@ class ShardedLoadBalancer(LoadBalancer):
             task.shard_path: shard_result
             for task, shard_result in zip(tasks, shard_results)
         }
-        shards_descending = _descending_paths([task.shard_path for task in tasks])
+        shards_descending = descending_paths([task.shard_path for task in tasks])
 
         # Assignments from inside the shards: serial order is level by
         # level (deepest first), shards in descending path order within

@@ -63,6 +63,23 @@ def path_of(node: KTNode) -> Path:
     return tuple(parts)
 
 
+def descending_path_key(path: Path) -> Path:
+    """Sort key placing equal-length paths in descending path order.
+
+    Sorting ascending by the negated child indices visits same-level KT
+    nodes in the order the serial bottom-up sweeps do (preorder with
+    children pushed ascending and popped in reverse).  The incremental
+    engine's :meth:`repro.ktree.index.TreeIndex.heap_key` is the
+    slot-array form of the same ordering.
+    """
+    return tuple(-part for part in path)
+
+
+def descending_paths(paths: list[Path]) -> list[Path]:
+    """Equal-length paths sorted into descending path (serial sweep) order."""
+    return sorted(paths, key=descending_path_key)
+
+
 def shard_index(path: Path, depth: int, tree_degree: int) -> int:
     """The shard number of ``path``'s depth-``depth`` prefix.
 

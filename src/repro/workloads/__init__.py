@@ -13,6 +13,7 @@ from repro.workloads.loads import (
     assign_loads,
 )
 from repro.workloads.capacity import GnutellaCapacityProfile, sample_capacities
+from repro.workloads.drift import apply_load_drift, window_virtual_servers
 from repro.workloads.queries import QueryTrace, QueryWorkload
 from repro.workloads.scenario import (
     Scenario,
@@ -28,6 +29,8 @@ __all__ = [
     "GaussianLoadModel",
     "ParetoLoadModel",
     "assign_loads",
+    "apply_load_drift",
+    "window_virtual_servers",
     "GnutellaCapacityProfile",
     "sample_capacities",
     "Scenario",

@@ -1,0 +1,88 @@
+"""Localized load drift: redraw loads inside identifier-space windows.
+
+Real DHT load does not change uniformly: object popularity shifts in
+hotspots, and churn concentrates re-hosted load around the identifiers
+where membership changed.  This module models both as *windowed
+redraws* — every virtual server whose identifier falls inside a wrapped
+window around a drift center gets a fresh load from the configured
+:class:`~repro.workloads.loads.LoadModel`, scaled by the virtual
+server's actual region fraction exactly like the initial assignment.
+
+The mutation touches only ``vs.load`` (never the ring structure), which
+is the property the incremental balancer's benchmarks exploit: drift
+invalidates no tree or cache state, so a drift-only round isolates the
+cost of the load-dependent phases.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.dht.chord import ChordRing
+from repro.dht.virtual_server import VirtualServer
+from repro.exceptions import WorkloadError
+from repro.util.rng import ensure_rng
+from repro.workloads.loads import LoadModel
+
+
+def window_virtual_servers(
+    ring: ChordRing, center: int, fraction: float
+) -> list[VirtualServer]:
+    """Virtual servers whose id lies in the wrapped window at ``center``.
+
+    The window covers ``fraction`` of the identifier space, centred on
+    ``center`` (so it spans ``center ± fraction/2``, wrapping at zero).
+    Returned in ring (clockwise identifier) order.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise WorkloadError(f"fraction must be in (0, 1], got {fraction}")
+    size = ring.space.size
+    ring.space.validate(center)
+    length = max(int(size * fraction), 1)
+    start = ring.space.wrap(center - length // 2)
+    ids = np.asarray(
+        [vs.vs_id for vs in ring.virtual_servers], dtype=np.int64
+    )
+    inside = ((ids - start) % size) < length
+    servers = ring.virtual_servers
+    return [servers[int(i)] for i in np.nonzero(inside)[0]]
+
+
+def apply_load_drift(
+    ring: ChordRing,
+    model: LoadModel,
+    rng: int | None | np.random.Generator,
+    centers: Sequence[int],
+    fraction: float = 0.01,
+) -> int:
+    """Redraw loads inside the windows around ``centers``.
+
+    Each affected virtual server receives a fresh draw from ``model``
+    for its *current* region fraction (the same scaling rule as
+    :func:`~repro.workloads.loads.assign_loads`), so repeated drift
+    keeps the expected total system load at the model's ``mu``.  A
+    virtual server covered by several windows is redrawn once.
+
+    Returns the number of virtual servers whose load was redrawn.
+    """
+    gen = ensure_rng(rng)
+    seen: set[int] = set()
+    targets: list[VirtualServer] = []
+    for center in centers:
+        for vs in window_virtual_servers(ring, int(center), fraction):
+            if vs.vs_id not in seen:
+                seen.add(vs.vs_id)
+                targets.append(vs)
+    if not targets:
+        return 0
+    size = float(ring.space.size)
+    fractions = np.asarray(
+        [ring.region_of(vs).length / size for vs in targets],
+        dtype=np.float64,
+    )
+    loads = model.sample(fractions, gen)
+    for vs, load in zip(targets, loads):
+        vs.load = float(load)
+    return len(targets)

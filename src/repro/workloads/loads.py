@@ -31,7 +31,7 @@ from repro.util.rng import ensure_rng
 class LoadModel(abc.ABC):
     """Base class: draws per-VS loads given identifier-space fractions."""
 
-    def __init__(self, mu: float):
+    def __init__(self, mu: float) -> None:
         if mu <= 0:
             raise WorkloadError(f"mu (total system load) must be positive, got {mu}")
         self.mu = float(mu)
@@ -52,7 +52,7 @@ class LoadModel(abc.ABC):
 class GaussianLoadModel(LoadModel):
     """Normal(``mu*f``, ``sigma*sqrt(f)``) loads, clipped at zero."""
 
-    def __init__(self, mu: float, sigma: float):
+    def __init__(self, mu: float, sigma: float) -> None:
         super().__init__(mu)
         if sigma < 0:
             raise WorkloadError(f"sigma must be non-negative, got {sigma}")
@@ -67,7 +67,7 @@ class GaussianLoadModel(LoadModel):
 class ParetoLoadModel(LoadModel):
     """Pareto(shape ``alpha``) loads with mean ``mu*f`` (default alpha 1.5)."""
 
-    def __init__(self, mu: float, alpha: float = PARETO_SHAPE):
+    def __init__(self, mu: float, alpha: float = PARETO_SHAPE) -> None:
         super().__init__(mu)
         if alpha <= 1.0:
             raise WorkloadError(

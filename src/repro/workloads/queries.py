@@ -61,7 +61,7 @@ class QueryWorkload:
         service_cost: float = 1.0,
         routing_cost: float = 0.0,
         rng: int | None | np.random.Generator = None,
-    ):
+    ) -> None:
         if store.num_objects == 0:
             raise WorkloadError("query workload needs a populated store")
         if zipf_s <= 0:

@@ -6,6 +6,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import select_shed_subset
+from repro.core.selection import _exact_enum, _exact_tabled, _exact_vec
 from repro.exceptions import BalancerError
 
 
@@ -118,6 +119,50 @@ class TestGreedy:
         loads = [1.0] * 40
         got = select_shed_subset(loads, 10.0, policy="exact", keep_at_least=0)
         assert sum(loads[i] for i in got) >= 10.0
+
+
+class TestExactPathIdentity:
+    """The fast _exact paths must match the reference enumeration *exactly*.
+
+    Not approximately: the balancing digests are byte-identical across
+    engines only because every implementation path of the exact policy
+    picks the same indices, ties included.  Tie-heavy load vectors
+    (repeated values, zeros) are therefore the interesting inputs.
+    """
+
+    @given(
+        loads=st.lists(
+            st.one_of(st.sampled_from([0.0, 1.0, 2.5, 5.0]), st.floats(0.0, 10.0)),
+            min_size=1,
+            max_size=14,
+        ),
+        frac=st.floats(0.0, 1.4),
+        keep=st.integers(0, 2),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_tabled_matches_enum(self, loads, frac, keep):
+        excess = frac * sum(loads)
+        max_shed = len(loads) - keep
+        if excess <= 0 or max_shed <= 0:
+            return
+        assert _exact_tabled(loads, excess, max_shed) == _exact_enum(loads, excess, max_shed)
+
+    @given(
+        loads=st.lists(
+            st.one_of(st.sampled_from([0.0, 1.0, 2.5, 5.0]), st.floats(0.0, 10.0)),
+            min_size=21,
+            max_size=23,
+        ),
+        frac=st.floats(0.0, 1.4),
+        keep=st.integers(0, 2),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_vec_matches_enum(self, loads, frac, keep):
+        excess = frac * sum(loads)
+        max_shed = len(loads) - keep
+        if excess <= 0 or max_shed <= 0:
+            return
+        assert _exact_vec(loads, excess, max_shed) == _exact_enum(loads, excess, max_shed)
 
 
 class TestPaperSemantics:

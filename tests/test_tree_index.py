@@ -1,0 +1,280 @@
+"""Units for the incremental substrate: IntervalSet, TreeIndex, refresh_dirty.
+
+``refresh_dirty`` must be behaviourally identical to the full
+:meth:`~repro.ktree.tree.KnaryTree.refresh` whenever the dirty spans
+cover every region whose ownership changed — asserted here by driving
+twin trees through seeded churn and comparing them node by node.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dht import ChordRing, RingEventLog, crash_node, join_node, leave_node
+from repro.exceptions import TreeError, WorkloadError
+from repro.idspace import IdentifierSpace, IntervalSet, Region
+from repro.ktree import KnaryTree, TreeIndex
+from repro.workloads import ParetoLoadModel, apply_load_drift, build_scenario
+
+SPACE = IdentifierSpace(bits=8)
+
+
+class TestIntervalSet:
+    def test_merges_overlapping_pieces(self):
+        spans = IntervalSet(SPACE, [(10, 20), (15, 30), (40, 50)])
+        assert spans.contains(12)
+        assert spans.contains(29)
+        assert not spans.contains(30)
+        assert not spans.contains(35)
+        assert spans.contains(40)
+
+    def test_from_regions_splits_wrapping(self):
+        wrapping = Region(SPACE, start=250, length=10)  # 250..255, 0..3
+        spans = IntervalSet.from_regions(SPACE, [wrapping])
+        assert spans.contains(252)
+        assert spans.contains(3)
+        assert not spans.contains(4)
+        assert not spans.contains(249)
+
+    def test_overlaps_region_handles_wrap(self):
+        spans = IntervalSet(SPACE, [(0, 5)])
+        wrapping = Region(SPACE, start=250, length=10)
+        assert spans.overlaps_region(wrapping)
+        assert not spans.overlaps_region(Region(SPACE, start=100, length=10))
+
+    def test_empty_is_falsy(self):
+        assert not IntervalSet(SPACE, [])
+        assert IntervalSet(SPACE, [(1, 2)])
+
+
+def _small_ring(seed, num_nodes=40):
+    return build_scenario(
+        ParetoLoadModel(mu=1e4), num_nodes=num_nodes, vs_per_node=3, rng=seed
+    ).ring
+
+
+class TestTreeIndex:
+    def test_slots_stable_and_ancestors_registered(self):
+        ring = _small_ring(1)
+        tree = KnaryTree(ring, 2)
+        index = TreeIndex(tree)
+        leaf = tree.ensure_leaf_for_key(123456)
+        slot = index.slot(leaf)
+        assert index.slot(leaf) == slot
+        assert index.node_at(slot) is leaf
+        # The whole ancestor chain registered root-down.
+        current = leaf
+        while current is not None:
+            s = index.slot(current)
+            assert index.level[s] == current.level
+            current = current.parent
+        assert index.parent[0] == -1
+
+    def test_foreign_node_rejected(self):
+        ring = _small_ring(1)
+        index = TreeIndex(KnaryTree(ring, 2))
+        other = KnaryTree(ring, 2)
+        foreign = other.ensure_leaf_for_key(99)
+        with pytest.raises(TreeError):
+            index.slot(foreign)
+
+    def test_stamp_paths_counts_fresh_union(self):
+        ring = _small_ring(2)
+        tree = KnaryTree(ring, 2)
+        index = TreeIndex(tree)
+        keys = [int(k) for k in np.random.default_rng(0).integers(
+            0, ring.space.size, size=25
+        )]
+        slots = np.asarray(
+            [index.slot(tree.ensure_leaf_for_key(k)) for k in keys],
+            dtype=np.int64,
+        )
+        index.new_stamp()
+        fresh, count, height = index.stamp_paths(slots)
+        # The stamped union equals what a fresh lazy tree materialises
+        # for the same keys.
+        twin = KnaryTree(ring, 2)
+        for k in keys:
+            twin.ensure_leaf_for_key(k)
+        assert count == twin.node_count
+        assert height == twin.height()
+        assert fresh.size == count
+        # Re-stamping the same paths in the same generation adds nothing.
+        again, count2, height2 = index.stamp_paths(slots)
+        assert count2 == 0 and height2 == 0 and again.size == 0
+
+    def test_heap_key_orders_like_serial_sweep(self):
+        ring = _small_ring(3)
+        tree = KnaryTree(ring, 2)
+        index = TreeIndex(tree)
+        for k in np.random.default_rng(1).integers(0, ring.space.size, size=30):
+            index.slot(tree.ensure_leaf_for_key(int(k)))
+        serial_order = [
+            index.slot(n) for n in tree.nodes_by_level_desc()
+        ]
+        heap_order = sorted(
+            serial_order,
+            key=lambda s: (-int(index.level[s]), index.heap_key(s)),
+        )
+        assert heap_order == serial_order
+
+    def test_drop_and_leaf_flip_invalidate(self):
+        ring = _small_ring(4)
+        tree = KnaryTree(ring, 2)
+        index = TreeIndex(tree)
+        leaf = tree.ensure_leaf_for_key(777)
+        slot = index.slot(leaf)
+        assert index.valid_leaf(slot)
+        index.set_leaf(leaf, False)
+        assert not index.valid_leaf(slot)
+        index.set_leaf(leaf, True)
+        index.drop(leaf)
+        assert not index.valid_leaf(slot)
+        with pytest.raises(TreeError):
+            index.node_at(slot)
+
+
+def _assert_same_tree(a, b):
+    """Structural equality of two trees (regions, leafness, hosts)."""
+    stack = [(a.root, b.root)]
+    while stack:
+        na, nb = stack.pop()
+        assert na.region == nb.region
+        assert na.is_leaf == nb.is_leaf
+        assert na.host_vs.vs_id == nb.host_vs.vs_id
+        kids_a = list(na.materialized_children())
+        kids_b = list(nb.materialized_children())
+        assert len(kids_a) == len(kids_b)
+        stack.extend(zip(kids_a, kids_b))
+    assert a.node_count == b.node_count
+
+
+class TestRefreshDirty:
+    @pytest.mark.parametrize("seed", (0, 5, 9))
+    def test_equivalent_to_full_refresh_under_churn(self, seed):
+        ring = _small_ring(seed)
+        dirty_tree = KnaryTree(ring, 2)
+        full_tree = KnaryTree(ring, 2)
+        log = RingEventLog(ring)
+        gen = np.random.default_rng(seed + 100)
+        for _ in range(6):
+            for k in gen.integers(0, ring.space.size, size=20):
+                dirty_tree.ensure_leaf_for_key(int(k))
+                full_tree.ensure_leaf_for_key(int(k))
+            for _ in range(int(gen.integers(1, 4))):
+                join_node(
+                    ring,
+                    capacity=10.0,
+                    vs_count=int(gen.integers(1, 4)),
+                    rng=int(gen.integers(1 << 30)),
+                )
+            alive = [n for n in ring.alive_nodes if n.virtual_servers]
+            if len(alive) > 4:
+                victim = alive[int(gen.integers(len(alive)))]
+                if int(gen.integers(2)):
+                    leave_node(ring, victim)
+                else:
+                    crash_node(ring, victim)
+            delta = log.drain()
+            assert not delta.full_reset and delta.dirty is not None
+            dirty_tree.refresh_dirty(delta.dirty)
+            full_tree.refresh()
+            _assert_same_tree(dirty_tree, full_tree)
+            dirty_tree.check_invariants()
+
+    def test_empty_spans_do_nothing(self):
+        ring = _small_ring(6)
+        tree = KnaryTree(ring, 2)
+        tree.ensure_leaf_for_key(5)
+        before = tree.node_count
+        delta = tree.refresh_dirty(IntervalSet(ring.space, []))
+        assert not delta.changed
+        assert tree.node_count == before
+
+    def test_delta_names_pruned_and_flipped_nodes(self):
+        ring = _small_ring(7)
+        tree = KnaryTree(ring, 2)
+        for k in range(0, ring.space.size, ring.space.size // 64):
+            tree.ensure_leaf_for_key(k)
+        log = RingEventLog(ring)
+        gen = np.random.default_rng(11)
+        # Enough departures to force pruning somewhere.
+        for _ in range(8):
+            alive = [n for n in ring.alive_nodes if n.virtual_servers]
+            if len(alive) <= 4:
+                break
+            leave_node(ring, alive[int(gen.integers(len(alive)))])
+        delta = log.drain()
+        assert delta.dirty is not None
+        refresh = tree.refresh_dirty(delta.dirty)
+        assert refresh.changed
+        for node in refresh.pruned_nodes:
+            assert node is not tree.root
+        tree.check_invariants()
+
+
+class TestRingEventLog:
+    def test_records_and_drains(self):
+        ring = _small_ring(8)
+        log = RingEventLog(ring)
+        assert log.drain().empty
+        node = join_node(ring, capacity=5.0, vs_count=2, rng=3)
+        assert log.pending_events == 2
+        delta = log.drain()
+        assert len(delta.event_ids) == 2
+        assert not delta.full_reset
+        assert delta.affected_vs_ids
+        assert delta.dirty is not None and bool(delta.dirty)
+        # Transfers fire no structural events.
+        target = next(n for n in ring.alive_nodes if n is not node)
+        ring.transfer_virtual_server(node.virtual_servers[0], target)
+        assert log.drain().empty
+
+    def test_bulk_forces_full_reset(self):
+        ring = ChordRing(IdentifierSpace(bits=16))
+        log = RingEventLog(ring)
+        ring.populate(8, 2, capacities=[1.0] * 8, rng=1)
+        delta = log.drain()
+        assert delta.full_reset
+
+    def test_unresolved_drain_skips_span_derivation(self):
+        ring = _small_ring(9)
+        log = RingEventLog(ring)
+        join_node(ring, capacity=5.0, vs_count=1, rng=4)
+        delta = log.drain(resolve=False)
+        assert delta.event_ids and delta.dirty is None
+
+
+class TestDriftHelpers:
+    def test_window_selects_wrapped_ids(self):
+        ring = _small_ring(10)
+        center = 0
+        inside = {
+            vs.vs_id
+            for vs in __import__("repro.workloads.drift", fromlist=["w"]).window_virtual_servers(
+                ring, center, 0.25
+            )
+        }
+        size = ring.space.size
+        length = size // 4
+        start = (center - length // 2) % size
+        expected = {
+            vs.vs_id
+            for vs in ring.virtual_servers
+            if (vs.vs_id - start) % size < length
+        }
+        assert inside == expected
+
+    def test_apply_load_drift_redraws_once(self):
+        ring = _small_ring(11)
+        before = {vs.vs_id: vs.load for vs in ring.virtual_servers}
+        touched = apply_load_drift(
+            ring, ParetoLoadModel(mu=1e4), 5, [0, 1], fraction=0.1
+        )
+        after = {vs.vs_id: vs.load for vs in ring.virtual_servers}
+        changed = [k for k in before if before[k] != after[k]]
+        assert 0 < len(changed) <= touched
+
+    def test_bad_fraction_rejected(self):
+        ring = _small_ring(12)
+        with pytest.raises(WorkloadError):
+            apply_load_drift(ring, ParetoLoadModel(mu=1.0), 1, [0], fraction=0.0)
