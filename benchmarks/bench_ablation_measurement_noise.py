@@ -18,6 +18,7 @@ from repro.core import BalancerConfig, LoadBalancer
 from repro.core.placement import ProximityPlacement
 from repro.proximity import ProximityMapper
 from repro.topology import TS5K_LARGE, landmark_vectors, select_landmarks
+from repro.util.rng import ensure_rng
 from repro.workloads import GaussianLoadModel, build_scenario
 
 NOISE_LEVELS = (0.0, 0.05, 0.15, 0.40)
@@ -37,7 +38,7 @@ def run_with_noise(settings, noise_frac, rng_seed=99):
     sites = np.asarray([n.site for n in nodes])
     vectors = landmark_vectors(oracle, landmarks, sites)
     if noise_frac > 0:
-        gen = np.random.default_rng(rng_seed)
+        gen = ensure_rng(rng_seed)
         span = float(vectors.max() - vectors.min()) or 1.0
         vectors = vectors + gen.normal(0, noise_frac * span, size=vectors.shape)
     mapper = ProximityMapper.fit(vectors, grid_bits=settings.grid_bits)

@@ -44,6 +44,7 @@ from repro.core import BalancerConfig, IncrementalLoadBalancer, LoadBalancer
 from repro.dht import join_node, leave_node
 from repro.experiments.common import ExperimentSettings
 from repro.obs.runtime import current_metrics
+from repro.util.rng import ensure_rng
 from repro.workloads import ParetoLoadModel, apply_load_drift, build_scenario
 
 #: Fraction of alive nodes churned (joined + left) between rounds.
@@ -127,7 +128,7 @@ def run_engine(
     config = BalancerConfig(proximity_mode="ignorant", epsilon=0.05)
     cls = LoadBalancer if engine == "serial" else IncrementalLoadBalancer
     balancer = cls(ring, config, rng=BALANCER_SEED)
-    gen = np.random.default_rng(CHURN_SEED)
+    gen = ensure_rng(CHURN_SEED)
     digests: list[str] = []
     timings: list[dict[str, float]] = []
     for rnd in range(rounds):

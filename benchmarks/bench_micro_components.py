@@ -15,6 +15,7 @@ from repro.dht import ChordRing, lookup_hops
 from repro.idspace import IdentifierSpace
 from repro.ktree import KnaryTree
 from repro.proximity import HilbertCurve
+from repro.util.rng import ensure_rng
 from repro.topology import DistanceOracle, TransitStubParams, generate_transit_stub
 
 
@@ -26,7 +27,7 @@ def ring():
 
 
 def test_ring_successor_queries(benchmark, ring):
-    gen = np.random.default_rng(1)
+    gen = ensure_rng(1)
     keys = gen.integers(0, ring.space.size, size=1000)
 
     def run():
@@ -37,13 +38,13 @@ def test_ring_successor_queries(benchmark, ring):
 
 
 def test_ring_bulk_successors(benchmark, ring):
-    gen = np.random.default_rng(2)
+    gen = ensure_rng(2)
     keys = gen.integers(0, ring.space.size, size=10_000)
     benchmark(lambda: ring.successors(keys))
 
 
 def test_chord_lookup_routing(benchmark, ring):
-    gen = np.random.default_rng(3)
+    gen = ensure_rng(3)
     starts = [ring.virtual_servers[int(i)] for i in gen.integers(0, 5120, size=50)]
     keys = gen.integers(0, ring.space.size, size=50)
 
@@ -56,13 +57,13 @@ def test_chord_lookup_routing(benchmark, ring):
 
 def test_hilbert_encode_15d(benchmark):
     hc = HilbertCurve(dims=15, bits=4)
-    gen = np.random.default_rng(4)
+    gen = ensure_rng(4)
     points = gen.integers(0, 16, size=(500, 15))
     benchmark(lambda: hc.encode_many(points))
 
 
 def test_lazy_tree_materialisation(benchmark, ring):
-    gen = np.random.default_rng(5)
+    gen = ensure_rng(5)
     keys = gen.integers(0, ring.space.size, size=500).tolist()
 
     def run():
@@ -87,7 +88,7 @@ def test_dijkstra_row(benchmark):
 
 
 def test_rendezvous_pairing_loop(benchmark):
-    gen = np.random.default_rng(7)
+    gen = ensure_rng(7)
     heavy = [
         ShedCandidate(load=float(l), vs_id=i, node_index=i)
         for i, l in enumerate(gen.uniform(1, 100, size=500))

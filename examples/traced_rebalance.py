@@ -4,8 +4,8 @@
 Runs one proximity-aware round over a transit-stub topology with three
 observers attached:
 
-* a JSONL tracer (``traced_rebalance.jsonl``) — the structured record
-  stream described in docs/observability.md;
+* a JSONL tracer (``out/traced_rebalance.jsonl``) — the structured
+  record stream described in docs/observability.md;
 * a metrics registry — cumulative counters/histograms, printed at the
   end;
 * the round profile every ``BalanceReport`` carries — per-phase seconds
@@ -26,7 +26,10 @@ from repro.core.costs import cost_sheet
 from repro.obs import MetricsRegistry, Tracer
 from repro.topology import TransitStubParams
 
-TRACE_PATH = Path("traced_rebalance.jsonl")
+# Run artifacts land in out/ (gitignored), never the repository root.
+OUT_DIR = Path("out")
+OUT_DIR.mkdir(exist_ok=True)
+TRACE_PATH = OUT_DIR / "traced_rebalance.jsonl"
 
 # 1. A proximity-aware scenario: 128 nodes on a small transit-stub
 #    topology so transfers carry real latency-unit distances.

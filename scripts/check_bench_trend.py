@@ -97,17 +97,16 @@ def _smoke_snapshot() -> dict:
     # dirty-span resolution — say, repairing whole levels instead of
     # overlapped subtrees — shows up here as materialized/grown growth
     # long before it costs wall-clock anywhere.
-    import numpy as np
-
     from repro.core.incremental import IncrementalLoadBalancer
     from repro.dht import join_node, leave_node
+    from repro.util.rng import ensure_rng
     from repro.workloads import apply_load_drift
 
     inc_scenario = scenario()
     incremental = IncrementalLoadBalancer(
         inc_scenario.ring, config, rng=7, metrics=registry
     )
-    churn_gen = np.random.default_rng(11)
+    churn_gen = ensure_rng(11)
     for _ in range(3):
         incremental.run_round()
         ring = inc_scenario.ring

@@ -21,8 +21,19 @@ python -m pytest -x -q
 echo "== observability suite (unit + integration + docstring lint) =="
 python -m pytest -q tests/test_obs*.py
 
-echo "== repro.lint: domain-aware static analysis =="
-python -m repro.lint src/repro --baseline lint-baseline.json
+echo "== repro.lint: static analysis + interprocedural effect gate =="
+# The flow pass builds the project call graph, infers transitive
+# effects, and fails on drift against the committed effects baseline.
+# After an intentional effect change, regenerate and commit with
+#   python -m repro.lint src/repro --baseline lint-baseline.json \
+#       --effects-out effects-baseline.json
+python -m repro.lint src/repro --baseline lint-baseline.json \
+    --effects-check effects-baseline.json
+
+echo "== repro.lint: scripts/ + benchmarks/ (relaxed profile) =="
+# Determinism rules stay on for bench harnesses and tooling; only the
+# documentation-hygiene rules are dropped.
+python -m repro.lint scripts benchmarks --profile relaxed
 
 echo "== mypy: strict typing gate =="
 if python -c "import mypy" >/dev/null 2>&1; then

@@ -23,9 +23,27 @@ Options:
     Also print findings that the baseline suppressed (marked).
 ``--list-rules``
     Print the rule catalog and exit.
+``--profile {default,relaxed}``
+    ``relaxed`` drops the documentation-hygiene rules
+    (``docstring-coverage``, ``obs-span-coverage``) while keeping every
+    determinism rule — the profile ``scripts/`` and ``benchmarks/`` are
+    linted under, so bench harnesses cannot silently use unseeded RNG
+    without holding them to library documentation standards.
+``--effects-out FILE``
+    Write the flow pass's effect summary (one entry per function with
+    a non-empty transitive effect set) to ``FILE`` as JSON.
+``--effects-check FILE``
+    Compare the current effect summary against a committed baseline
+    (``effects-baseline.json``); any drift is reported and exits 1.
+    Regenerate after an intentional change with ``--effects-out FILE``.
+``--callgraph FILE``
+    Dump the resolved call graph: Graphviz DOT when ``FILE`` ends in
+    ``.dot``, otherwise JSONL via :class:`repro.obs.sinks.JSONLSink`.
+``--no-flow``
+    Skip the interprocedural pass entirely (per-file rules only).
 
-Exit codes: **0** clean, **1** findings reported, **2** usage or I/O
-error (bad path, unreadable baseline).
+Exit codes: **0** clean, **1** findings reported (or effect-summary
+drift), **2** usage or I/O error (bad path, unreadable baseline).
 """
 
 from __future__ import annotations
@@ -43,6 +61,10 @@ from repro.lint.rules import ALL_RULES
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
 EXIT_ERROR = 2
+
+#: Rules the relaxed profile drops (documentation hygiene only —
+#: determinism rules are never profile-gated).
+RELAXED_EXCLUDED_RULES = frozenset({"docstring-coverage", "obs-span-coverage"})
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -89,6 +111,33 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--profile",
+        choices=("default", "relaxed"),
+        default="default",
+        help="rule profile: relaxed drops documentation-hygiene rules "
+        "(for scripts/ and benchmarks/)",
+    )
+    parser.add_argument(
+        "--effects-out",
+        metavar="FILE",
+        help="write the flow pass's effect summary to FILE as JSON",
+    )
+    parser.add_argument(
+        "--effects-check",
+        metavar="FILE",
+        help="fail (exit 1) if the effect summary drifted from FILE",
+    )
+    parser.add_argument(
+        "--callgraph",
+        metavar="FILE",
+        help="dump the resolved call graph (DOT for .dot, else JSONL)",
+    )
+    parser.add_argument(
+        "--no-flow",
+        action="store_true",
+        help="skip the interprocedural flow pass (per-file rules only)",
+    )
     return parser
 
 
@@ -130,6 +179,40 @@ def _emit_text(
     print(f"repro.lint: {n} finding{'s' if n != 1 else ''}{tail}")
 
 
+def _flow_artifacts(engine: LintEngine, args: argparse.Namespace) -> list[str]:
+    """Write requested flow artifacts; return effect-drift lines (if any).
+
+    Raises :class:`LintError` when artifacts were requested but the
+    flow analysis is unavailable (e.g. no files were linted) or the
+    drift baseline is unreadable.
+    """
+    if not (args.effects_out or args.effects_check or args.callgraph):
+        return []
+    if engine.analysis is None:
+        raise LintError("flow analysis unavailable (no files linted?)")
+    from repro.lint.flow import artifacts
+
+    if args.effects_out:
+        path = artifacts.write_effects(engine.analysis, args.effects_out)
+        print(f"repro.lint: wrote effect summary to {path}")
+    if args.callgraph:
+        path = artifacts.write_callgraph(engine.analysis, args.callgraph)
+        print(f"repro.lint: wrote call graph to {path}")
+    if args.effects_check:
+        try:
+            return artifacts.effects_drift(engine.analysis, args.effects_check)
+        except FileNotFoundError:
+            raise LintError(
+                f"effects baseline not found: {args.effects_check}"
+            ) from None
+        except json.JSONDecodeError as exc:
+            raise LintError(
+                f"effects baseline {args.effects_check} is not valid JSON: "
+                f"{exc}"
+            ) from None
+    return []
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Run the linter; returns the process exit code."""
     parser = build_parser()
@@ -138,10 +221,27 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _list_rules()
     if args.out is not None and args.fmt != "jsonl":
         parser.error("--out requires --format jsonl")
+    flow_flags = (args.effects_out, args.effects_check, args.callgraph)
+    if args.no_flow and any(flow_flags):
+        parser.error(
+            "--effects-out/--effects-check/--callgraph require the flow pass"
+        )
+    rules = ALL_RULES
+    if args.profile == "relaxed":
+        rules = tuple(
+            r for r in ALL_RULES if r.name not in RELAXED_EXCLUDED_RULES
+        )
     try:
         baseline = Baseline.load(args.baseline) if args.baseline else None
-        engine = LintEngine(baseline=baseline)
+        engine = LintEngine(
+            rules=rules, baseline=baseline, flow=not args.no_flow
+        )
         findings = engine.lint_paths(args.paths)
+    except LintError as exc:
+        print(f"repro.lint: error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    try:
+        drift_lines = _flow_artifacts(engine, args)
     except LintError as exc:
         print(f"repro.lint: error: {exc}", file=sys.stderr)
         return EXIT_ERROR
@@ -154,7 +254,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         _emit_jsonl(findings, args.out)
     else:
         _emit_text(findings, engine.suppressed, args.show_suppressed)
-    return EXIT_FINDINGS if findings else EXIT_CLEAN
+    for line in drift_lines:
+        print(f"repro.lint: effects drift: {line}")
+    if drift_lines:
+        print(
+            "repro.lint: effect summary drifted from baseline; review and "
+            "regenerate with --effects-out <baseline-file>"
+        )
+    return EXIT_FINDINGS if (findings or drift_lines) else EXIT_CLEAN
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

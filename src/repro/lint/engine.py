@@ -270,8 +270,14 @@ class LintEngine:
         self,
         rules: Sequence["Rule"] | None = None,
         baseline: Baseline | None = None,
+        flow: bool = True,
     ) -> None:
-        """Configure the engine; see the class docstring for parameters."""
+        """Configure the engine; see the class docstring for parameters.
+
+        ``flow=False`` skips the interprocedural pass (call graph +
+        effect inference) — per-file rules only.  Useful for fast
+        single-rule runs in tests.
+        """
         if rules is None:
             from repro.lint.rules import ALL_RULES
 
@@ -281,8 +287,11 @@ class LintEngine:
             raise LintError(f"duplicate rule names in {sorted(names)}")
         self.rules: tuple["Rule", ...] = tuple(rules)
         self.baseline = baseline
+        self.flow = flow
         #: Findings suppressed by the baseline during the last run.
         self.suppressed: list[Finding] = []
+        #: The FlowAnalysis built by the last lint_paths run (flow=True).
+        self.analysis: Any = None
 
     # -- file discovery ---------------------------------------------------
     @staticmethod
@@ -318,8 +327,10 @@ class LintEngine:
         return ".".join(parts)
 
     # -- linting ----------------------------------------------------------
-    def lint_file(self, path: str | Path, root: str | Path | None = None) -> list[Finding]:
-        """Run every rule over one file; returns raw (unsuppressed) findings."""
+    def parse_file(
+        self, path: str | Path, root: str | Path | None = None
+    ) -> FileContext:
+        """Parse one source file into a :class:`FileContext`."""
         p = Path(path)
         base = Path(root) if root is not None else Path.cwd()
         try:
@@ -331,13 +342,21 @@ class LintEngine:
             tree = ast.parse(source, filename=str(p))
         except SyntaxError as exc:
             raise LintError(f"cannot parse {p}: {exc}") from None
-        ctx = FileContext(
+        return FileContext(
             path=p,
             rel_path=rel,
             source=source,
             tree=tree,
             module=self.module_name(p),
         )
+
+    def lint_file(self, path: str | Path, root: str | Path | None = None) -> list[Finding]:
+        """Run every *per-file* rule over one file; raw findings.
+
+        Interprocedural (``check_project``) findings require the whole
+        project and are only produced by :meth:`lint_paths`.
+        """
+        ctx = self.parse_file(path, root=root)
         findings: list[Finding] = []
         for rule in self.rules:
             for finding in rule.check(ctx):
@@ -349,17 +368,47 @@ class LintEngine:
     def lint_paths(self, paths: Sequence[str | Path], root: str | Path | None = None) -> list[Finding]:
         """Lint every file under ``paths``; returns suppression-filtered findings.
 
-        Baseline-suppressed findings are recorded on :attr:`suppressed`
-        for reporting (``--show-suppressed`` in the CLI).
+        Runs the per-file rules over each file, then (unless the engine
+        was built with ``flow=False``) builds one
+        :class:`~repro.lint.flow.analysis.FlowAnalysis` over all parsed
+        contexts and runs every rule's ``check_project`` hook against
+        it.  Baseline-suppressed findings are recorded on
+        :attr:`suppressed` for reporting (``--show-suppressed``).
         """
         self.suppressed = []
+        self.analysis = None
         findings: list[Finding] = []
-        for path in self.collect_files(paths):
-            for finding in self.lint_file(path, root=root):
-                if self.baseline is not None and finding in self.baseline:
-                    self.suppressed.append(finding)
-                else:
-                    findings.append(finding)
+        contexts = [
+            self.parse_file(path, root=root)
+            for path in self.collect_files(paths)
+        ]
+        for ctx in contexts:
+            for rule in self.rules:
+                for finding in rule.check(ctx):
+                    if rule.name in ctx.disabled_rules_on_line(finding.line):
+                        continue
+                    self._route(finding, findings)
+        if self.flow and contexts:
+            # Imported here: repro.lint.flow imports this module at load.
+            from repro.lint.flow.analysis import FlowAnalysis
+
+            self.analysis = FlowAnalysis(contexts)
+            by_rel = {ctx.rel_path: ctx for ctx in contexts}
+            for rule in self.rules:
+                for finding in rule.check_project(self.analysis):
+                    ctx_for = by_rel.get(finding.path)
+                    if ctx_for is not None and rule.name in (
+                        ctx_for.disabled_rules_on_line(finding.line)
+                    ):
+                        continue
+                    self._route(finding, findings)
         findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
         self.suppressed.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
         return findings
+
+    def _route(self, finding: Finding, findings: list[Finding]) -> None:
+        """File a finding under suppressed-or-reported per the baseline."""
+        if self.baseline is not None and finding in self.baseline:
+            self.suppressed.append(finding)
+        else:
+            findings.append(finding)

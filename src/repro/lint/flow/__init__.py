@@ -1,0 +1,60 @@
+"""Interprocedural flow analysis for :mod:`repro.lint`.
+
+Every rule in the base linter is local to one function body, but the
+repository's determinism contract is a *whole-program* property: a
+protocol function that reaches ``time.time()`` or an unseeded
+``default_rng()`` through two helper frames is exactly as broken as one
+that calls it directly.  This package closes that gap with three
+layers, each consumed by the interprocedural rules in
+:mod:`repro.lint.rules`:
+
+* :mod:`repro.lint.flow.callgraph` — a project-wide call graph built
+  from module/import resolution and name binding over the linted tree,
+  handling methods (``self.``/``cls.``/typed receivers), decorators and
+  first-class function references with a conservative fallback;
+* :mod:`repro.lint.flow.effects` — a per-function *direct* effect scan
+  over the effect lattice (:data:`~repro.lint.flow.effects.EFFECT_ATOMS`)
+  plus forbidden-site detection, and a fixpoint propagation pass that
+  folds effects transitively through the graph (cycles collapse via
+  SCC condensation);
+* :mod:`repro.lint.flow.analysis` — the :class:`FlowAnalysis` facade
+  the engine builds once per run: transitive effect queries, offending
+  call-chain reconstruction, and the ``WorkerPool`` submission registry
+  behind ``parallel-task-purity`` / ``rng-stream-discipline``.
+
+Machine-readable artifacts (the ``--effects-out`` / ``--callgraph``
+CLI flags and the ``effects-baseline.json`` drift gate) live in
+:mod:`repro.lint.flow.artifacts`.
+"""
+
+from __future__ import annotations
+
+from repro.lint.flow.analysis import CallChain, FlowAnalysis
+from repro.lint.flow.artifacts import (
+    EFFECTS_SCHEMA_VERSION,
+    effect_summary,
+    effects_drift,
+    render_callgraph_dot,
+    write_callgraph,
+    write_effects,
+)
+from repro.lint.flow.callgraph import CallSite, FunctionInfo, PoolSubmission, Project
+from repro.lint.flow.effects import EFFECT_ATOMS, SITE_KINDS, EffectSite
+
+__all__ = [
+    "CallChain",
+    "CallSite",
+    "EFFECTS_SCHEMA_VERSION",
+    "EFFECT_ATOMS",
+    "EffectSite",
+    "FlowAnalysis",
+    "FunctionInfo",
+    "PoolSubmission",
+    "Project",
+    "SITE_KINDS",
+    "effect_summary",
+    "effects_drift",
+    "render_callgraph_dot",
+    "write_callgraph",
+    "write_effects",
+]

@@ -1,0 +1,178 @@
+"""Machine-readable artifacts of the flow analysis.
+
+Two consumers exist today:
+
+* the **effects summary** (``--effects-out`` / ``--effects-check``) — a
+  deterministic JSON document mapping every function with a non-empty
+  transitive effect set to its sorted lattice atoms, plus per-atom
+  totals.  ``scripts/verify.sh`` diffs a fresh summary against the
+  committed ``effects-baseline.json``: a new effectful function (or a
+  new atom on an old one) fails the build until the baseline is
+  regenerated and reviewed, the same workflow as ``lint-baseline.json``;
+* the **call-graph dump** (``--callgraph FILE``) — ``.dot`` renders a
+  Graphviz digraph (ref edges dashed, decorator edges dotted), any
+  other suffix streams node and edge records through
+  :class:`repro.obs.sinks.JSONLSink`.
+
+Only *public lattice atoms* appear in artifacts; the internal site
+refinements (``global-rng``, ``ambient-rng``, ``unbounded-loop``) are
+rule implementation detail and would churn the baseline without
+informing a reader.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.lint.flow.analysis import FlowAnalysis
+from repro.lint.flow.effects import EFFECT_ATOMS
+
+#: Version stamp of the effects-summary JSON schema.
+EFFECTS_SCHEMA_VERSION = 1
+
+
+def effect_summary(analysis: FlowAnalysis) -> dict[str, Any]:
+    """The effects-summary document for ``analysis``.
+
+    Functions whose transitive effect set is empty are omitted — they
+    are the (large, uninteresting) effect-closed majority, and leaving
+    them out keeps baseline diffs focused on actual effect changes.
+    """
+    functions: dict[str, list[str]] = {}
+    totals = {atom: 0 for atom in EFFECT_ATOMS}
+    for qname in sorted(analysis.project.functions):
+        atoms = sorted(analysis.effects_of(qname))
+        if not atoms:
+            continue
+        functions[qname] = atoms
+        for atom in atoms:
+            totals[atom] += 1
+    return {
+        "version": EFFECTS_SCHEMA_VERSION,
+        "functions": functions,
+        "totals": totals,
+    }
+
+
+def write_effects(analysis: FlowAnalysis, path: str | Path) -> Path:
+    """Write the effects summary to ``path`` as deterministic JSON."""
+    p = Path(path)
+    p.write_text(
+        json.dumps(effect_summary(analysis), indent=2, sort_keys=True) + "\n"
+    )
+    return p
+
+
+def effects_drift(
+    analysis: FlowAnalysis, baseline_path: str | Path
+) -> list[str]:
+    """Human-readable drift lines vs a committed effects baseline.
+
+    Empty means no drift.  Reported per function: appeared, vanished,
+    or changed atom set — each line actionable on its own.
+    """
+    current = effect_summary(analysis)["functions"]
+    data = json.loads(Path(baseline_path).read_text())
+    recorded = data.get("functions", {})
+    lines: list[str] = []
+    for qname in sorted(set(current) | set(recorded)):
+        now = current.get(qname)
+        then = recorded.get(qname)
+        if now == then:
+            continue
+        if then is None:
+            lines.append(f"new effectful function {qname}: {', '.join(now)}")
+        elif now is None:
+            lines.append(
+                f"function {qname} no longer effectful (was: {', '.join(then)})"
+            )
+        else:
+            lines.append(
+                f"effects of {qname} changed: "
+                f"{', '.join(then)} -> {', '.join(now)}"
+            )
+    return lines
+
+
+class _GraphRecord:
+    """A call-graph JSONL record (duck-typed for ``JSONLSink.emit``)."""
+
+    def __init__(self, payload: dict[str, Any]) -> None:
+        self.payload = payload
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON payload (the sink serialises exactly this)."""
+        return self.payload
+
+
+def _graph_records(analysis: FlowAnalysis) -> list[_GraphRecord]:
+    """Node records then edge records, in deterministic order."""
+    records: list[_GraphRecord] = []
+    for qname in sorted(analysis.project.functions):
+        fn = analysis.project.functions[qname]
+        records.append(
+            _GraphRecord(
+                {
+                    "record": "node",
+                    "qname": qname,
+                    "path": fn.rel_path,
+                    "line": fn.line,
+                    "protocol": fn.is_protocol,
+                    "effects": sorted(analysis.effects_of(qname)),
+                }
+            )
+        )
+    for caller, site in analysis.project.edges():
+        records.append(
+            _GraphRecord(
+                {
+                    "record": "edge",
+                    "caller": caller,
+                    "callee": site.callee,
+                    "kind": site.kind,
+                    "line": site.line,
+                }
+            )
+        )
+    return records
+
+
+def render_callgraph_dot(analysis: FlowAnalysis) -> str:
+    """The call graph as Graphviz DOT source.
+
+    Effectful nodes carry their atom set in the label; ref edges are
+    dashed and decorator edges dotted so indirection is visible.
+    """
+    out: list[str] = ["digraph callgraph {", "  rankdir=LR;"]
+    for qname in sorted(analysis.project.functions):
+        atoms = sorted(analysis.effects_of(qname))
+        label = qname if not atoms else f"{qname}\\n[{', '.join(atoms)}]"
+        shape = (
+            "box" if analysis.project.functions[qname].is_protocol else "ellipse"
+        )
+        out.append(f'  "{qname}" [label="{label}", shape={shape}];')
+    styles = {"call": "solid", "ref": "dashed", "decorator": "dotted"}
+    for caller, site in analysis.project.edges():
+        style = styles.get(site.kind, "solid")
+        out.append(f'  "{caller}" -> "{site.callee}" [style={style}];')
+    out.append("}")
+    return "\n".join(out) + "\n"
+
+
+def write_callgraph(analysis: FlowAnalysis, path: str | Path) -> Path:
+    """Dump the call graph to ``path`` (DOT for ``.dot``, else JSONL)."""
+    p = Path(path)
+    if p.suffix == ".dot":
+        p.write_text(render_callgraph_dot(analysis))
+        return p
+    from repro.obs.sinks import JSONLSink
+
+    sink = JSONLSink(p)
+    try:
+        for record in _graph_records(analysis):
+            sink.emit(record)  # type: ignore[arg-type]
+    finally:
+        sink.close()
+    return p

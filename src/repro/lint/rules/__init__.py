@@ -20,6 +20,7 @@ from repro.lint.rules.iteration import NoUnorderedIterationRule
 from repro.lint.rules.retry import BoundedRetryRule
 from repro.lint.rules.rng import NoUnseededRngRule
 from repro.lint.rules.spans import ObsSpanCoverageRule
+from repro.lint.rules.streams import ParallelTaskPurityRule, RngStreamDisciplineRule
 from repro.lint.rules.wallclock import NoWallclockRule
 
 #: Every built-in rule, in default execution order.
@@ -28,6 +29,8 @@ ALL_RULES: tuple[Rule, ...] = (
     NoWallclockRule(),
     NoUnorderedIterationRule(),
     BoundedRetryRule(),
+    RngStreamDisciplineRule(),
+    ParallelTaskPurityRule(),
     NoFloatEqualityRule(),
     NoForkInProtocolRule(),
     ConservationGuardRule(),
@@ -51,4 +54,6 @@ __all__ = [
     "NoUnseededRngRule",
     "NoWallclockRule",
     "ObsSpanCoverageRule",
+    "ParallelTaskPurityRule",
+    "RngStreamDisciplineRule",
 ]

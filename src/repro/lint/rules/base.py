@@ -14,9 +14,12 @@ without descending into nested ``def``/``class`` scopes.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Sequence
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 from repro.lint.engine import FileContext, Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.flow.analysis import FlowAnalysis
 
 
 class Rule:
@@ -39,6 +42,19 @@ class Rule:
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         """Yield every violation of this rule found in ``ctx``."""
         raise NotImplementedError
+        yield  # pragma: no cover - makes the override a generator
+
+    def check_project(self, analysis: "FlowAnalysis") -> Iterator[Finding]:
+        """Yield project-wide (interprocedural) violations.
+
+        Runs once per lint invocation, after every per-file pass, with
+        the :class:`~repro.lint.flow.analysis.FlowAnalysis` built over
+        all linted files.  The default is no findings — only rules with
+        a transitive dimension override this.  Findings yielded here go
+        through the same pragma and baseline suppression as per-file
+        ones (keyed by the finding's own path/line).
+        """
+        return
         yield  # pragma: no cover - makes the override a generator
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

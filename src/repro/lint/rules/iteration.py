@@ -106,6 +106,16 @@ class NoUnorderedIterationRule(Rule):
         """Yield one finding per unordered set iteration in ``ctx``."""
         if not ctx.is_protocol:
             return
+        yield from self.scan(ctx)
+
+    def scan(self, ctx: FileContext) -> Iterator[Finding]:
+        """The protocol-gate-free scan, reused by the flow effect pass.
+
+        The rule only *reports* inside protocol modules, but as an
+        effect source (``unordered-iteration`` in the flow lattice) the
+        same detection applies to every file: a non-protocol helper
+        that folds a set corrupts any protocol caller's determinism.
+        """
         self._parents: dict[ast.AST, ast.AST] = {
             child: parent
             for parent in ast.walk(ctx.tree)

@@ -29,10 +29,13 @@ from __future__ import annotations
 
 import ast
 import re
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.lint.engine import FileContext, Finding, Severity
 from repro.lint.rules.base import Rule, iter_function_defs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.flow.analysis import FlowAnalysis
 
 #: Parameter names accepted as "a seeded generator is threaded in".
 _RNG_PARAM_NAMES = frozenset({"rng", "gen", "generator"})
@@ -77,6 +80,26 @@ class BoundedRetryRule(Rule):
                 f"retry/backoff helper '{func.name}' takes no rng-like "
                 "parameter; draw jitter from a seeded generator threaded "
                 "via repro.util.rng (param named rng/gen/generator)",
+            )
+
+    def check_project(self, analysis: "FlowAnalysis") -> Iterator[Finding]:
+        """Flag protocol functions transitively reaching an unbounded loop.
+
+        A ``while True`` hidden in a non-protocol helper hangs a
+        protocol caller just as surely as one written inline; the flow
+        pass reports the protocol frontier with the chain to the loop.
+        """
+        for fn, chain in analysis.protocol_frontier("unbounded-loop"):
+            ctx = analysis.context_for(fn.rel_path)
+            if ctx is None:
+                continue
+            yield ctx.finding(
+                self,
+                fn.node,
+                f"protocol function '{fn.qname}' transitively reaches an "
+                "unbounded retry loop: "
+                f"{chain.render(analysis.site_path(chain.site))}; bound "
+                "attempts explicitly via repro.faults.RetryPolicy",
             )
 
     @staticmethod

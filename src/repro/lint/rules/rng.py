@@ -24,10 +24,13 @@ References to ``np.random.Generator`` / ``SeedSequence`` /
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.lint.engine import FileContext, Finding, Severity
 from repro.lint.rules.base import Rule, dotted_name
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.flow.analysis import FlowAnalysis
 
 #: numpy.random attributes that are types/plumbing, not random draws.
 _NUMPY_TYPE_NAMES = frozenset(
@@ -86,6 +89,27 @@ class NoUnseededRngRule(Rule):
                     f"direct numpy.random use ({'.'.join(chain)}); "
                     "coerce seeds via repro.util.rng.ensure_rng",
                 )
+
+    def check_project(self, analysis: "FlowAnalysis") -> Iterator[Finding]:
+        """Flag protocol functions transitively reaching global RNG state.
+
+        The local pass already flags every direct global-RNG call in
+        any linted file; this pass adds the protocol *frontier* — a
+        protocol function whose chain to the global draw runs entirely
+        through non-protocol helpers, which no per-file view can see.
+        """
+        for fn, chain in analysis.protocol_frontier("global-rng"):
+            ctx = analysis.context_for(fn.rel_path)
+            if ctx is None:
+                continue
+            yield ctx.finding(
+                self,
+                fn.node,
+                f"protocol function '{fn.qname}' transitively reaches "
+                "process-global randomness: "
+                f"{chain.render(analysis.site_path(chain.site))}; thread a "
+                "seeded Generator (repro.util.rng.ensure_rng/spawn_rngs)",
+            )
 
     @staticmethod
     def _random_imports(tree: ast.Module) -> tuple[set[str], set[str]]:

@@ -14,15 +14,26 @@ Flagged in protocol modules:
   ``time.process_time`` / ``time.time_ns`` (and ``_ns`` variants),
   whether accessed as ``time.X()`` or imported by name;
 * calls to ``datetime.now`` / ``datetime.utcnow``.
+
+Interprocedurally (the ``check_project`` pass over the flow analysis),
+the rule also flags protocol functions that *reach* a clock read
+through a chain of non-protocol helpers — the frontier where
+determinism responsibility leaks out of the protocol packages — with
+the offending call chain in the message.  ``repro.obs`` is the
+sanctioned clock owner and is an effect barrier (see
+:mod:`repro.lint.flow.effects`).
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.lint.engine import FileContext, Finding, Severity
 from repro.lint.rules.base import Rule, dotted_name
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.flow.analysis import FlowAnalysis
 
 _CLOCK_FUNCS = frozenset(
     {
@@ -85,6 +96,20 @@ class NoWallclockRule(Rule):
                     node,
                     f"datetime clock read {'.'.join(chain)}() in protocol code",
                 )
+
+    def check_project(self, analysis: "FlowAnalysis") -> Iterator[Finding]:
+        """Flag protocol functions transitively reaching a clock read."""
+        for fn, chain in analysis.protocol_frontier("wall-clock"):
+            ctx = analysis.context_for(fn.rel_path)
+            if ctx is None:
+                continue
+            yield ctx.finding(
+                self,
+                fn.node,
+                f"protocol function '{fn.qname}' transitively reaches a "
+                f"wall-clock read: {chain.render(analysis.site_path(chain.site))}; "
+                "route timing through repro.obs (PhaseClock, Tracer spans)",
+            )
 
     @staticmethod
     def _time_imports(tree: ast.Module) -> tuple[set[str], set[str]]:

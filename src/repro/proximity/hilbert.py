@@ -34,7 +34,7 @@ class HilbertCurve:
         space is divided into ``2^(dims*bits)`` cells.
     """
 
-    def __init__(self, dims: int, bits: int):
+    def __init__(self, dims: int, bits: int) -> None:
         if not isinstance(dims, int) or dims < 1:
             raise HilbertError(f"dims must be a positive integer, got {dims!r}")
         if not isinstance(bits, int) or bits < 1:

@@ -28,7 +28,9 @@ class GridQuantizer:
         bounds.  Use :meth:`fit` to derive bounds from a sample.
     """
 
-    def __init__(self, bits: int, low: float | np.ndarray, high: float | np.ndarray):
+    def __init__(
+        self, bits: int, low: float | np.ndarray, high: float | np.ndarray
+    ) -> None:
         if not isinstance(bits, int) or bits < 1:
             raise ProximityError(f"bits must be a positive integer, got {bits!r}")
         self.bits = bits

@@ -44,7 +44,7 @@ class ProximityMapper:
     True
     """
 
-    def __init__(self, dims: int, grid_bits: int, quantizer: GridQuantizer):
+    def __init__(self, dims: int, grid_bits: int, quantizer: GridQuantizer) -> None:
         if quantizer.bits != grid_bits:
             raise ProximityError(
                 f"quantizer bits ({quantizer.bits}) != grid_bits ({grid_bits})"

@@ -67,7 +67,10 @@ def generate_power_law(
             else:
                 cand = endpoints[int(gen.integers(len(endpoints)))]
             targets.add(cand)
-        for t in targets:
+        # Sorted: set order would otherwise leak into the edge-weight
+        # draw sequence and the endpoints list (preferential-attachment
+        # probabilities), making graphs hash-seed-dependent.
+        for t in sorted(targets):
             g.add_edge(v, t, weight=int(gen.integers(lo, hi + 1)))
             endpoints.extend((v, t))
 

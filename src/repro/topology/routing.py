@@ -31,7 +31,9 @@ class DistanceOracle:
         ``None`` means unbounded.
     """
 
-    def __init__(self, topology: Topology, max_cached_rows: int | None = None):
+    def __init__(
+        self, topology: Topology, max_cached_rows: int | None = None
+    ) -> None:
         self.topology = topology
         self._csr = topology.csr()
         self._rows: OrderedDict[int, np.ndarray] = OrderedDict()
