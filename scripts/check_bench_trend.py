@@ -9,9 +9,10 @@ gate:
 ``gen``
     Run the deterministic smoke workload — one serial balancing round,
     one sharded round (inline pool), one partition lifecycle (mid-round
-    split, degraded rounds, conservation-checked heal) and a
-    distance-oracle probe that exercises the batched LRU path — and
-    write the merged metrics
+    split, degraded rounds, conservation-checked heal), a
+    distance-oracle probe that exercises the batched LRU path, and
+    three crash-recovery rounds (checkpoint + write-ahead journal, one
+    injected process crash) — and write the merged metrics
     snapshot as JSON (default: ``benchmarks/BENCH_BASELINE.json``).
     Every counter and gauge in the workload is a pure function of the
     fixed seeds, so regenerating the file on an unchanged tree
@@ -166,6 +167,40 @@ def _smoke_snapshot() -> dict:
     oracle.distances_between([(i, (i + 7) % n) for i in range(0, n, 5)])
     registry.gauge("routing.dijkstra_runs").set(oracle.dijkstra_runs)
     registry.gauge("routing.cached_sources").set(oracle.cached_sources)
+
+    # Three recovery-managed rounds with one injected process crash:
+    # pins the durability economy (checkpoints and write-ahead journal
+    # records per round, restores per crash).  A regression here —
+    # say, checkpointing per phase instead of per round, or journaling
+    # records the replay matcher then double-writes — shows up as
+    # recovery.checkpoints / recovery.journal_records growth.
+    import shutil
+    import tempfile
+
+    from repro.faults import CrashPoint
+    from repro.recovery import RecoveryManager
+
+    recovery_plan = FaultPlan(
+        seed=3,
+        crash_points=(CrashPoint(at_round=1, site="mid-vst-batch"),),
+    )
+
+    def recovery_factory():
+        return LoadBalancer(
+            scenario().ring, config, rng=7, metrics=registry,
+            faults=recovery_plan,
+        )
+
+    state_dir = tempfile.mkdtemp(prefix="repro-bench-trend-")
+    try:
+        manager = RecoveryManager(
+            recovery_factory, state_dir=state_dir, metrics=registry
+        )
+        for _ in range(3):
+            manager.run_round()
+        manager.close()
+    finally:
+        shutil.rmtree(state_dir, ignore_errors=True)
 
     return registry.snapshot()
 

@@ -3,9 +3,11 @@
 # repro.lint static-analysis gate, the mypy strict-typing gate (when
 # mypy is installed), the generated-API freshness check, the chaos
 # smoke (a degraded balancing round under injected faults), the
-# incremental smoke (persistent-tree digest identity under churn) and
-# the partition smoke (a network split healing under the conservation
-# gate).  Run from the repository root:
+# incremental smoke (persistent-tree digest identity under churn), the
+# partition smoke (a network split healing under the conservation
+# gate) and the recovery smokes (a monitored chaos soak with process
+# crashes, and the durability-overhead bound).  Run from the
+# repository root:
 #
 #   bash scripts/verify.sh
 #
@@ -78,6 +80,19 @@ echo "== partition smoke: split, degraded rounds, conservation-checked heal =="
 # asserts epochs, suspended == commits + rollbacks, global conservation
 # and byte-identical signatures/digests across two runs.
 python -c "import sys; from repro.experiments.partition import main; sys.exit(main(['--smoke']))"
+
+echo "== recovery smoke: chaos soak (churn x faults x crashes, monitored) =="
+# Two seeded schedules composing churn, message faults, a partition and
+# process crashes, run under the always-on soak monitors (conservation,
+# region tiling, in-flight accounting, epoch monotonicity); any monitor
+# violation would be ddmin-shrunk and printed as a paste-ready test.
+python -c "import sys; from repro.recovery.soak import main; sys.exit(main(['--smoke']))"
+
+echo "== recovery smoke: durability overhead bounded, digests identical =="
+# The same seeded run plain vs through the RecoveryManager: the durable
+# path (checkpoint + write-ahead journal) must not change any digest
+# and must stay within a generous overhead ceiling.
+python -c "import sys; sys.path.insert(0, '.'); from benchmarks.bench_recovery_overhead import main; sys.exit(main(['--smoke']))"
 
 if [ "${REPRO_SOAK:-0}" = "1" ]; then
     echo "== soak: partition seed sweep through the trial engine (REPRO_SOAK=1) =="

@@ -16,6 +16,8 @@ then carry real topology distances.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.core.classification import ClassificationResult, classify_all
@@ -63,6 +65,9 @@ from repro.topology.graph import Topology
 from repro.topology.landmarks import landmark_vectors, select_landmarks
 from repro.topology.routing import DistanceOracle
 from repro.util.rng import ensure_rng, spawn_rngs
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (recovery -> core)
+    from repro.recovery.journal import TransferJournal
 
 
 class LoadBalancer:
@@ -145,6 +150,10 @@ class LoadBalancer:
         self._stale_lbi: SystemLBI | None = None
         self._stale_lbi_age = 0
         self._round_index = 0
+        #: Write-ahead transfer journal; attached by the recovery layer
+        #: via :meth:`attach_journal` (``None`` = no durability, the
+        #: default, with zero overhead on every path).
+        self.journal: TransferJournal | None = None
         #: Epoch/partition state machine; only materialised when the
         #: fault plan actually schedules partitions, so every other run
         #: keeps the exact pre-membership code paths.
@@ -211,6 +220,26 @@ class LoadBalancer:
         return self._landmarks
 
     # ------------------------------------------------------------------
+    # Durability hooks (driven by repro.recovery)
+    # ------------------------------------------------------------------
+    def attach_journal(self, journal: "TransferJournal | None") -> None:
+        """Route write-ahead journaling through ``journal`` (``None`` = off).
+
+        Wires the journal into every component that mutates hosting
+        state: the VST executor's transactions and — when a membership
+        manager exists — its suspension/heal transactions too.
+        """
+        self.journal = journal
+        if self.membership is not None:
+            self.membership.journal = journal
+
+    def _crash_point(self, site: str) -> None:
+        """Fire a plan-scheduled process crash if one is armed at ``site``."""
+        faults = self.faults
+        if faults is not None and faults.crash_due(site):
+            faults.fire_crash(site)
+
+    # ------------------------------------------------------------------
     def run_round(self) -> BalanceReport:
         """Execute one full LBI -> classify -> VSA -> VST cycle.
 
@@ -224,10 +253,12 @@ class LoadBalancer:
         """
         stats = FaultRoundStats()
         faults = self.faults
-        if faults is not None:
-            faults.reset_round()
         round_index = self._round_index
         self._round_index += 1
+        if self.journal is not None:
+            self.journal.record("round_begin", round=round_index)
+        if faults is not None:
+            faults.reset_round(round_index)
         view: MembershipView | None = None
         pending: PartitionSpec | None = None
         if self.membership is not None:
@@ -241,8 +272,14 @@ class LoadBalancer:
                     epoch=view.epoch,
                     components=len(view.components),
                 )
-            return self._run_partitioned_round(stats, view)
-        return self._run_plain_round(stats, pending)
+            report = self._run_partitioned_round(stats, view)
+        else:
+            report = self._run_plain_round(stats, pending)
+        if self.journal is not None:
+            self.journal.record(
+                "round_end", round=round_index, digest=report.canonical_digest()
+            )
+        return report
 
     def _run_plain_round(
         self, stats: FaultRoundStats, pending: PartitionSpec | None = None
@@ -305,6 +342,7 @@ class LoadBalancer:
             else:
                 # The cached aggregate aged out: surface the failure.
                 system, agg_trace = self._aggregate_lbi(tree, reports)
+        self._crash_point("post-lbi-fold")
 
         # Phase 2: classification.
         with clock.phase("classification"), tracer.span("classification"):
@@ -337,6 +375,7 @@ class LoadBalancer:
                 transfers = execute_transfers(
                     ring, vsa_result.assignments, self.oracle, skipped=skipped,
                     tracer=tracer, faults=faults, failed=failed, fault_stats=stats,
+                    journal=self.journal,
                 )
 
         loads_after = np.asarray([n.load for n in alive], dtype=np.float64)
@@ -461,6 +500,7 @@ class LoadBalancer:
         transfers = execute_transfers(
             ring, assignments[:slot], self.oracle, skipped=skipped,
             tracer=tracer, faults=faults, failed=failed, fault_stats=stats,
+            journal=self.journal,
         )
         remainder = assignments[slot:]
         view = membership.activate(spec, stats)
@@ -477,6 +517,7 @@ class LoadBalancer:
         transfers += execute_transfers(
             ring, remainder, self.oracle, skipped=skipped,
             tracer=tracer, faults=faults, failed=failed, fault_stats=stats,
+            journal=self.journal,
         )
         return transfers
 
@@ -572,6 +613,7 @@ class LoadBalancer:
                     neutral(comp_alive)
                     continue
                 system_c, agg_c = self._aggregate_lbi(tree, reports)
+            self._crash_point("post-lbi-fold")
             with clock.phase("classification"), tracer.span("classification"):
                 before_c = classify_all(
                     comp_alive, system_c, cfg.epsilon, tracer=tracer,
@@ -588,7 +630,7 @@ class LoadBalancer:
                 transfers_c = execute_transfers(
                     comp, vsa_c.assignments, self.oracle, skipped=skipped,
                     tracer=tracer, faults=faults, failed=failed,
-                    fault_stats=stats,
+                    fault_stats=stats, journal=self.journal,
                 )
             after_c = classify_all(
                 comp_alive, system_c, cfg.epsilon, tracer=tracer, stage="after"

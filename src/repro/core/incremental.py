@@ -104,7 +104,8 @@ class IncrementalLoadBalancer(LoadBalancer):
     def run_round(self) -> BalanceReport:
         """One round: fast path when exactness allows, else serial.
 
-        Fault injection, partitions and enabled tracing run through the
+        Fault injection, partitions, an attached write-ahead journal
+        and enabled tracing run through the
         inherited serial implementation (their rng/event interleavings
         are inherently per-object); the persistent tree is invalidated
         so the next fast round rebuilds from the current ring.
@@ -112,6 +113,7 @@ class IncrementalLoadBalancer(LoadBalancer):
         if (
             self.faults is not None
             or self.membership is not None
+            or self.journal is not None
             or self.tracer.enabled
             or self.ring.num_virtual_servers == 0
             or not self.ring.alive_nodes

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.records import Assignment, assert_loads_conserved
 from repro.dht.ringlike import RingLike
@@ -35,6 +36,9 @@ from repro.faults.injector import FaultInjector
 from repro.faults.stats import FaultRoundStats
 from repro.obs.trace import Tracer
 from repro.topology.routing import DistanceOracle
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (recovery -> core)
+    from repro.recovery.journal import TransferJournal
 
 
 @dataclass(frozen=True, slots=True)
@@ -62,7 +66,7 @@ class TransferTransaction:
     one alive node and its load is untouched.
     """
 
-    __slots__ = ("ring", "vs", "source", "target", "state")
+    __slots__ = ("ring", "vs", "source", "target", "state", "journal")
 
     def __init__(
         self,
@@ -70,12 +74,25 @@ class TransferTransaction:
         vs: VirtualServer,
         source: PhysicalNode,
         target: PhysicalNode,
+        journal: "TransferJournal | None" = None,
     ) -> None:
         self.ring = ring
         self.vs = vs
         self.source = source
         self.target = target
         self.state = "pending"
+        self.journal = journal
+
+    def _journal_intent(self, kind: str) -> None:
+        """Write-ahead the intent record *before* the state mutates."""
+        if self.journal is not None:
+            self.journal.record(
+                kind,
+                vs=self.vs.vs_id,
+                load=float(self.vs.load).hex(),
+                source=self.source.index,
+                target=self.target.index,
+            )
 
     def prepare(self) -> None:
         """Detach the server from its source (the in-flight state)."""
@@ -86,6 +103,7 @@ class TransferTransaction:
                 f"vs {self.vs.vs_id} owned by {self.vs.owner.index}, "
                 f"expected {self.source.index}"
             )
+        self._journal_intent("prepare")
         self.source.unhost(self.vs)
         self.state = "prepared"
 
@@ -98,6 +116,7 @@ class TransferTransaction:
                 f"target node {self.target.index} died while vs "
                 f"{self.vs.vs_id} was in flight"
             )
+        self._journal_intent("commit")
         self.target.host(self.vs)
         self.state = "committed"
 
@@ -110,6 +129,7 @@ class TransferTransaction:
         """
         if self.state != "prepared":
             raise BalancerError(f"cannot roll back a {self.state} transaction")
+        self._journal_intent("rollback")
         if self.source.alive:
             self.source.host(self.vs)
         else:
@@ -140,6 +160,7 @@ def execute_transfers(
     faults: FaultInjector | None = None,
     failed: list[Assignment] | None = None,
     fault_stats: FaultRoundStats | None = None,
+    journal: "TransferJournal | None" = None,
 ) -> list[TransferRecord]:
     """Apply ``assignments`` to the ring and account their costs.
 
@@ -173,6 +194,14 @@ def execute_transfers(
     after; the totals are checked via
     :func:`~repro.core.records.assert_loads_conserved` and a violation
     raises :class:`~repro.exceptions.ConservationError`.
+
+    Durability: with a ``journal`` attached, every transaction
+    write-aheads its prepare/commit/rollback intent before applying it
+    (see :mod:`repro.recovery.journal`); and a plan-scheduled
+    ``mid-vst-batch`` :class:`~repro.faults.CrashPoint` kills the whole
+    process at a seeded batch position via
+    :class:`~repro.exceptions.ProcessCrashError` — recovery is the
+    recovery manager's job, nothing here catches it.
     """
     total_before = sum(n.load for n in ring.nodes)
     node_by_index = {n.index: n for n in ring.nodes}
@@ -183,11 +212,17 @@ def execute_transfers(
     crash_slots = (
         faults.plan_crash_slots(len(assignments)) if faults is not None else []
     )
+    process_crash_slot = (
+        faults.process_crash_slot(len(assignments)) if faults is not None else None
+    )
     next_slot = 0
 
     def crash_due(position: int) -> None:
         """Fire every crash whose slot is ``position`` (mid-batch churn)."""
         nonlocal next_slot
+        if process_crash_slot is not None and position >= process_crash_slot:
+            assert faults is not None
+            faults.fire_crash("mid-vst-batch")
         assert faults is not None or next_slot >= len(crash_slots)
         while next_slot < len(crash_slots) and crash_slots[next_slot] <= position:
             next_slot += 1
@@ -247,7 +282,7 @@ def execute_transfers(
                 f"source alive={source.alive}, target alive={target.alive}"
             )
 
-        txn = TransferTransaction(ring, vs, source, target)
+        txn = TransferTransaction(ring, vs, source, target, journal=journal)
         txn.prepare()
         aborted = faults is not None and faults.abort_transfer(a.candidate.vs_id)
         if not aborted:

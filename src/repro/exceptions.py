@@ -71,6 +71,33 @@ class RetryExhaustedError(FaultError):
     """A bounded retry loop ran out of attempts or timeout budget."""
 
 
+class ProcessCrashError(FaultError):
+    """An injected whole-process crash fired at a protocol site.
+
+    Raised by the fault injector when a :class:`repro.faults.CrashPoint`
+    fires; carries the crash site name and round index so the recovery
+    layer can journal the event and disarm it after restoring.  This is
+    the *simulated* analogue of the balancing process dying — nothing
+    above :mod:`repro.recovery` should catch it.
+    """
+
+    def __init__(self, round_index: int, site: str) -> None:
+        super().__init__(
+            f"injected process crash at {site} in round {round_index}"
+        )
+        self.round_index = round_index
+        self.site = site
+
+
+class RecoveryError(ReproError):
+    """The crash-recovery subsystem hit corrupt or divergent state.
+
+    Covers journal corruption beyond the repairable torn tail, replay
+    divergence (a restored run re-executed differently from the
+    journaled prefix), and snapshot/restore mismatches.
+    """
+
+
 class SimulationError(ReproError):
     """The discrete-event simulation engine hit an invalid state."""
 

@@ -34,8 +34,15 @@ from repro.faults.injector import (
     InjectedFault,
     ensure_injector,
 )
-from repro.faults.plan import NULL_PLAN, FaultPlan, PartitionSpec
+from repro.faults.plan import (
+    CRASH_SITES,
+    NULL_PLAN,
+    CrashPoint,
+    FaultPlan,
+    PartitionSpec,
+)
 from repro.faults.retry import (
+    JITTER_MODES,
     DeliveryOutcome,
     RetryBudget,
     RetryPolicy,
@@ -44,7 +51,10 @@ from repro.faults.retry import (
 from repro.faults.stats import FaultRoundStats
 
 __all__ = [
+    "CRASH_SITES",
+    "JITTER_MODES",
     "NULL_PLAN",
+    "CrashPoint",
     "DeliveryOutcome",
     "FaultInjector",
     "FaultKind",

@@ -1,7 +1,8 @@
 """The seeded decision engine that turns a :class:`FaultPlan` into faults.
 
 A :class:`FaultInjector` owns one independent random stream per fault
-channel (drop, delay, duplicate, crash, abort), all spawned from
+channel (drop, delay, duplicate, node crash, abort, corruption,
+partition, process crash), all spawned from
 ``plan.seed`` via the SeedSequence protocol — so the decision sequence
 on one channel is unaffected by traffic on another, and the whole fault
 history is a pure function of the plan.  Every decision that fires is
@@ -27,6 +28,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.exceptions import ProcessCrashError
 from repro.faults.plan import FaultPlan
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.runtime import current_metrics, current_tracer
@@ -93,6 +95,8 @@ class FaultInjector:
         self.plan = plan
         self.tracer = tracer if tracer is not None else current_tracer()
         self.metrics = metrics if metrics is not None else current_metrics()
+        # SeedSequence spawning is prefix-stable, so widening from 7 to
+        # 8 streams left the first seven byte-identical to older plans.
         (
             self._drop_rng,
             self._delay_rng,
@@ -101,10 +105,20 @@ class FaultInjector:
             self._abort_rng,
             self._corrupt_rng,
             self._partition_rng,
-        ) = spawn_rngs(ensure_rng(plan.seed), 7)
+            self._process_crash_rng,
+        ) = spawn_rngs(ensure_rng(plan.seed), 8)
         self.log: list[InjectedFault] = []
         self._crashes_left = plan.crash_mid_round
         self._component_of: dict[int, int] | None = None
+        self._current_round = -1
+        #: ``(round, site)`` pairs whose crash already fired (restored
+        #: from journal crash markers after a recovery, so a revived
+        #: process does not crash at the same site forever).
+        self._fired_crashes: set[tuple[int, str]] = set()
+        #: Rounds whose mid-VST batch slot was already drawn; a round
+        #: may run several VST batches (partitioned components), but the
+        #: crash slot belongs to the first one that asks.
+        self._claimed_vst_crash: set[int] = set()
 
     # -- bookkeeping -----------------------------------------------------
     def _record(self, kind: FaultKind, phase: str, subject: str) -> None:
@@ -317,9 +331,86 @@ class FaultInjector:
         """Crash budget not yet consumed this round."""
         return self._crashes_left
 
-    def reset_round(self) -> None:
-        """Re-arm per-round budgets (the crash count) for the next round."""
+    def reset_round(self, round_index: int | None = None) -> None:
+        """Re-arm per-round budgets and advance the round cursor.
+
+        ``round_index`` anchors the process-crash machinery to the
+        balancer's round numbering; omitted (legacy callers), the
+        cursor simply advances by one.
+        """
         self._crashes_left = self.plan.crash_mid_round
+        if round_index is not None:
+            self._current_round = round_index
+        else:
+            self._current_round += 1
+
+    # -- process-crash channel --------------------------------------------
+    @property
+    def current_round(self) -> int:
+        """The round index the injector is currently armed for."""
+        return self._current_round
+
+    def crash_due(self, site: str) -> bool:
+        """Whether a :class:`~repro.faults.CrashPoint` is armed here.
+
+        True iff the plan schedules a crash for ``(current round,
+        site)`` and it has not already fired (it is disarmed after a
+        recovery via :meth:`disarm_crash`).  Consumes no randomness and
+        writes no log entries: the fault signature of a crashed-and-
+        recovered run must match the uncrashed run's byte for byte.
+        """
+        key = (self._current_round, site)
+        if key in self._fired_crashes:
+            return False
+        return any(
+            p.at_round == self._current_round and p.site == site
+            for p in self.plan.crash_points
+        )
+
+    def process_crash_slot(self, num_slots: int) -> int | None:
+        """Seeded VST-batch position for an armed mid-batch process crash.
+
+        Returns a slot in ``[0, num_slots]`` (``k`` = crash before the
+        ``k``-th transfer executes, ``num_slots`` = after the batch)
+        drawn from the dedicated process-crash stream, or ``None`` when
+        no ``mid-vst-batch`` crash is armed this round.  The slot is
+        claimed once per round — later batches of the same round (e.g.
+        per-component VST under a partition) see ``None`` — so the
+        draw sequence is a pure function of the plan.
+        """
+        if not self.crash_due("mid-vst-batch"):
+            return None
+        if self._current_round in self._claimed_vst_crash:
+            return None
+        self._claimed_vst_crash.add(self._current_round)
+        return int(self._process_crash_rng.integers(0, num_slots + 1))
+
+    def fire_crash(self, site: str) -> None:
+        """Kill the process at ``site`` (raises, never returns normally).
+
+        Marks the ``(round, site)`` pair fired and raises
+        :class:`~repro.exceptions.ProcessCrashError` for the recovery
+        layer to catch.  Deliberately *not* recorded in :attr:`log` —
+        see :meth:`crash_due` — though it is traced and counted.
+        """
+        key = (self._current_round, site)
+        self._fired_crashes.add(key)
+        if self.metrics is not None:
+            self.metrics.counter("faults.process_crash").inc()
+        if self.tracer.enabled:
+            self.tracer.event(
+                "fault.process_crash", round=self._current_round, site=site
+            )
+        raise ProcessCrashError(self._current_round, site)
+
+    def disarm_crash(self, round_index: int, site: str) -> None:
+        """Mark a crash point as already fired (journal-driven recovery).
+
+        Called by the recovery manager for every crash marker found in
+        the journal tail, so a restored process — including one revived
+        in a fresh interpreter — does not re-fire the same crash.
+        """
+        self._fired_crashes.add((round_index, site))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -30,6 +30,12 @@ Roussopoulos & Baker stress their balancers:
   into components that cannot exchange protocol messages until a
   bounded heal; the ``repro.membership`` subsystem runs degraded
   per-component rounds and the deterministic heal protocol.
+* **process crash** — a :class:`CrashPoint` kills the balancing
+  *process itself* at a named protocol site
+  (:data:`CRASH_SITES`); recovery restores the latest
+  :class:`~repro.recovery.SystemSnapshot` and replays the journal tail
+  (see :mod:`repro.recovery`), and must converge to the byte-identical
+  round digest.
 """
 
 from __future__ import annotations
@@ -117,6 +123,45 @@ class PartitionSpec:
         return self.at_round + self.duration
 
 
+#: The named protocol sites a :class:`CrashPoint` may target, in
+#: protocol order within a round: after the LBI aggregate folds, at a
+#: seeded slot inside the VST transfer batch, and just before the heal
+#: protocol reconciles suspended transfers.
+CRASH_SITES = ("post-lbi-fold", "mid-vst-batch", "pre-heal-commit")
+
+
+@dataclass(frozen=True, slots=True)
+class CrashPoint:
+    """One scheduled whole-process crash on a fault plan.
+
+    Deterministic per ``(at_round, site)``: the crash fires the first
+    time the named site is reached in the given round (the only seeded
+    element is the mid-VST batch slot, drawn from the injector's
+    process-crash stream).  After recovery the site is disarmed, so the
+    restored run passes it and completes the round.
+
+    Parameters
+    ----------
+    at_round:
+        Balancing-round index (0-based) in which the crash fires.
+    site:
+        One of :data:`CRASH_SITES`.
+    """
+
+    at_round: int = 0
+    site: str = "mid-vst-batch"
+
+    def __post_init__(self) -> None:
+        """Validate both fields; raises :class:`FaultPlanError`."""
+        if self.at_round < 0:
+            raise FaultPlanError(f"at_round must be >= 0, got {self.at_round}")
+        if self.site not in CRASH_SITES:
+            raise FaultPlanError(
+                f"unknown crash site {self.site!r}; expected one of "
+                f"{', '.join(CRASH_SITES)}"
+            )
+
+
 @dataclass(frozen=True, slots=True)
 class FaultPlan:
     """Seeded, declarative description of one failure environment.
@@ -154,6 +199,9 @@ class FaultPlan:
     partitions:
         Ordered, non-overlapping :class:`PartitionSpec` events; each
         must heal no later than the next one strikes.
+    crash_points:
+        Scheduled :class:`CrashPoint` whole-process crashes; at most
+        one per ``(round, site)`` pair.
     """
 
     seed: int = 0
@@ -165,6 +213,7 @@ class FaultPlan:
     transfer_abort: float = 0.0
     corrupt: float = 0.0
     partitions: tuple[PartitionSpec, ...] = ()
+    crash_points: tuple[CrashPoint, ...] = ()
 
     def __post_init__(self) -> None:
         """Validate every knob; raises :class:`FaultPlanError`."""
@@ -186,6 +235,15 @@ class FaultPlan:
                     f"one heals at round {prev.heal_round} but the next "
                     f"strikes at round {nxt.at_round}"
                 )
+        seen_crashes: set[tuple[int, str]] = set()
+        for point in self.crash_points:
+            key = (point.at_round, point.site)
+            if key in seen_crashes:
+                raise FaultPlanError(
+                    f"duplicate crash point at round {point.at_round}, "
+                    f"site {point.site!r}"
+                )
+            seen_crashes.add(key)
 
     @property
     def is_null(self) -> bool:
@@ -198,6 +256,7 @@ class FaultPlan:
             and self.transfer_abort == 0
             and self.corrupt == 0
             and not self.partitions
+            and not self.crash_points
         )
 
 

@@ -48,11 +48,19 @@ PROTOCOL_PACKAGES = (
     "faults",
     "parallel",
     "membership",
+    "recovery",
 )
 
 #: Sub-packages whose public surface is operator-facing API and must be
 #: fully documented (the docstring-coverage rule's scope).
-DOCUMENTED_PACKAGES = ("obs", "lint", "faults", "parallel", "membership")
+DOCUMENTED_PACKAGES = (
+    "obs",
+    "lint",
+    "faults",
+    "parallel",
+    "membership",
+    "recovery",
+)
 
 _PRAGMA_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\- ]+)")
 

@@ -13,6 +13,7 @@ from repro.lint.rules.base import Rule
 from repro.lint.rules.conservation import ConservationGuardRule
 from repro.lint.rules.defaults import MutableDefaultArgsRule
 from repro.lint.rules.docstrings import DocstringCoverageRule
+from repro.lint.rules.durable import DurableWriteDisciplineRule
 from repro.lint.rules.exceptions import ExceptionHygieneRule
 from repro.lint.rules.floats import NoFloatEqualityRule
 from repro.lint.rules.forks import NoForkInProtocolRule
@@ -33,6 +34,7 @@ ALL_RULES: tuple[Rule, ...] = (
     ParallelTaskPurityRule(),
     NoFloatEqualityRule(),
     NoForkInProtocolRule(),
+    DurableWriteDisciplineRule(),
     ConservationGuardRule(),
     ObsSpanCoverageRule(),
     ExceptionHygieneRule(),
@@ -46,6 +48,7 @@ __all__ = [
     "BoundedRetryRule",
     "ConservationGuardRule",
     "DocstringCoverageRule",
+    "DurableWriteDisciplineRule",
     "ExceptionHygieneRule",
     "MutableDefaultArgsRule",
     "NoFloatEqualityRule",

@@ -1,0 +1,86 @@
+"""Rule ``durable-write-discipline``: recovery I/O goes through one door.
+
+Crash recovery is only as good as its weakest write: a snapshot written
+with a bare ``open(...).write(...)`` can be torn by the very crash it
+exists to survive.  The durability contract therefore lives in exactly
+one module — :mod:`repro.recovery.durable` — which owns the
+rename-on-commit pattern (temp file + ``fsync`` + ``os.replace`` +
+directory ``fsync``) and the fsynced append file.  Everything else in
+:mod:`repro.recovery` must route its file I/O through that module.
+
+This rule enforces the boundary mechanically inside the ``recovery``
+package (``repro.recovery.durable`` itself is exempt):
+
+* calling the ``open`` builtin, ``os.fdopen``, or a ``.open(...)``
+  method (e.g. ``Path.open``) is forbidden;
+* calling ``os.fsync``, ``os.replace``, ``os.rename``, ``os.truncate``
+  or ``os.ftruncate`` directly is forbidden — sequencing those calls
+  correctly is precisely the durable module's job;
+* calling ``.write_text(...)`` / ``.write_bytes(...)`` (the Path
+  shortcuts that truncate in place, torn-write hazards both) is
+  forbidden.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Finding, Severity
+from repro.lint.rules.base import Rule, dotted_name
+
+#: The one module allowed to open, fsync, rename and truncate files.
+_DURABLE_MODULE = "repro.recovery.durable"
+
+#: ``os.*`` functions whose correct sequencing IS the durability
+#: contract; calling them ad hoc means reimplementing it.
+_OS_IO_FUNCS = frozenset({"fsync", "replace", "rename", "truncate", "ftruncate", "fdopen"})
+
+#: Method names that open or mutate files in place.
+_BANNED_METHODS = frozenset({"open", "write_text", "write_bytes"})
+
+
+class DurableWriteDisciplineRule(Rule):
+    """Forbid ad-hoc file I/O in the recovery package."""
+
+    name = "durable-write-discipline"
+    severity = Severity.ERROR
+    description = (
+        "file I/O in repro.recovery must go through repro.recovery.durable "
+        "(atomic rename-on-commit writes, fsynced appends) — no bare "
+        "open()/os.fsync()/os.replace()/write_text()"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield every ad-hoc file I/O call in a recovery module."""
+        if not ctx.in_package("recovery"):
+            return
+        if ctx.module == _DURABLE_MODULE:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = dotted_name(node.func)
+            if not chain:
+                continue
+            if chain == ["open"]:
+                yield ctx.finding(
+                    self,
+                    node,
+                    "bare open() in recovery code; use "
+                    f"{_DURABLE_MODULE} (atomic_write_*/DurableAppendFile)",
+                )
+            elif len(chain) == 2 and chain[0] == "os" and chain[1] in _OS_IO_FUNCS:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"os.{chain[1]}() in recovery code; durability "
+                    f"sequencing belongs in {_DURABLE_MODULE}",
+                )
+            elif len(chain) >= 2 and chain[-1] in _BANNED_METHODS:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f".{chain[-1]}() in recovery code; write through "
+                    f"{_DURABLE_MODULE} so the write is atomic and synced",
+                )

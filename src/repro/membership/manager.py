@@ -27,6 +27,7 @@ reconciled in suspension order.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.records import Assignment, assert_loads_conserved
 from repro.core.vst import TransferTransaction
@@ -39,6 +40,9 @@ from repro.membership.views import ComponentRingView
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.runtime import current_metrics, current_tracer
 from repro.obs.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (recovery -> core)
+    from repro.recovery.journal import TransferJournal
 
 
 @dataclass(frozen=True, slots=True)
@@ -110,6 +114,9 @@ class MembershipManager:
         self._active_spec: PartitionSpec | None = None
         self._suspended: list[tuple[TransferTransaction, Assignment]] = []
         self.corrupt_heal = False
+        #: Write-ahead journal for suspension/heal transactions; wired
+        #: by :meth:`repro.core.balancer.LoadBalancer.attach_journal`.
+        self.journal: TransferJournal | None = None
 
     # ------------------------------------------------------------------
     # Round boundary
@@ -229,10 +236,17 @@ class MembershipManager:
         ):
             skipped.append(a)
             return False
-        txn = TransferTransaction(ring, vs, source, target)
+        txn = TransferTransaction(ring, vs, source, target, journal=self.journal)
         txn.prepare()
         self._suspended.append((txn, a))
         stats.suspended_transfers += 1
+        if self.journal is not None:
+            self.journal.record(
+                "suspend",
+                vs=a.candidate.vs_id,
+                source=a.candidate.node_index,
+                target=a.target_node,
+            )
         if self.tracer.enabled:
             self.tracer.event(
                 "membership.suspend",
@@ -270,6 +284,8 @@ class MembershipManager:
         view = self.active
         if view is None:
             return
+        if self.injector.crash_due("pre-heal-commit"):
+            self.injector.fire_crash("pre-heal-commit")
         nodes_before = sum(n.load for n in self.ring.nodes)
         expected = nodes_before + self.in_flight_load
         suspended = list(self._suspended)

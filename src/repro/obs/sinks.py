@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import io
 import json
+import os
 import sys
 from pathlib import Path
 from typing import TYPE_CHECKING, Protocol, TextIO, runtime_checkable
@@ -101,19 +102,37 @@ class JSONLSink:
     The file is opened eagerly so a bad path fails at construction, not
     mid-round.  Lines are buffered by the underlying file object;
     ``close()`` flushes.
+
+    ``append`` reopens an existing stream instead of truncating it, and
+    ``sync`` makes each line durable (flush + ``os.fsync``) before
+    ``emit`` returns — the write-ahead discipline
+    :mod:`repro.recovery.journal` relies on for files sharing this JSON
+    Lines shape.  Both default off: plain tracing keeps the cheap
+    buffered behavior.
     """
 
-    def __init__(self, path: str | Path) -> None:
-        """Open ``path`` for writing (truncates; fails fast on bad paths)."""
+    def __init__(
+        self,
+        path: str | Path,
+        append: bool = False,
+        sync: bool = False,
+    ) -> None:
+        """Open ``path`` for writing (fails fast on bad paths)."""
         self.path = Path(path)
-        self._fh: io.TextIOWrapper | None = self.path.open("w")
+        self._fh: io.TextIOWrapper | None = self.path.open(
+            "a" if append else "w"
+        )
+        self.sync = sync
         self.lines_written = 0
 
     def emit(self, record: "TraceRecord") -> None:
-        """Write ``record`` as one JSON line."""
+        """Write ``record`` as one JSON line (durably when ``sync``)."""
         if self._fh is None:
             raise ValueError(f"JSONLSink({self.path}) is closed")
         self._fh.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+        if self.sync:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
         self.lines_written += 1
 
     def close(self) -> None:

@@ -1,0 +1,51 @@
+"""Crash recovery: durable journal, checkpoint/restore, chaos soak.
+
+PRs 3 and 5 made the balancing protocol survive message faults and
+network partitions; this package makes it survive a crash of the
+balancing *process itself*.  The pieces compose into one guarantee —
+a run that crashes at any :class:`~repro.faults.CrashPoint` site and
+recovers from durable state produces a
+:meth:`~repro.core.report.BalanceReport.canonical_digest` byte-identical
+to the uncrashed run:
+
+* :mod:`repro.recovery.durable` — the single sanctioned door to the
+  filesystem: fsync'd appends and atomic rename-on-commit writes
+  (enforced by the ``durable-write-discipline`` lint rule), plus
+  ``REPRO_STATE_DIR`` resolution.
+* :mod:`repro.recovery.journal` — the write-ahead transfer journal:
+  append-only JSONL with record-level checksums, torn-tail truncation
+  on open, and replay validation of a restored run against the
+  journaled prefix.
+* :mod:`repro.recovery.snapshot` — :class:`SystemSnapshot`
+  checkpoint/restore of every byte of mutable protocol state (ring,
+  loads, store, rng streams, fault log, membership epoch) with a
+  ``canonical_digest()`` so restore-equivalence is assertable.
+* :mod:`repro.recovery.manager` — :class:`RecoveryManager`, the
+  crash-restart loop: checkpoint each round, catch the injected
+  :class:`~repro.exceptions.ProcessCrashError`, restore, replay, go on.
+* :mod:`repro.recovery.soak` — seeded multi-round chaos schedules
+  (churn x faults x partitions x crashes) under always-on invariant
+  monitors, with deterministic delta-debugging that shrinks a failing
+  schedule to a minimal reproducing test case.
+"""
+
+from __future__ import annotations
+
+from repro.recovery.durable import (
+    DEFAULT_STATE_DIR,
+    STATE_DIR_ENV,
+    resolve_state_dir,
+)
+from repro.recovery.journal import JournalRecord, TransferJournal
+from repro.recovery.manager import RecoveryManager
+from repro.recovery.snapshot import SystemSnapshot
+
+__all__ = [
+    "DEFAULT_STATE_DIR",
+    "STATE_DIR_ENV",
+    "JournalRecord",
+    "RecoveryManager",
+    "SystemSnapshot",
+    "TransferJournal",
+    "resolve_state_dir",
+]

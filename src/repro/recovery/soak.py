@@ -1,0 +1,638 @@
+"""Chaos soak: seeded fault schedules, always-on monitors, ddmin shrinking.
+
+The soak harness answers the question the unit tests cannot: does the
+whole stack — balancer, membership epochs, fault injection, crash
+recovery — stay invariant-clean under *composed* adversity?  A
+:class:`SoakSchedule` describes one seeded scenario: churn operations
+(joins, leaves, load drift) interleaved with a :class:`~repro.faults.FaultPlan`
+mixing message drops, report corruption, transfer aborts, network
+partitions and whole-process :class:`~repro.faults.CrashPoint` crashes.
+:func:`run_schedule` drives it through a
+:class:`~repro.recovery.RecoveryManager` and checks four always-on
+monitors after every round:
+
+* **conservation** — ring load plus in-flight load is unchanged by the
+  round (churn moves load *between* rounds, rounds must only re-home it);
+* **region-tiling** — :meth:`~repro.dht.chord.ChordRing.check_invariants`
+  whenever no transfer is suspended (mid-partition the ring is
+  deliberately degraded);
+* **in-flight** — suspended transfers exist only while a partition is
+  active, and their aggregate load is non-negative;
+* **epoch** — the membership epoch never decreases.
+
+Everything is a pure function of the schedule, so a failure is a
+*reproducible artifact*, and :func:`shrink` makes it a small one:
+classic ddmin (delta debugging with granularity doubling) over the
+schedule's removable elements — each partition, crash point, churn op
+and nonzero fault knob — keeping any candidate that still fails the
+*same* monitor, followed by round-count truncation.  The result is
+1-minimal (no single element can be removed) and deterministic across
+reruns; :func:`format_repro` renders it as a paste-ready test case.
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import tempfile
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.core.balancer import LoadBalancer
+from repro.core.config import BalancerConfig
+from repro.core.records import assert_loads_conserved
+from repro.core.report import BalanceReport
+from repro.dht.churn import join_node, leave_node
+from repro.exceptions import ConservationError, DHTError, ReproError
+from repro.faults import CRASH_SITES, CrashPoint, FaultPlan, PartitionSpec
+from repro.recovery.manager import RecoveryManager
+from repro.util.rng import ensure_rng
+from repro.workloads import GaussianLoadModel, build_scenario
+
+#: Churn operation kinds a schedule may contain.
+CHURN_KINDS = ("join", "leave", "drift")
+
+#: Scalar fault knobs the shrinker can zero out independently.
+SHRINKABLE_KNOBS = (
+    "drop",
+    "delay",
+    "duplicate",
+    "transfer_abort",
+    "corrupt",
+    "crash_mid_round",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnOp:
+    """One membership/load perturbation applied *before* ``at_round``."""
+
+    at_round: int
+    kind: str
+
+    def __post_init__(self) -> None:
+        """Validate the operation kind and round."""
+        if self.kind not in CHURN_KINDS:
+            raise ValueError(
+                f"churn kind must be one of {CHURN_KINDS}, got {self.kind!r}"
+            )
+        if self.at_round < 0:
+            raise ValueError(f"at_round must be >= 0, got {self.at_round}")
+
+
+@dataclass(frozen=True, slots=True)
+class SoakSchedule:
+    """One fully seeded soak scenario (workload + faults + churn).
+
+    The schedule is the *entire* input: two runs of the same schedule
+    produce byte-identical round digests, which is what makes a soak
+    failure shrinkable and a shrunk failure a durable regression test.
+    """
+
+    seed: int = 0
+    rounds: int = 8
+    num_nodes: int = 32
+    vs_per_node: int = 4
+    plan: FaultPlan = FaultPlan()
+    churn: tuple[ChurnOp, ...] = ()
+
+    def __post_init__(self) -> None:
+        """Validate scenario dimensions."""
+        if self.rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {self.rounds}")
+        if self.num_nodes < 4:
+            raise ValueError(f"num_nodes must be >= 4, got {self.num_nodes}")
+        if self.vs_per_node < 1:
+            raise ValueError(
+                f"vs_per_node must be >= 1, got {self.vs_per_node}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class SoakFailure:
+    """One monitor violation: which monitor, which round, what it saw."""
+
+    round_index: int
+    monitor: str
+    message: str
+
+
+@dataclass(frozen=True, slots=True)
+class SoakResult:
+    """Outcome of one schedule run: per-round digests, first failure."""
+
+    schedule: SoakSchedule
+    digests: tuple[str, ...]
+    failure: SoakFailure | None
+    restores: int
+
+    @property
+    def ok(self) -> bool:
+        """Whether every round completed with every monitor green."""
+        return self.failure is None
+
+
+@dataclass(frozen=True, slots=True)
+class ShrinkResult:
+    """A 1-minimal failing schedule and the work it took to find it."""
+
+    schedule: SoakSchedule
+    failure: SoakFailure
+    runs: int
+
+
+@dataclass(frozen=True, slots=True)
+class SoakProbe:
+    """What a monitor sees after one completed round."""
+
+    round_index: int
+    balancer: LoadBalancer
+    report: BalanceReport
+    total_before: float
+
+
+class Monitor:
+    """Base class: a named always-on invariant check."""
+
+    name = "monitor"
+
+    def check(self, probe: SoakProbe) -> str | None:
+        """Return a violation message, or ``None`` when the invariant holds."""
+        raise NotImplementedError
+
+
+def _in_flight_load(balancer: LoadBalancer) -> float:
+    """Aggregate load of suspended transfers (0.0 without membership)."""
+    membership = balancer.membership
+    return 0.0 if membership is None else membership.in_flight_load
+
+
+class ConservationMonitor(Monitor):
+    """Ring load + in-flight load must be unchanged by the round."""
+
+    name = "conservation"
+
+    def check(self, probe: SoakProbe) -> str | None:
+        """Compare pre-round and post-round totals (shared tolerance)."""
+        after = sum(n.load for n in probe.balancer.ring.nodes)
+        after += _in_flight_load(probe.balancer)
+        try:
+            assert_loads_conserved(
+                probe.total_before, after, context="soak.conservation"
+            )
+        except ConservationError as err:
+            return str(err)
+        return None
+
+
+class RegionTilingMonitor(Monitor):
+    """Ring cross-references and region tiling must validate when whole."""
+
+    name = "region-tiling"
+
+    def check(self, probe: SoakProbe) -> str | None:
+        """Run the ring's invariant check unless transfers are suspended."""
+        membership = probe.balancer.membership
+        if membership is not None and membership.suspended_count > 0:
+            return None
+        try:
+            probe.balancer.ring.check_invariants()
+        except DHTError as err:
+            return str(err)
+        return None
+
+
+class InFlightMonitor(Monitor):
+    """Suspended transfers exist only while a partition is active."""
+
+    name = "in-flight"
+
+    def check(self, probe: SoakProbe) -> str | None:
+        """Cross-check suspension state against the active view."""
+        membership = probe.balancer.membership
+        if membership is None:
+            return None
+        if membership.active is None and membership.suspended_count > 0:
+            return (
+                f"{membership.suspended_count} transfers suspended with no "
+                "active partition"
+            )
+        if membership.in_flight_load < 0.0:
+            return f"negative in-flight load {membership.in_flight_load}"
+        return None
+
+
+class EpochMonitor(Monitor):
+    """The membership epoch must never decrease round over round."""
+
+    name = "epoch"
+
+    def __init__(self) -> None:
+        """Start before any observed epoch."""
+        self._last = -1
+
+    def check(self, probe: SoakProbe) -> str | None:
+        """Compare this round's epoch to the highest seen so far."""
+        membership = probe.balancer.membership
+        epoch = 0 if membership is None else membership.epoch
+        if epoch < self._last:
+            return f"epoch went backwards: {self._last} -> {epoch}"
+        self._last = epoch
+        return None
+
+
+def default_monitors() -> list[Monitor]:
+    """A fresh instance of every always-on monitor (order = check order)."""
+    return [
+        ConservationMonitor(),
+        RegionTilingMonitor(),
+        InFlightMonitor(),
+        EpochMonitor(),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Running one schedule
+# ----------------------------------------------------------------------
+def _factory_for(schedule: SoakSchedule) -> Callable[[], LoadBalancer]:
+    """The pure balancer constructor recovery restarts will re-invoke."""
+
+    def factory() -> LoadBalancer:
+        scenario = build_scenario(
+            GaussianLoadModel(mu=1e6, sigma=2e3),
+            num_nodes=schedule.num_nodes,
+            vs_per_node=schedule.vs_per_node,
+            rng=schedule.seed,
+        )
+        config = BalancerConfig(
+            proximity_mode="ignorant", epsilon=0.05, tree_degree=2
+        )
+        return LoadBalancer(
+            scenario.ring, config, rng=schedule.seed + 1, faults=schedule.plan
+        )
+
+    return factory
+
+
+def run_schedule(
+    schedule: SoakSchedule,
+    state_dir: str | Path | None = None,
+    monitor_factory: Callable[[], list[Monitor]] | None = None,
+) -> SoakResult:
+    """Run one schedule to completion or first failure.
+
+    Recovery state lives in ``state_dir`` (a throwaway temp directory by
+    default, removed afterwards).  Protocol exceptions escaping a round
+    are reported as a failure with monitor ``"exception"`` rather than
+    raised — an invariant gate tripping *is* the soak finding something.
+    """
+    own_dir = state_dir is None
+    resolved = (
+        Path(tempfile.mkdtemp(prefix="repro-soak-"))
+        if state_dir is None
+        else Path(state_dir)
+    )
+    monitors = (default_monitors if monitor_factory is None else monitor_factory)()
+    churn_rng = ensure_rng(schedule.seed + 0x5A0A)
+    digests: list[str] = []
+    failure: SoakFailure | None = None
+    manager = RecoveryManager(_factory_for(schedule), state_dir=resolved)
+    try:
+        for round_index in range(schedule.rounds):
+            for op in schedule.churn:
+                if op.at_round == round_index:
+                    _churn(manager.balancer, schedule, op, churn_rng)
+            total_before = sum(
+                n.load for n in manager.balancer.ring.nodes
+            ) + _in_flight_load(manager.balancer)
+            try:
+                report = manager.run_round()
+            except ReproError as err:
+                failure = SoakFailure(
+                    round_index,
+                    "exception",
+                    f"{type(err).__name__}: {err}",
+                )
+                break
+            digests.append(report.canonical_digest())
+            probe = SoakProbe(
+                round_index=round_index,
+                balancer=manager.balancer,
+                report=report,
+                total_before=total_before,
+            )
+            for monitor in monitors:
+                message = monitor.check(probe)
+                if message is not None:
+                    failure = SoakFailure(round_index, monitor.name, message)
+                    break
+            if failure is not None:
+                break
+        return SoakResult(
+            schedule=schedule,
+            digests=tuple(digests),
+            failure=failure,
+            restores=manager.restores,
+        )
+    finally:
+        manager.close()
+        if own_dir:
+            shutil.rmtree(resolved, ignore_errors=True)
+
+
+def _churn(
+    balancer: LoadBalancer,
+    schedule: SoakSchedule,
+    op: ChurnOp,
+    rng: np.random.Generator,
+) -> None:
+    """Apply one churn operation to the live ring (between rounds).
+
+    Joins and leaves route through :mod:`repro.dht.churn` (which
+    conserves load by handover); ``drift`` rescales a seeded eighth of
+    the hosted virtual servers, modelling organic demand shift.
+    """
+    ring = balancer.ring
+    if op.kind == "join":
+        capacities = [n.capacity for n in ring.alive_nodes]
+        capacity = sum(capacities) / len(capacities)
+        join_node(
+            ring, capacity, schedule.vs_per_node, rng=rng, site=None
+        )
+        return
+    if op.kind == "leave":
+        alive = ring.alive_nodes
+        if len(alive) <= 4:
+            return
+        candidates = [
+            n
+            for n in alive
+            if len(n.virtual_servers) < ring.num_virtual_servers
+        ]
+        if not candidates:
+            return
+        victim = candidates[int(rng.integers(len(candidates)))]
+        leave_node(ring, victim)
+        return
+    servers = list(ring.virtual_servers)
+    if not servers:
+        return
+    count = max(1, len(servers) // 8)
+    picks = rng.choice(len(servers), size=count, replace=False)
+    for i in sorted(int(p) for p in picks):
+        factor = 0.5 + 1.5 * float(rng.random())
+        servers[i].load *= factor
+
+
+# ----------------------------------------------------------------------
+# Shrinking (ddmin)
+# ----------------------------------------------------------------------
+def _elements(schedule: SoakSchedule) -> list[tuple[str, object]]:
+    """The schedule's removable elements, in a stable order."""
+    plan = schedule.plan
+    elems: list[tuple[str, object]] = []
+    elems.extend(("partition", i) for i in range(len(plan.partitions)))
+    elems.extend(("crash_point", i) for i in range(len(plan.crash_points)))
+    elems.extend(("churn", i) for i in range(len(schedule.churn)))
+    elems.extend(
+        ("knob", name) for name in SHRINKABLE_KNOBS if getattr(plan, name)
+    )
+    return elems
+
+
+def _rebuild(
+    schedule: SoakSchedule, kept: list[tuple[str, object]]
+) -> SoakSchedule:
+    """The sub-schedule containing exactly the ``kept`` elements."""
+    kept_set = set(kept)
+    plan = schedule.plan
+    knob_values = {
+        name: (getattr(plan, name) if ("knob", name) in kept_set else 0)
+        for name in SHRINKABLE_KNOBS
+    }
+    new_plan = replace(
+        plan,
+        partitions=tuple(
+            spec
+            for i, spec in enumerate(plan.partitions)
+            if ("partition", i) in kept_set
+        ),
+        crash_points=tuple(
+            point
+            for i, point in enumerate(plan.crash_points)
+            if ("crash_point", i) in kept_set
+        ),
+        **knob_values,
+    )
+    return replace(
+        schedule,
+        plan=new_plan,
+        churn=tuple(
+            op
+            for i, op in enumerate(schedule.churn)
+            if ("churn", i) in kept_set
+        ),
+    )
+
+
+def shrink(
+    schedule: SoakSchedule,
+    failure: SoakFailure,
+    monitor_factory: Callable[[], list[Monitor]] | None = None,
+    max_runs: int = 200,
+) -> ShrinkResult:
+    """ddmin the failing schedule to a 1-minimal reproduction.
+
+    A candidate counts as failing only when it trips the *same* monitor
+    as the original failure (any round, any message) — shrinking must
+    not wander onto a different bug.  After element minimisation the
+    round count is truncated as far as the failure allows.  The whole
+    process is deterministic: same schedule + failure in, same minimal
+    schedule out, bounded by ``max_runs`` soak executions.
+    """
+    runs = 0
+    cache: dict[str, SoakFailure | None] = {}
+
+    def fails(candidate: SoakSchedule) -> bool:
+        nonlocal runs
+        key = repr(candidate)
+        if key not in cache:
+            if runs >= max_runs:
+                return False
+            runs += 1
+            result = run_schedule(candidate, monitor_factory=monitor_factory)
+            cache[key] = result.failure
+        observed = cache[key]
+        return observed is not None and observed.monitor == failure.monitor
+
+    elements = _elements(schedule)
+    granularity = 2
+    while len(elements) >= 2:
+        chunk = max(1, (len(elements) + granularity - 1) // granularity)
+        reduced = False
+        for start in range(0, len(elements), chunk):
+            complement = elements[:start] + elements[start + chunk :]
+            if complement and not fails(_rebuild(schedule, complement)):
+                continue
+            if not complement:
+                continue
+            elements = complement
+            granularity = max(granularity - 1, 2)
+            reduced = True
+            break
+        if not reduced:
+            if granularity >= len(elements):
+                break
+            granularity = min(granularity * 2, len(elements))
+
+    minimal = _rebuild(schedule, elements)
+    while minimal.rounds > 1:
+        candidate = replace(minimal, rounds=minimal.rounds - 1)
+        if not fails(candidate):
+            break
+        minimal = candidate
+    final = run_schedule(minimal, monitor_factory=monitor_factory)
+    runs += 1
+    if final.failure is None or final.failure.monitor != failure.monitor:
+        raise ReproError(
+            "shrinker invariant violated: minimal schedule no longer fails "
+            f"monitor {failure.monitor!r}"
+        )
+    return ShrinkResult(schedule=minimal, failure=final.failure, runs=runs)
+
+
+def format_repro(result: ShrinkResult) -> str:
+    """Render a shrunk failure as a paste-ready regression test."""
+    schedule = result.schedule
+    failure = result.failure
+    return (
+        f"# Minimal soak reproduction: monitor {failure.monitor!r} fails at "
+        f"round {failure.round_index} after {result.runs} shrink runs.\n"
+        f"# {failure.message}\n"
+        "from repro.faults import CrashPoint, FaultPlan, PartitionSpec\n"
+        "from repro.recovery.soak import ChurnOp, SoakSchedule, run_schedule\n"
+        "\n"
+        "\n"
+        "def test_soak_regression():\n"
+        f"    schedule = {schedule!r}\n"
+        "    result = run_schedule(schedule)\n"
+        "    assert result.failure is not None\n"
+        f"    assert result.failure.monitor == {failure.monitor!r}\n"
+    )
+
+
+# ----------------------------------------------------------------------
+# Seeded schedule generation and the CLI driver
+# ----------------------------------------------------------------------
+def build_schedule(
+    seed: int,
+    rounds: int = 8,
+    num_nodes: int = 32,
+    vs_per_node: int = 4,
+) -> SoakSchedule:
+    """Draw one seeded schedule composing churn, faults, partitions, crashes."""
+    rng = ensure_rng(seed)
+    drop = float(rng.choice([0.0, 0.02, 0.05]))
+    corrupt = float(rng.choice([0.0, 0.03]))
+    transfer_abort = float(rng.choice([0.0, 0.05]))
+    crash_mid_round = int(rng.integers(0, 2))
+    partitions: tuple[PartitionSpec, ...] = ()
+    if rounds >= 4 and float(rng.random()) < 0.8:
+        at_round = int(rng.integers(1, rounds - 2))
+        partitions = (
+            PartitionSpec(
+                at_round=at_round,
+                duration=int(rng.integers(1, 3)),
+                num_components=2,
+                mid_round=bool(rng.random() < 0.5),
+            ),
+        )
+    crash_keys: set[tuple[int, str]] = set()
+    for _ in range(int(rng.integers(1, 3))):
+        key = (
+            int(rng.integers(0, rounds)),
+            str(rng.choice(list(CRASH_SITES))),
+        )
+        crash_keys.add(key)
+    crash_points = tuple(
+        CrashPoint(at_round=r, site=s) for r, s in sorted(crash_keys)
+    )
+    churn = tuple(
+        ChurnOp(
+            at_round=int(rng.integers(0, rounds)),
+            kind=str(rng.choice(list(CHURN_KINDS))),
+        )
+        for _ in range(int(rng.integers(0, 4)))
+    )
+    plan = FaultPlan(
+        seed=seed,
+        drop=drop,
+        corrupt=corrupt,
+        transfer_abort=transfer_abort,
+        crash_mid_round=crash_mid_round,
+        partitions=partitions,
+        crash_points=crash_points,
+    )
+    return SoakSchedule(
+        seed=seed,
+        rounds=rounds,
+        num_nodes=num_nodes,
+        vs_per_node=vs_per_node,
+        plan=plan,
+        churn=churn,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Soak driver: run seeded schedules, shrink and print any failure.
+
+    ``--smoke`` runs a small fixed sweep suitable for CI; the default
+    sweep is larger.  Exit status 0 = every schedule clean, 1 = at
+    least one monitor violation (its shrunk reproduction is printed).
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro.recovery.soak", description=main.__doc__
+    )
+    parser.add_argument("--smoke", action="store_true", help="small CI sweep")
+    parser.add_argument("--seed", type=int, default=1, help="first seed")
+    parser.add_argument(
+        "--schedules", type=int, default=6, help="number of seeded schedules"
+    )
+    parser.add_argument("--rounds", type=int, default=10, help="rounds each")
+    parser.add_argument(
+        "--nodes", type=int, default=48, help="physical nodes per schedule"
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.schedules = 2
+        args.rounds = 6
+        args.nodes = 24
+    exit_code = 0
+    for offset in range(args.schedules):
+        schedule = build_schedule(
+            args.seed + offset, rounds=args.rounds, num_nodes=args.nodes
+        )
+        result = run_schedule(schedule)
+        if result.ok:
+            print(
+                f"seed {schedule.seed}: ok "
+                f"({len(result.digests)} rounds, {result.restores} restores, "
+                f"{len(schedule.plan.crash_points)} crash points)"
+            )
+            continue
+        exit_code = 1
+        assert result.failure is not None
+        print(
+            f"seed {schedule.seed}: FAIL monitor={result.failure.monitor} "
+            f"round={result.failure.round_index}: {result.failure.message}"
+        )
+        shrunk = shrink(schedule, result.failure)
+        print(format_repro(shrunk))
+    return exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via verify.sh
+    raise SystemExit(main())

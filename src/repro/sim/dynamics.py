@@ -18,6 +18,7 @@ from repro.core.balancer import LoadBalancer
 from repro.core.report import BalanceReport
 from repro.dht.chord import ChordRing
 from repro.exceptions import SimulationError
+from repro.recovery.manager import RecoveryManager
 from repro.util.rng import ensure_rng
 from repro.util.stats import gini_coefficient
 
@@ -100,16 +101,30 @@ class LoadDynamics:
 
 
 def run_dynamic_simulation(
-    balancer: LoadBalancer,
+    balancer: LoadBalancer | RecoveryManager,
     dynamics: LoadDynamics,
     epochs: int,
 ) -> DynamicsTrace:
-    """Alternate load evolution and balancing for ``epochs`` epochs."""
+    """Alternate load evolution and balancing for ``epochs`` epochs.
+
+    ``balancer`` may be a plain balancer or a
+    :class:`~repro.recovery.manager.RecoveryManager` wrapping one.  In
+    the managed case every epoch's round runs under crash recovery:
+    plan-scheduled crash points are caught, the stack is restored and
+    the round re-run, so the trace always records ``epochs`` completed
+    rounds.  Load evolution targets the *current* ring each epoch (a
+    restart rebuilds the balancer object) and is never replayed — the
+    drifted loads land in the pre-round checkpoint, so a crashed round
+    re-runs against exactly the loads it first saw.
+    """
     if epochs < 1:
         raise SimulationError(f"epochs must be >= 1, got {epochs}")
     trace = DynamicsTrace()
-    ring = balancer.ring
     for epoch in range(epochs):
+        if isinstance(balancer, RecoveryManager):
+            ring = balancer.balancer.ring
+        else:
+            ring = balancer.ring
         dynamics.step(ring)
         report = balancer.run_round()
         trace.reports.append(report)

@@ -143,3 +143,53 @@ class TestWithTopology:
         report = sys_.rebalance()
         # transfers carry real distances
         assert all(t.has_distance for t in report.transfers)
+
+
+class TestDurableMode:
+    """Crash recovery at the application facade (docs/recovery.md)."""
+
+    @staticmethod
+    def _system(tmp_path, faults=None, durable=True):
+        from repro.faults import FaultPlan
+
+        sys_ = P2PSystem(
+            SystemConfig(initial_nodes=12, vs_per_node=3, seed=5),
+            faults=faults if faults is not None else FaultPlan(),
+            state_dir=tmp_path if durable else None,
+            durable=durable,
+        )
+        for i in range(60):
+            sys_.put(f"obj-{i}", load=float(i % 9 + 1))
+        return sys_
+
+    def test_crashed_rebalance_matches_plain(self, tmp_path):
+        from repro.faults import CrashPoint, FaultPlan
+
+        base = dict(seed=9, drop=0.05, transfer_abort=0.1)
+        crash_plan = FaultPlan(
+            **base,
+            crash_points=(
+                CrashPoint(at_round=1, site="mid-vst-batch"),
+                CrashPoint(at_round=2, site="post-lbi-fold"),
+            ),
+        )
+        plain = self._system(None, faults=FaultPlan(**base), durable=False)
+        durable = self._system(tmp_path, faults=crash_plan)
+        for _ in range(3):
+            expected = plain.rebalance().canonical_digest()
+            assert durable.rebalance().canonical_digest() == expected
+        durable.verify()
+        durable.close()
+        counters = durable.stats().metrics["counters"]
+        assert counters.get("recovery.restores") == 2
+
+    def test_state_dir_populated(self, tmp_path):
+        sys_ = self._system(tmp_path)
+        sys_.rebalance()
+        sys_.close()
+        assert (tmp_path / "journal.jsonl").exists()
+        assert (tmp_path / "snapshot-latest.json").exists()
+
+    def test_non_durable_has_no_journal(self):
+        sys_ = P2PSystem(SystemConfig(initial_nodes=8, vs_per_node=2, seed=3))
+        assert sys_.journal is None

@@ -1,0 +1,154 @@
+"""Tests for :class:`repro.recovery.SystemSnapshot` capture/restore.
+
+The contract: restoring a snapshot into a factory-fresh twin makes the
+twin byte-identical to the captured stack for every future round — the
+canonical digests of all subsequent reports must match.  Also covered:
+save/load atomicity, the version gate, shape-compatibility errors and
+presence mismatches (snapshot captured with/without injector, store,
+membership vs a target that disagrees).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.balancer import LoadBalancer
+from repro.core.config import BalancerConfig
+from repro.exceptions import RecoveryError
+from repro.faults import FaultPlan, PartitionSpec
+from repro.recovery import SystemSnapshot
+from repro.recovery.snapshot import SNAPSHOT_VERSION
+from repro.util.rng import ensure_rng
+from repro.workloads import GaussianLoadModel, build_scenario
+
+SEED = 11
+
+FAULTS = FaultPlan(
+    seed=5,
+    drop=0.08,
+    transfer_abort=0.1,
+    partitions=(PartitionSpec(at_round=1, duration=1, num_components=2),),
+)
+
+
+def _build(faults=None, seed=SEED, num_nodes=24):
+    scenario = build_scenario(
+        GaussianLoadModel(mu=1e6, sigma=2e3),
+        num_nodes=num_nodes,
+        vs_per_node=4,
+        rng=seed,
+    )
+    config = BalancerConfig(
+        proximity_mode="ignorant", epsilon=0.05, tree_degree=2
+    )
+    return LoadBalancer(scenario.ring, config, rng=seed + 1, faults=faults)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("faults", [None, FAULTS], ids=["clean", "faulty"])
+    def test_restore_into_twin_is_digest_identical(self, faults):
+        original = _build(faults)
+        for _ in range(2):
+            original.run_round()
+        snapshot = SystemSnapshot.capture(original)
+
+        twin = _build(faults)  # fresh stack, same constructor args
+        snapshot.restore(twin)
+
+        for rnd in range(3):
+            a = original.run_round().canonical_digest()
+            b = twin.run_round().canonical_digest()
+            assert a == b, f"diverged at round {rnd} after restore"
+
+    def test_digest_stable_across_capture(self):
+        balancer = _build(FAULTS)
+        balancer.run_round()
+        d1 = SystemSnapshot.capture(balancer).canonical_digest()
+        d2 = SystemSnapshot.capture(balancer).canonical_digest()
+        assert d1 == d2  # capture must not perturb the stack
+
+    def test_restored_capture_has_same_digest(self):
+        original = _build(FAULTS)
+        original.run_round()
+        snapshot = SystemSnapshot.capture(original)
+        twin = _build(FAULTS)
+        snapshot.restore(twin)
+        assert SystemSnapshot.capture(twin).canonical_digest() == snapshot.canonical_digest()
+
+    def test_extra_rngs_round_trip(self):
+        balancer = _build()
+        app_rng = ensure_rng(99)
+        app_rng.random(10)  # advance the stream
+        snapshot = SystemSnapshot.capture(
+            balancer, extra_rngs={"app": app_rng}
+        )
+        expected = app_rng.random(5).tolist()
+
+        twin = _build()
+        twin_rng = ensure_rng(99)
+        snapshot.restore(twin, extra_rngs={"app": twin_rng})
+        assert twin_rng.random(5).tolist() == expected
+
+    def test_missing_extra_rng_raises(self):
+        balancer = _build()
+        snapshot = SystemSnapshot.capture(
+            balancer, extra_rngs={"app": ensure_rng(1)}
+        )
+        twin = _build()
+        with pytest.raises(RecoveryError):
+            snapshot.restore(twin, extra_rngs={})
+
+
+class TestSaveLoad:
+    def test_save_load_round_trip(self, tmp_path):
+        balancer = _build(FAULTS)
+        balancer.run_round()
+        snapshot = SystemSnapshot.capture(balancer)
+        path = tmp_path / "snap.json"
+        snapshot.save(path)
+        loaded = SystemSnapshot.load(path)
+        assert loaded.canonical_digest() == snapshot.canonical_digest()
+        assert loaded.round_index == snapshot.round_index
+
+    def test_version_gate(self, tmp_path):
+        balancer = _build()
+        snapshot = SystemSnapshot.capture(balancer)
+        snapshot.payload["version"] = SNAPSHOT_VERSION + 1
+        path = tmp_path / "snap.json"
+        snapshot.save(path)
+        with pytest.raises(RecoveryError, match="version"):
+            SystemSnapshot.load(path)
+
+    def test_non_object_payload_rejected(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(RecoveryError):
+            SystemSnapshot.load(path)
+
+
+class TestShapeMismatches:
+    def test_space_bits_mismatch(self):
+        snapshot = SystemSnapshot.capture(_build())
+        small = _build(num_nodes=24)
+        small_ring_bits = small.ring.space.bits
+        snapshot.payload["space_bits"] = small_ring_bits + 1
+        with pytest.raises(RecoveryError, match="space"):
+            snapshot.restore(small)
+
+    def test_injector_presence_mismatch(self):
+        snapshot = SystemSnapshot.capture(_build(FAULTS))
+        with pytest.raises(RecoveryError):
+            snapshot.restore(_build(None))
+
+    def test_injector_absence_mismatch(self):
+        snapshot = SystemSnapshot.capture(_build(None))
+        with pytest.raises(RecoveryError):
+            snapshot.restore(_build(FAULTS))
+
+    def test_store_presence_mismatch(self):
+        balancer = _build()
+        snapshot = SystemSnapshot.capture(balancer)  # no store captured
+        from repro.dht.storage import ObjectStore
+
+        twin = _build()
+        with pytest.raises(RecoveryError):
+            snapshot.restore(twin, store=ObjectStore(twin.ring))

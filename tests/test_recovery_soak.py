@@ -1,0 +1,217 @@
+"""Tests for the chaos-soak harness and the ddmin schedule shrinker.
+
+The harness's value rests on two properties checked here: a schedule is
+the *entire* input (same schedule in, byte-identical digests out, so
+failures reproduce), and a failing schedule shrinks deterministically
+to a 1-minimal reproduction that still trips the same monitor.
+Shrinker tests drive a synthetic monitor so they exercise the ddmin
+machinery without needing a real protocol bug.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.faults import CrashPoint, FaultPlan, PartitionSpec
+from repro.recovery.soak import (
+    CHURN_KINDS,
+    SHRINKABLE_KNOBS,
+    ChurnOp,
+    Monitor,
+    SoakSchedule,
+    build_schedule,
+    default_monitors,
+    format_repro,
+    main,
+    run_schedule,
+    shrink,
+)
+
+#: Small-but-real schedule dimensions that keep these tests quick.
+SMALL = dict(rounds=4, num_nodes=16, vs_per_node=3)
+
+
+class TestScheduleModel:
+    def test_churn_op_validation(self):
+        with pytest.raises(ValueError):
+            ChurnOp(at_round=0, kind="explode")
+        with pytest.raises(ValueError):
+            ChurnOp(at_round=-1, kind="join")
+        assert {op_kind for op_kind in CHURN_KINDS} == {"join", "leave", "drift"}
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(rounds=0), dict(num_nodes=3), dict(vs_per_node=0)],
+    )
+    def test_schedule_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SoakSchedule(**kwargs)
+
+    def test_build_schedule_is_valid_and_deterministic(self):
+        for seed in range(1, 8):
+            a = build_schedule(seed, rounds=6, num_nodes=24)
+            b = build_schedule(seed, rounds=6, num_nodes=24)
+            assert a == b
+            assert 1 <= len(a.plan.crash_points) <= 2
+            for point in a.plan.crash_points:
+                assert point.at_round < a.rounds
+            for op in a.churn:
+                assert op.at_round < a.rounds
+
+
+class TestRunSchedule:
+    def test_clean_schedule_passes_all_monitors(self):
+        schedule = SoakSchedule(seed=3, **SMALL)
+        result = run_schedule(schedule)
+        assert result.ok
+        assert len(result.digests) == schedule.rounds
+        assert result.restores == 0
+
+    def test_same_schedule_same_digests(self):
+        schedule = SoakSchedule(
+            seed=4,
+            plan=FaultPlan(
+                seed=4,
+                drop=0.05,
+                crash_points=(CrashPoint(at_round=1, site="mid-vst-batch"),),
+            ),
+            churn=(ChurnOp(at_round=1, kind="join"), ChurnOp(at_round=2, kind="drift")),
+            **SMALL,
+        )
+        first = run_schedule(schedule)
+        second = run_schedule(schedule)
+        assert first.ok, first.failure
+        assert first.digests == second.digests
+        assert first.restores == second.restores == 1
+
+    def test_full_chaos_composition_is_clean(self):
+        """Churn x faults x partition x crash, all monitors green."""
+        schedule = SoakSchedule(
+            seed=6,
+            rounds=6,
+            num_nodes=20,
+            vs_per_node=3,
+            plan=FaultPlan(
+                seed=6,
+                drop=0.05,
+                transfer_abort=0.05,
+                crash_mid_round=1,
+                partitions=(
+                    PartitionSpec(
+                        at_round=2, duration=1, num_components=2, mid_round=True
+                    ),
+                ),
+                crash_points=(CrashPoint(at_round=3, site="pre-heal-commit"),),
+            ),
+            churn=(
+                ChurnOp(at_round=1, kind="join"),
+                ChurnOp(at_round=3, kind="leave"),
+                ChurnOp(at_round=5, kind="drift"),
+            ),
+        )
+        result = run_schedule(schedule)
+        assert result.ok, result.failure
+        assert result.restores == 1
+
+
+class _NoPartitionMonitor(Monitor):
+    """Synthetic invariant: trips whenever the plan carries a partition.
+
+    Gives the shrinker a failure whose minimal cause is exactly one
+    element (the PartitionSpec), so 1-minimality is checkable.
+    """
+
+    name = "no-partition"
+
+    def check(self, probe):
+        injector = probe.balancer.faults
+        if injector is not None and injector.plan.partitions:
+            return "plan carries a partition"
+        return None
+
+
+def _synthetic_monitors():
+    return default_monitors() + [_NoPartitionMonitor()]
+
+
+class TestShrink:
+    #: A deliberately noisy failing schedule: the partition is the only
+    #: real cause; crashes, churn and knobs are shrinkable noise.
+    NOISY = SoakSchedule(
+        seed=9,
+        rounds=6,
+        num_nodes=16,
+        vs_per_node=3,
+        plan=FaultPlan(
+            seed=9,
+            drop=0.05,
+            transfer_abort=0.05,
+            partitions=(
+                PartitionSpec(at_round=0, duration=1, num_components=2),
+            ),
+            crash_points=(CrashPoint(at_round=1, site="mid-vst-batch"),),
+        ),
+        churn=(ChurnOp(at_round=1, kind="join"),),
+    )
+
+    def _failing(self):
+        result = run_schedule(self.NOISY, monitor_factory=_synthetic_monitors)
+        assert not result.ok
+        assert result.failure.monitor == "no-partition"
+        return result
+
+    def test_shrinks_to_single_cause(self):
+        result = self._failing()
+        shrunk = shrink(
+            self.NOISY, result.failure, monitor_factory=_synthetic_monitors
+        )
+        minimal = shrunk.schedule
+        assert len(minimal.plan.partitions) == 1
+        assert minimal.plan.crash_points == ()
+        assert minimal.churn == ()
+        for knob in SHRINKABLE_KNOBS:
+            assert not getattr(minimal.plan, knob)
+        assert minimal.rounds == 1  # partition at round 0: one round repros
+        assert shrunk.failure.monitor == "no-partition"
+
+    def test_shrink_is_deterministic(self):
+        result = self._failing()
+        a = shrink(self.NOISY, result.failure, monitor_factory=_synthetic_monitors)
+        b = shrink(self.NOISY, result.failure, monitor_factory=_synthetic_monitors)
+        assert a.schedule == b.schedule
+        assert a.runs == b.runs
+
+    def test_shrink_rejects_non_reproducing_failure(self):
+        clean = dataclasses.replace(
+            self.NOISY, plan=dataclasses.replace(self.NOISY.plan, partitions=())
+        )
+        result = run_schedule(clean, monitor_factory=_synthetic_monitors)
+        assert result.ok
+        bogus = dataclasses.replace(self._failing().failure)
+        with pytest.raises(ReproError, match="no longer fails"):
+            shrink(clean, bogus, monitor_factory=_synthetic_monitors)
+
+    def test_format_repro_is_executable(self):
+        result = self._failing()
+        shrunk = shrink(
+            self.NOISY, result.failure, monitor_factory=_synthetic_monitors
+        )
+        source = format_repro(shrunk)
+        assert "def test_soak_regression():" in source
+        # The rendered schedule must evaluate back to the minimal one.
+        namespace = {}
+        exec(  # noqa: S102 - the harness's own paste-ready output
+            "from repro.faults import CrashPoint, FaultPlan, PartitionSpec\n"
+            "from repro.recovery.soak import ChurnOp, SoakSchedule\n"
+            f"schedule = {shrunk.schedule!r}\n",
+            namespace,
+        )
+        assert namespace["schedule"] == shrunk.schedule
+
+
+class TestDriver:
+    def test_smoke_sweep_is_clean(self, capsys):
+        assert main(["--smoke", "--rounds", "4", "--nodes", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out
