@@ -126,6 +126,38 @@ def _smoke_snapshot() -> dict:
         )
     incremental.run_round()
 
+    # A steady-state stretch shaped like the 10^6 configuration of
+    # bench_incremental_scaling (--million) at smoke scale: batched
+    # descents plus delta-driven cache repair over fractional churn.
+    # Pins the miss-descent economy counters — incremental.miss_descents
+    # (keys resolved by descending), incremental.cache_repairs (entries
+    # remapped without a descent) and incremental.stale_cache_misses
+    # (corridor re-descents, exactly zero while repair holds its
+    # invariant) — so a repair regression surfaces as descent growth
+    # here long before it costs wall-clock at a million nodes.
+    steady_scenario = scenario()
+    steady = IncrementalLoadBalancer(
+        steady_scenario.ring, config, rng=7, metrics=registry
+    )
+    steady_gen = ensure_rng(19)
+    for rnd in range(4):
+        steady.run_round()
+        if rnd == 3:
+            break
+        ring = steady_scenario.ring
+        alive = [n for n in ring.alive_nodes if n.virtual_servers]
+        joined = join_node(
+            ring, capacity=10.0, vs_count=3,
+            rng=int(steady_gen.integers(1 << 30)),
+        )
+        leave_node(ring, alive[int(steady_gen.integers(len(alive)))])
+        apply_load_drift(
+            ring, GaussianLoadModel(mu=1e6, sigma=2e3),
+            int(steady_gen.integers(1 << 30)),
+            [vs.vs_id for vs in joined.virtual_servers][:3],
+            fraction=0.01,
+        )
+
     # One partition lifecycle: a mid-round 2-way split, two degraded
     # per-component rounds and a conservation-checked heal.  Pins the
     # membership counters (partition/heal/regraft/quarantine) so a cost

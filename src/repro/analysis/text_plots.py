@@ -27,7 +27,7 @@ def ascii_histogram(
         raise ValueError("histogram values must be non-negative")
     peak = vals.max()
     label_w = max(len(l) for l in labels)
-    lines = []
+    lines: list[str] = []
     for label, v in zip(labels, vals):
         bar = fill * int(round(width * v / peak)) if peak > 0 else ""
         lines.append(f"{label:>{label_w}} | {bar} {v:.3g}")
@@ -60,7 +60,7 @@ def ascii_cdf(
         col = int(round((xi - x_lo) / span * (width - 1)))
         row = int(round((1.0 - pi) * (height - 1)))
         grid[row][col] = marker
-    lines = []
+    lines: list[str] = []
     for r, row in enumerate(grid):
         frac = 1.0 - r / (height - 1)
         lines.append(f"{frac:4.2f} |{''.join(row)}")

@@ -12,8 +12,16 @@ changed:
   the dirty identifier spans those events imply, and the
   :class:`TreeIndex` slot arrays absorb the structural delta.
 * Key-to-leaf resolutions (reporter centers, notional hash positions,
-  VSA placement keys) are cached and validated in O(1) against the slot
-  index (``alive & is_leaf``) instead of re-descending the tree.
+  VSA placement keys) are cached and kept valid *by construction*:
+  after each ``refresh_dirty`` the structural delta drives a surgical
+  cache repair (:meth:`IncrementalLoadBalancer._repair_cache`) that
+  remaps only the entries whose leaves were pruned or flipped —
+  surviving entries are rebound through one batched directory lookup
+  and only genuinely re-tiled keys descend.  Keys with no usable cache
+  entry resolve through :meth:`TreeIndex.resolve_leaves` and the
+  remaining misses descend the tree **together** via
+  :meth:`KnaryTree.descend_batch`, one level at a time over the whole
+  miss set, instead of N independent Python walks.
 * The LBI fold, classification and the node-state snapshot run as NumPy
   array programs over struct-of-arrays columns
   (:class:`~repro.core.soa.NodeStateArrays`); the VSA sweep visits only
@@ -71,10 +79,22 @@ from repro.obs.profile import PhaseClock, profile_from_report
 class IncrementalLoadBalancer(LoadBalancer):
     """Drop-in :class:`LoadBalancer` with incremental, vectorized rounds.
 
-    Accepts the same constructor arguments; selection between the fast
-    path and the serial fallback happens per round (see the module
-    docstring).  The config is untouched — engine choice is not part of
-    the digested experiment identity.
+    Accepts the same constructor arguments plus ``descent_mode``;
+    selection between the fast path and the serial fallback happens per
+    round (see the module docstring).  The config is untouched — engine
+    choice is not part of the digested experiment identity.
+
+    Parameters
+    ----------
+    descent_mode:
+        ``"batched"`` (default) resolves cache misses through the
+        level-synchronous :meth:`KnaryTree.descend_batch` and repairs
+        key-to-leaf cache entries from each ``refresh_dirty`` delta.
+        ``"legacy"`` reproduces the PR 6 behaviour — per-key
+        :meth:`KnaryTree.ensure_leaf_for_key` descents and per-use cache
+        validation with no delta repair — and exists for honest A/B
+        timing of the miss-descent phase; both modes are byte-identical
+        in digest.
     """
 
     #: Above this many logged ring events per round (relative floor 64,
@@ -83,16 +103,41 @@ class IncrementalLoadBalancer(LoadBalancer):
     REBUILD_EVENT_FLOOR = 64
 
     def __init__(self, *args: object, **kwargs: object) -> None:
+        mode = kwargs.pop("descent_mode", "batched")
+        if mode not in ("batched", "legacy"):
+            raise BalancerError(
+                f"descent_mode must be 'batched' or 'legacy', got {mode!r}"
+            )
         super().__init__(*args, **kwargs)  # type: ignore[arg-type]
+        self._descent_mode: str = str(mode)
         self._events = RingEventLog(self.ring)
         self._tree: KnaryTree | None = None
         self._index: TreeIndex | None = None
-        #: vs_id -> (region center, leaf slot) for reporter resolution.
-        self._center_cache: dict[int, tuple[int, int]] = {}
+        #: vs_id -> region center key for reporter resolution; the leaf
+        #: slot itself lives in ``_key_leaf`` (single source of truth,
+        #: so delta repair has exactly one map to fix).
+        self._center_cache: dict[int, int] = {}
         #: node index -> notional hash position (pure, survives rebuilds).
         self._hash_keys: dict[int, int] = {}
-        #: identifier key -> leaf slot, validated on use.
+        #: identifier key -> leaf slot.  In batched mode every entry
+        #: names a live leaf containing its key (maintained by
+        #: ``_repair_cache``); in legacy mode entries are validated on
+        #: use instead.
         self._key_leaf: dict[int, int] = {}
+        #: leaf slot -> keys cached there (reverse of ``_key_leaf``,
+        #: batched mode only; drives delta-driven repair).  Entries may
+        #: be stale after a key is remapped — repair re-checks against
+        #: ``_key_leaf`` before trusting one.
+        self._slot_keys: dict[int, list[int]] = {}
+        #: Cumulative resolution economy: keys resolved via batch
+        #: descent, cache entries surgically remapped without a descent,
+        #: and cached slots found invalid at use time (the PR 6 corridor
+        #: re-descents — zero in batched mode, by the repair invariant).
+        self.descent_stats: dict[str, int] = {
+            "miss_descents": 0,
+            "cache_repairs": 0,
+            "stale_cache_misses": 0,
+        }
         self._needs_reset = True
         self._acc_load: np.ndarray | None = None
         self._acc_cap: np.ndarray | None = None
@@ -135,9 +180,10 @@ class IncrementalLoadBalancer(LoadBalancer):
         self._index = TreeIndex(self._tree)
         self._center_cache.clear()
         self._key_leaf.clear()
+        self._slot_keys.clear()
         self._needs_reset = False
 
-    def _sync_world(self) -> None:
+    def _sync_world(self, clock: PhaseClock) -> None:
         """Bring the persistent tree and caches up to the current ring."""
         log = self._events
         if self._needs_reset or self._tree is None or self._index is None:
@@ -160,25 +206,121 @@ class IncrementalLoadBalancer(LoadBalancer):
         assert delta.dirty is not None
         refresh = self._tree.refresh_dirty(delta.dirty)
         index = self._index
+        slot_keys = self._slot_keys
+        # Slots whose cached key->leaf entries the delta invalidated:
+        # pruned leaves and leaves that flipped internal.  (Nodes that
+        # *became* leaves were internal before, so nothing was cached
+        # there; their keys sit on the pruned descendants.)
+        doomed: list[int] = []
         for node in refresh.pruned_nodes:
+            slot = index.slot_if_registered(node)
             index.drop(node)
+            if slot is not None and slot in slot_keys:
+                doomed.append(slot)
         for node in refresh.became_leaf:
             index.set_leaf(node, True)
         for node in refresh.became_internal:
+            slot = index.slot_if_registered(node)
             index.set_leaf(node, False)
+            if slot is not None and slot in slot_keys:
+                doomed.append(slot)
         for vs_id in delta.affected_vs_ids:
             self._center_cache.pop(vs_id, None)
+        if doomed and self._descent_mode == "batched":
+            self._repair_cache(doomed, clock)
+
+    def _count(self, name: str, amount: int) -> None:
+        """Bump a resolution-economy stat (and its metrics counter).
+
+        The counter is touched even at zero so a snapshot always carries
+        it — the bench-trend baseline pins ``stale_cache_misses`` at 0,
+        which only works if the instrument exists in every dump.
+        """
+        if self.metrics is not None:
+            counter = self.metrics.counter(f"incremental.{name}")
+            if amount:
+                counter.inc(amount)
+        self.descent_stats[name] += amount
 
     # ------------------------------------------------------------------
-    # Cached key-to-leaf resolution
+    # Batched key-to-leaf resolution + delta-driven cache repair
+    # ------------------------------------------------------------------
+    def _descend_slots(self, keys: np.ndarray) -> np.ndarray:
+        """Leaf slots for ``keys`` via one level-synchronous batch descent."""
+        index = self._index
+        tree = self._tree
+        assert index is not None and tree is not None
+        leaves, ordinals = tree.descend_batch(keys)
+        slots = np.fromiter(
+            (index.slot(leaf) for leaf in leaves),
+            dtype=np.int64,
+            count=len(leaves),
+        )
+        self._count("miss_descents", int(keys.size))
+        return slots[ordinals]
+
+    def _resolve_and_cache(self, keys: np.ndarray) -> np.ndarray:
+        """Resolve uncached ``keys`` to leaf slots and register them.
+
+        Directory hits resolve without touching the tree; the remaining
+        misses descend together.  Every key is recorded in ``_key_leaf``
+        (and the reverse map) so the next delta repair can find it.
+        """
+        index = self._index
+        assert index is not None
+        slots = index.resolve_leaves(keys)
+        miss = np.flatnonzero(slots < 0)
+        if miss.size:
+            slots[miss] = self._descend_slots(keys[miss])
+        key_leaf = self._key_leaf
+        slot_keys = self._slot_keys
+        for key, slot in zip(keys.tolist(), slots.tolist()):
+            if key_leaf.get(key) != slot:
+                key_leaf[key] = slot
+                slot_keys.setdefault(slot, []).append(key)
+        return slots
+
+    def _repair_cache(self, doomed: list[int], clock: PhaseClock) -> None:
+        """Remap the cache entries stranded on ``doomed`` slots.
+
+        The delta names exactly the slots that stopped being live
+        leaves, so the affected keys are read off the reverse map
+        instead of scanning the cache.  Survivors whose key now lands in
+        an already-materialised leaf are rebound by one batched
+        directory lookup (*repairs* — no descent); only keys whose
+        corridor was genuinely re-tiled descend, batched.  Afterwards
+        every cache entry again names a live leaf containing its key,
+        which is what lets the fold skip per-use validation misses.
+        """
+        key_leaf = self._key_leaf
+        slot_keys = self._slot_keys
+        affected: list[int] = []
+        for slot in doomed:
+            for key in slot_keys.pop(slot, ()):
+                # Reverse entries can be stale (key since remapped);
+                # only keys still bound to the doomed slot move.
+                if key_leaf.get(key) == slot:
+                    affected.append(key)
+        if not affected:
+            return
+        with clock.phase("miss_descent"):
+            before = self.descent_stats["miss_descents"]
+            self._resolve_and_cache(np.asarray(affected, dtype=np.int64))
+            descended = self.descent_stats["miss_descents"] - before
+        self._count("cache_repairs", len(affected) - descended)
+
+    # ------------------------------------------------------------------
+    # Per-key key-to-leaf resolution (legacy descent mode)
     # ------------------------------------------------------------------
     def _leaf_slot_for_key(self, key: int) -> int:
-        """Leaf slot owning ``key``, via the validated cache.
+        """Leaf slot owning ``key``, via the per-use-validated cache.
 
         A cached slot is reusable iff it still names a live leaf: leaf
         regions are immutable and tree shape is a pure function of the
         ring, so a live leaf containing ``key`` is always the node a
-        fresh root-to-leaf descent would end at.
+        fresh root-to-leaf descent would end at.  This is the PR 6
+        resolution path, kept for ``descent_mode="legacy"``; the batched
+        mode resolves through :meth:`_resolve_and_cache` instead.
         """
         index = self._index
         tree = self._tree
@@ -189,6 +331,7 @@ class IncrementalLoadBalancer(LoadBalancer):
         leaf = tree.ensure_leaf_for_key(key)
         slot = index.slot(leaf)
         self._key_leaf[key] = slot
+        self._count("miss_descents", 1)
         return slot
 
     # ------------------------------------------------------------------
@@ -210,11 +353,15 @@ class IncrementalLoadBalancer(LoadBalancer):
             tree_degree=cfg.tree_degree,
         )
 
-        # Phase 1: dirty-subtree repair + vectorized LBI fold.
+        # Phase 1: dirty-subtree repair + vectorized LBI fold.  The
+        # ``miss_descent`` entry in ``phase_seconds`` is a *sub*-phase:
+        # descent/repair segments inside lbi and vsa also accumulate
+        # there, so its total is the round's key-resolution-beyond-cache
+        # cost (phase_seconds is excluded from the digest).
         with clock.phase("lbi"), tracer.span("lbi"):
-            self._sync_world()
+            self._sync_world(clock)
             system, agg_trace, lbi_count, lbi_height = self._fold_lbi(
-                alive, arrays
+                alive, arrays, clock
             )
             self._stale_lbi = system
             self._stale_lbi_age = 0
@@ -238,7 +385,7 @@ class IncrementalLoadBalancer(LoadBalancer):
             published = self._publish_vsa_entries(alive, classification_before)
             # Phase 3b: sparse bottom-up sweep over bucket-holding slots.
             vsa_result, vsa_count, vsa_height = self._sweep_sparse(
-                published, system.min_vs_load
+                published, system.min_vs_load, clock
             )
             tree_height = max(lbi_height, vsa_height)
             tree_nodes = lbi_count + vsa_count
@@ -384,9 +531,21 @@ class IncrementalLoadBalancer(LoadBalancer):
             self._acc_min = np.empty(size, dtype=np.float64)
 
     def _fold_lbi(
-        self, alive: list[PhysicalNode], arrays: NodeStateArrays
+        self,
+        alive: list[PhysicalNode],
+        arrays: NodeStateArrays,
+        clock: PhaseClock,
     ) -> tuple[SystemLBI, AggregationTrace, int, int]:
         """Reporter draws, cached leaf resolution, scatter + level fold.
+
+        Reporter keys resolve through the repaired ``_key_leaf`` cache;
+        the misses (fresh joins, first sightings, post-rebuild rounds)
+        are collected and resolved in one batch at the end of the
+        collection loop — directory lookups first, one level-synchronous
+        descent for the rest.  With delta repair active, a cached slot
+        can only be invalid if repair missed it, so per-use invalidity
+        feeds the ``stale_cache_misses`` counter (pinned to zero by the
+        regression tests).
 
         Returns ``(system, trace, path_nodes, path_height)`` where the
         last two describe the union of report root-to-leaf paths — the
@@ -406,29 +565,49 @@ class IncrementalLoadBalancer(LoadBalancer):
             draws = []
         leaf_slots = np.empty(len(alive), dtype=np.int64)
         center_cache = self._center_cache
+        hash_keys = self._hash_keys
+        key_leaf = self._key_leaf
+        alive_arr = index.alive
+        leaf_arr = index.is_leaf
+        miss_pos: list[int] = []
+        miss_keys: list[int] = []
+        stale = 0
         draw_pos = 0
         for i, node in enumerate(alive):
             vs_list = node.virtual_servers
             if vs_list:
                 vs = vs_list[draws[draw_pos]]
                 draw_pos += 1
-                cached = center_cache.get(vs.vs_id)
-                if cached is not None:
-                    center, slot = cached
-                    if not index.valid_leaf(slot):
-                        slot = self._leaf_slot_for_key(center)
-                        center_cache[vs.vs_id] = (center, slot)
-                else:
-                    center = ring.region_of(vs).center
-                    slot = self._leaf_slot_for_key(center)
-                    center_cache[vs.vs_id] = (center, slot)
+                key = center_cache.get(vs.vs_id)
+                if key is None:
+                    key = ring.region_of(vs).center
+                    center_cache[vs.vs_id] = key
             else:
-                key = self._hash_keys.get(node.index)
+                key = hash_keys.get(node.index)
                 if key is None:
                     key = hash_to_id(f"node-{node.index}", ring.space)
-                    self._hash_keys[node.index] = key
-                slot = self._leaf_slot_for_key(key)
-            leaf_slots[i] = slot
+                    hash_keys[node.index] = key
+            slot = key_leaf.get(key)
+            if slot is not None and alive_arr[slot] and leaf_arr[slot]:
+                leaf_slots[i] = slot
+                continue
+            if slot is not None:
+                stale += 1
+            miss_pos.append(i)
+            miss_keys.append(key)
+        self._count("stale_cache_misses", stale)
+        if miss_keys:
+            with clock.phase("miss_descent"):
+                batch = np.asarray(miss_keys, dtype=np.int64)
+                if self._descent_mode == "batched":
+                    resolved = self._resolve_and_cache(batch)
+                else:
+                    resolved = np.fromiter(
+                        (self._leaf_slot_for_key(int(k)) for k in batch),
+                        dtype=np.int64,
+                        count=batch.size,
+                    )
+                leaf_slots[np.asarray(miss_pos, dtype=np.int64)] = resolved
 
         index.new_stamp()
         fresh, count, height = index.stamp_paths(leaf_slots)
@@ -493,6 +672,7 @@ class IncrementalLoadBalancer(LoadBalancer):
         self,
         published: list[tuple[int, ShedCandidate | SpareCapacity]],
         min_vs_load: float,
+        clock: PhaseClock,
     ) -> tuple[VSAResult, int, int]:
         """Deliver publications and sweep only the pairing frontier.
 
@@ -529,8 +709,20 @@ class IncrementalLoadBalancer(LoadBalancer):
             count=len(published),
         )
         slots_e = index.resolve_leaves(keys)
-        for i in np.flatnonzero(slots_e < 0):
-            slots_e[i] = index.slot(tree.ensure_leaf_for_key(int(keys[i])))
+        miss = np.flatnonzero(slots_e < 0)
+        if miss.size:
+            # Placement keys are fresh draws each round, so they are
+            # not worth a cache entry — but their descents batch just
+            # the same (legacy mode keeps the per-key PR 6 walks).
+            with clock.phase("miss_descent"):
+                if self._descent_mode == "batched":
+                    slots_e[miss] = self._descend_slots(keys[miss])
+                else:
+                    for i in miss:
+                        slots_e[i] = index.slot(
+                            tree.ensure_leaf_for_key(int(keys[i]))
+                        )
+                    self._count("miss_descents", int(miss.size))
         _, count, height = index.stamp_paths(slots_e)
 
         threshold = self.config.rendezvous_threshold

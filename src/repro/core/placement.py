@@ -72,6 +72,16 @@ class ProximityPlacement:
                 f"no landmark vector registered for node {node.index}"
             ) from None
 
+    def keys_for(self, nodes: list[PhysicalNode]) -> list[int]:
+        """Batched :meth:`key_for` over ``nodes``, in order.
+
+        Hilbert keys are precomputed per node at construction, so the
+        batch is a pure lookup — it exists so the incremental engine's
+        batched publication path (and the batched miss descent it feeds)
+        applies under proximity-aware placement too.
+        """
+        return [self.key_for(node) for node in nodes]
+
 
 class RandomVSPlacement:
     """Publish at the ring position of one randomly chosen own VS.

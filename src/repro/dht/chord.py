@@ -291,6 +291,41 @@ class ChordRing:
         length = self.space.distance_cw(pred, vs_id)
         return Region(self.space, start, length)
 
+    def hosts_with_regions(
+        self, keys: np.ndarray
+    ) -> tuple[list[VirtualServer], np.ndarray, np.ndarray]:
+        """Vectorised :meth:`host_with_region` for an array of keys.
+
+        Returns the owning virtual servers plus their owned arcs as raw
+        ``(starts, lengths)`` int64 columns.  One ``searchsorted`` over
+        the sorted-id index serves the whole batch; the arithmetic —
+        including the full-ring convention for a single-VS ring —
+        mirrors the scalar method exactly.  This is what lets the
+        K-nary tree's batched descent materialise a whole tree level's
+        new children without per-node index probes.
+        """
+        arr = np.asarray(keys, dtype=np.int64)
+        size = self.space.size
+        if arr.size and (int(arr.min()) < 0 or int(arr.max()) >= size):
+            bad = arr[(arr < 0) | (arr >= size)]
+            self.space.validate(int(bad[0]))
+        self._ensure_index()
+        assert self._sorted_ids is not None and self._sorted_vs is not None
+        ids = self._sorted_ids
+        idx = np.searchsorted(ids, arr, side="left")
+        idx[idx == len(ids)] = 0
+        hosts = [self._sorted_vs[i] for i in idx.tolist()]
+        if len(ids) == 1:
+            return (
+                hosts,
+                np.zeros(arr.size, dtype=np.int64),
+                np.full(arr.size, size, dtype=np.int64),
+            )
+        pred = ids[idx - 1]  # idx-1 == -1 wraps correctly
+        lengths = (ids[idx] - pred) % size
+        starts = (pred + 1) % size
+        return hosts, starts, lengths
+
     def centers_of(self, vs_ids: np.ndarray) -> np.ndarray:
         """Vectorized ``region_of(vs).center`` for registered identifiers.
 

@@ -52,6 +52,24 @@ class Region:
         return cls(space, 0, space.size)
 
     @classmethod
+    def trusted(cls, space: IdentifierSpace, start: int, length: int) -> "Region":
+        """Construct without validation (bulk hot path).
+
+        The caller guarantees ``0 <= start < space.size`` and
+        ``1 <= length <= space.size`` — true by construction for arcs
+        produced by the K-nary split arithmetic, which is the intended
+        user: batched descent materialises thousands of child regions
+        per level and the per-instance range checks are pure overhead
+        there.  Anything else should go through the validating
+        constructor.
+        """
+        region = object.__new__(cls)
+        object.__setattr__(region, "space", space)
+        object.__setattr__(region, "start", start)
+        object.__setattr__(region, "length", length)
+        return region
+
+    @classmethod
     def from_endpoints(cls, space: IdentifierSpace, start: int, end_exclusive: int) -> "Region":
         """Build ``[start, end_exclusive)``; ``start == end`` means the full ring."""
         space.validate(start)

@@ -62,7 +62,12 @@ class TreeIndex:
         "_dir_starts",
         "_dir_ends",
         "_dir_slots",
+        "_dir_pending",
     )
+
+    #: Pending-patch flood valve: above ``max(64, len(directory) // 8)``
+    #: dirty slots the batched splice costs more than a fresh sort.
+    DIR_PATCH_FLOOR = 64
 
     def __init__(self, tree: KnaryTree, capacity: int = 1024) -> None:
         self.tree = tree
@@ -82,10 +87,15 @@ class TreeIndex:
         #: slot -> heap ordering key.  Safe to cache forever: a node's
         #: root path is fixed at registration and slots are never reused.
         self._heap_keys: dict[int, tuple[int, ...]] = {}
-        # Sorted leaf directory (lazily built, see resolve_leaves).
+        # Sorted leaf directory (lazily built, incrementally patched;
+        # see resolve_leaves).  ``_dir_pending`` holds slots whose leaf
+        # membership may have changed since the directory was last
+        # consistent; they are spliced in/out in one batched pass at the
+        # next resolve instead of invalidating the whole sort.
         self._dir_starts: np.ndarray | None = None
         self._dir_ends: np.ndarray | None = None
         self._dir_slots: np.ndarray | None = None
+        self._dir_pending: set[int] = set()
         self._register(tree.root, parent_slot=-1, rank=0)
 
     # ------------------------------------------------------------------
@@ -130,8 +140,8 @@ class TreeIndex:
         self.is_leaf[slot] = node.is_leaf
         self.start[slot] = node.region.start
         self.length[slot] = node.region.length
-        if node.is_leaf:
-            self._dir_starts = None
+        if node.is_leaf and self._dir_starts is not None:
+            self._dir_pending.add(slot)
         return slot
 
     def slot(self, node: KTNode) -> int:
@@ -153,6 +163,14 @@ class TreeIndex:
             slot = self._register(item, parent_slot=self._slot_of[id(item.parent)], rank=rank)
         return slot
 
+    def slot_if_registered(self, node: KTNode) -> int | None:
+        """The slot of ``node`` if it was ever registered, else ``None``.
+
+        Unlike :meth:`slot` this never registers anything — safe to call
+        with nodes the tree has already detached (delta bookkeeping).
+        """
+        return self._slot_of.get(id(node))
+
     def node_at(self, slot: int) -> KTNode:
         """The live node registered at ``slot``."""
         node = self.nodes[slot]
@@ -171,14 +189,16 @@ class TreeIndex:
         self.nodes[slot] = None
         self.alive[slot] = False
         self.is_leaf[slot] = False
-        self._dir_starts = None
+        if self._dir_starts is not None:
+            self._dir_pending.add(slot)
 
     def set_leaf(self, node: KTNode, flag: bool) -> None:
         """Record a leaf-ness flip for ``node`` if it is registered."""
         slot = self._slot_of.get(id(node))
         if slot is not None:
             self.is_leaf[slot] = flag
-            self._dir_starts = None
+            if self._dir_starts is not None:
+                self._dir_pending.add(slot)
 
     def valid_leaf(self, slot: int) -> bool:
         """Whether ``slot`` still names a live leaf (cached-slot check)."""
@@ -187,27 +207,78 @@ class TreeIndex:
     # ------------------------------------------------------------------
     # Batch key resolution
     # ------------------------------------------------------------------
+    def _rebuild_directory(self) -> np.ndarray:
+        live = np.flatnonzero(
+            self.alive[: self._size] & self.is_leaf[: self._size]
+        )
+        raw = self.start[live]
+        order = np.argsort(raw, kind="stable")
+        starts = raw[order]
+        self._dir_starts = starts
+        self._dir_ends = starts + self.length[live][order]
+        self._dir_slots = live[order]
+        self._dir_pending.clear()
+        return starts
+
+    def _patch_directory(self) -> np.ndarray:
+        """Splice the pending slots in/out of the sorted leaf directory.
+
+        Self-correcting rather than event-ordered: every pending slot is
+        first removed from the directory, then re-inserted iff it is a
+        live leaf *now* — so a slot that flipped twice between resolves
+        lands in the state the flag arrays describe.  Leaf regions tile
+        the ring disjointly, so region starts are unique and one batched
+        ``searchsorted`` + ``np.insert`` keeps the order strict.
+        """
+        starts = self._dir_starts
+        slots_arr = self._dir_slots
+        assert starts is not None and slots_arr is not None
+        assert self._dir_ends is not None
+        pending = np.fromiter(
+            self._dir_pending, count=len(self._dir_pending), dtype=np.int64
+        )
+        self._dir_pending.clear()
+        if pending.size > max(self.DIR_PATCH_FLOOR, slots_arr.size // 8):
+            return self._rebuild_directory()
+        stale = np.isin(slots_arr, pending)
+        if stale.any():
+            keep = ~stale
+            starts = starts[keep]
+            slots_arr = slots_arr[keep]
+            self._dir_ends = self._dir_ends[keep]
+        fresh = pending[self.alive[pending] & self.is_leaf[pending]]
+        if fresh.size:
+            raw = self.start[fresh]
+            order = np.argsort(raw, kind="stable")
+            fresh = fresh[order]
+            raw = raw[order]
+            pos = np.searchsorted(starts, raw, side="left")
+            starts = np.insert(starts, pos, raw)
+            slots_arr = np.insert(slots_arr, pos, fresh)
+            self._dir_ends = np.insert(
+                self._dir_ends, pos, raw + self.length[fresh]
+            )
+        self._dir_starts = starts
+        self._dir_slots = slots_arr
+        return starts
+
     def resolve_leaves(self, keys: np.ndarray) -> np.ndarray:
         """Slots of the *already materialised* leaves owning ``keys``.
 
         Returns one slot per key, or ``-1`` where no materialised leaf
         contains the key (the caller descends the tree for those).  Works
-        off a sorted directory of live leaf regions, rebuilt lazily when
-        a leaf is registered, pruned or flipped; tree-node regions never
-        wrap (splits of ``[0, size)`` stay within it) so a binary search
-        on the region starts suffices.
+        off a sorted directory of live leaf regions, built lazily and
+        patched in place when leaves register, prune or flip (one
+        batched splice per resolve, with a flood valve back to a full
+        rebuild); tree-node regions never wrap (splits of ``[0, size)``
+        stay within it) so a binary search on the region starts
+        suffices.
         """
         starts = self._dir_starts
         if starts is None:
-            live = np.flatnonzero(
-                self.alive[: self._size] & self.is_leaf[: self._size]
-            )
-            raw = self.start[live]
-            order = np.argsort(raw, kind="stable")
-            starts = raw[order]
-            self._dir_starts = starts
-            self._dir_ends = starts + self.length[live][order]
-            self._dir_slots = live[order]
+            starts = self._rebuild_directory()
+        elif self._dir_pending:
+            starts = self._patch_directory()
         assert self._dir_ends is not None and self._dir_slots is not None
         if not starts.size:
             return np.full(len(keys), -1, dtype=np.int64)

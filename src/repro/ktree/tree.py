@@ -28,6 +28,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterator
 
+import numpy as np
+
 from repro.dht.ringlike import RingLike
 from repro.dht.virtual_server import VirtualServer
 from repro.exceptions import TreeError
@@ -206,6 +208,172 @@ class KnaryTree:
             if guard > 8 * self.ring.space.bits:  # pragma: no cover
                 raise TreeError("runaway descent in ensure_leaf_for_key")
         return node
+
+    def descend_batch(
+        self, keys: np.ndarray
+    ) -> tuple[list[KTNode], np.ndarray]:
+        """Level-synchronous batched descent: all ``keys`` down together.
+
+        Returns ``(leaves, ordinals)``: the distinct leaves reached, in
+        first-touch order, and for every input key the position of its
+        leaf in ``leaves``.  Behaviourally identical to calling
+        :meth:`ensure_leaf_for_key` per key (the split sequence is a
+        pure function of the ring, so the same leaves materialise), but
+        the per-level child arithmetic — digit extraction against the
+        uneven K-way split — runs once over the whole active key set as
+        NumPy integer programs, and the Python loop touches each
+        *distinct* ``(node, child)`` pair exactly once per level.  The
+        total Python work is therefore proportional to the number of
+        distinct path nodes the key set touches, not ``len(keys) x
+        depth``.
+
+        Already-materialised children are stepped through without
+        building :class:`~repro.idspace.Region` objects; genuinely new
+        children materialise in bulk per level — one vectorised
+        :meth:`~repro.dht.chord.ChordRing.hosts_with_regions` probe
+        answers every new child's planting and leaf-ness at once, and
+        regions are built through the trusted constructor (the split
+        arithmetic guarantees their validity).  Rings without the
+        vectorised probe (per-component partition views) fall back to
+        :meth:`_materialize_child` per child; either way the
+        ``ktree.materialized`` accounting matches the serial descent.
+        """
+        size = self.ring.space.size
+        k = self.k
+        space = self.ring.space
+        bulk_hosts = getattr(self.ring, "hosts_with_regions", None)
+        key_arr = np.ascontiguousarray(keys, dtype=np.int64)
+        n = int(key_arr.size)
+        if n == 0:
+            return [], np.empty(0, dtype=np.int64)
+        if int(key_arr.min()) < 0 or int(key_arr.max()) >= size:
+            raise TreeError("descend_batch key outside the identifier space")
+        ordinals = np.empty(n, dtype=np.int64)
+        leaves: list[KTNode] = []
+        leaf_ordinal: dict[int, int] = {}
+        if self.root.is_leaf:
+            leaves.append(self.root)
+            ordinals[:] = 0
+            return leaves, ordinals
+        # Frontier: the distinct internal nodes the active keys sit at,
+        # with their regions as raw (start, length) integer columns.
+        frontier: list[KTNode] = [self.root]
+        f_start = np.zeros(1, dtype=np.int64)
+        f_length = np.full(1, size, dtype=np.int64)
+        key_node = np.zeros(n, dtype=np.int64)
+        active = np.arange(n, dtype=np.int64)
+        guard = 0
+        while active.size:
+            akeys = key_arr[active]
+            anode = key_node[active]
+            starts = f_start[anode]
+            lengths = f_length[anode]
+            # Inline Region.child_index_for over the whole active set
+            # (internal regions always have length >= k, so base >= 1).
+            offsets = (akeys - starts) % size
+            base = lengths // k
+            extra = lengths - base * k
+            boundary = (base + 1) * extra
+            below = offsets < boundary
+            idx = np.where(
+                below,
+                offsets // (base + 1),
+                extra + (offsets - boundary) // np.maximum(base, 1),
+            )
+            child_offset = np.where(
+                below, idx * (base + 1), boundary + (idx - extra) * base
+            )
+            child_length = np.where(below, base + 1, base)
+            # Group the active keys by (frontier node, child digit) and
+            # materialise each distinct child once.
+            group = anode * k + idx
+            uniq, first_pos, inverse = np.unique(
+                group, return_index=True, return_inverse=True
+            )
+            g_start = (starts[first_pos] + child_offset[first_pos]) % size
+            g_length = child_length[first_pos]
+            parents_u = [frontier[g] for g in (uniq // k).tolist()]
+            ranks_u = (uniq % k).tolist()
+            children_u: list[KTNode | None] = [
+                node.children[rank] for node, rank in zip(parents_u, ranks_u)
+            ]
+            missing = [j for j, c in enumerate(children_u) if c is None]
+            if missing:
+                if bulk_hosts is not None:
+                    m = np.asarray(missing, dtype=np.int64)
+                    m_start = g_start[m]
+                    m_length = g_length[m]
+                    centers = (m_start + m_length // 2) % size
+                    hosts, h_start, h_length = bulk_hosts(centers)
+                    covered = np.where(
+                        h_length == size,
+                        True,
+                        (m_start - h_start) % size + m_length <= h_length,
+                    )
+                    new_leaf = covered | (m_length < k)
+                    trusted = Region.trusted
+                    for j, start_j, length_j, host, leaf_j in zip(
+                        missing,
+                        m_start.tolist(),
+                        m_length.tolist(),
+                        hosts,
+                        new_leaf.tolist(),
+                    ):
+                        node = parents_u[j]
+                        child = KTNode(
+                            trusted(space, start_j, length_j),
+                            node.level + 1,
+                            node,
+                            host,
+                            leaf_j,
+                            k,
+                        )
+                        node.children[ranks_u[j]] = child
+                        children_u[j] = child
+                    self._node_count += len(missing)
+                    if self.metrics is not None:
+                        self.metrics.counter("ktree.materialized").inc(
+                            len(missing)
+                        )
+                else:
+                    for j in missing:
+                        children_u[j] = self._materialize_child(
+                            parents_u[j], ranks_u[j]
+                        )
+            child_is_leaf = np.empty(uniq.size, dtype=bool)
+            child_ord = np.empty(uniq.size, dtype=np.int64)
+            next_frontier: list[KTNode] = []
+            for j, child in enumerate(children_u):
+                assert child is not None
+                if child.is_leaf:
+                    child_is_leaf[j] = True
+                    ordinal = leaf_ordinal.get(id(child))
+                    if ordinal is None:
+                        ordinal = len(leaves)
+                        leaves.append(child)
+                        leaf_ordinal[id(child)] = ordinal
+                    child_ord[j] = ordinal
+                else:
+                    child_is_leaf[j] = False
+                    child_ord[j] = len(next_frontier)
+                    next_frontier.append(child)
+            per_key_leaf = child_is_leaf[inverse]
+            per_key_ord = child_ord[inverse]
+            done = active[per_key_leaf]
+            if done.size:
+                ordinals[done] = per_key_ord[per_key_leaf]
+            cont = ~per_key_leaf
+            active = active[cont]
+            if active.size:
+                key_node[active] = per_key_ord[cont]
+            frontier = next_frontier
+            keep = ~child_is_leaf
+            f_start = g_start[keep]
+            f_length = g_length[keep]
+            guard += 1
+            if guard > 8 * self.ring.space.bits:  # pragma: no cover
+                raise TreeError("runaway descent in descend_batch")
+        return leaves, ordinals
 
     # ------------------------------------------------------------------
     # Queries

@@ -1,0 +1,278 @@
+"""Batched level-synchronous descents and delta-driven cache repair.
+
+Three contracts from docs/performance.md are pinned here:
+
+* :meth:`~repro.ktree.tree.KnaryTree.descend_batch` materialises exactly
+  the nodes the per-key :meth:`~repro.ktree.tree.KnaryTree.ensure_leaf_for_key`
+  walk would, and routes every key to the same leaf — the tree shape is
+  a pure function of the ring, so the two descent orders must converge.
+* The bulk ring probe (:meth:`~repro.dht.ChordRing.hosts_with_regions`)
+  and the non-validating :meth:`~repro.idspace.Region.trusted`
+  constructor agree with their scalar/validating counterparts.
+* Delta-driven cache repair keeps every ``key -> leaf`` cache entry
+  valid across churn without re-descending surviving reporter
+  corridors: ``stale_cache_misses`` stays zero and the batched engine
+  never descends more keys than the legacy per-key engine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BalancerConfig, IncrementalLoadBalancer, LoadBalancer
+from repro.dht import RingEventLog, crash_node, join_node, leave_node
+from repro.exceptions import BalancerError, RegionError, TreeError
+from repro.idspace import IdentifierSpace, Region
+from repro.ktree import KnaryTree, TreeIndex
+from repro.workloads import ParetoLoadModel, apply_load_drift, build_scenario
+
+MODEL = ParetoLoadModel(mu=1e4)
+
+
+def _ring(seed, num_nodes=60, vs_per_node=3):
+    return build_scenario(
+        MODEL, num_nodes=num_nodes, vs_per_node=vs_per_node, rng=seed
+    ).ring
+
+
+def _config(tree_degree=2):
+    return BalancerConfig(
+        proximity_mode="ignorant", epsilon=0.05, tree_degree=tree_degree
+    )
+
+
+def _churn(ring, gen):
+    for _ in range(int(gen.integers(1, 3))):
+        join_node(
+            ring,
+            capacity=10.0,
+            vs_count=int(gen.integers(1, 4)),
+            rng=int(gen.integers(1 << 30)),
+        )
+    alive = [n for n in ring.alive_nodes if n.virtual_servers]
+    if len(alive) > 8:
+        victim = alive[int(gen.integers(len(alive)))]
+        if int(gen.integers(2)):
+            leave_node(ring, victim)
+        else:
+            crash_node(ring, victim)
+    centers = [int(gen.integers(ring.space.size))]
+    apply_load_drift(
+        ring, MODEL, int(gen.integers(1 << 30)), centers, fraction=0.02
+    )
+
+
+class TestDescendBatch:
+    @pytest.mark.parametrize("k", (2, 8))
+    def test_matches_per_key_descent(self, k):
+        ring = _ring(10)
+        keys = np.random.default_rng(0).integers(
+            0, ring.space.size, size=400, dtype=np.int64
+        )
+        per_key = KnaryTree(ring, k)
+        batched = KnaryTree(ring, k)
+        expected = [per_key.ensure_leaf_for_key(int(x)) for x in keys.tolist()]
+        leaves, ordinals = batched.descend_batch(keys)
+        assert ordinals.shape == keys.shape
+        assert per_key.node_count == batched.node_count
+        for i in range(keys.size):
+            a, b = expected[i], leaves[ordinals[i]]
+            assert (a.region.start, a.region.length) == (
+                b.region.start,
+                b.region.length,
+            )
+            assert a.host_vs.vs_id == b.host_vs.vs_id
+            assert a.is_leaf and b.is_leaf
+
+    def test_children_attach_to_correct_parents(self):
+        # Every materialised child must sit in its parent's child list at
+        # the rank whose split part is its region (guards the batched
+        # frontier-to-parent indexing).
+        ring = _ring(11)
+        tree = KnaryTree(ring, 2)
+        keys = np.random.default_rng(1).integers(
+            0, ring.space.size, size=300, dtype=np.int64
+        )
+        tree.descend_batch(keys)
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            for rank, child in enumerate(node.children):
+                if child is None:
+                    continue
+                assert child.parent is node
+                part = node.region.split_part(tree.k, rank)
+                assert (child.region.start, child.region.length) == (
+                    part.start,
+                    part.length,
+                )
+                stack.append(child)
+        tree.check_invariants()
+
+    def test_repeated_keys_share_leaf_ordinals(self):
+        ring = _ring(12)
+        tree = KnaryTree(ring, 2)
+        key = int(ring.space.size // 3)
+        leaves, ordinals = tree.descend_batch(
+            np.asarray([key, key, key], dtype=np.int64)
+        )
+        assert len(leaves) == 1
+        assert ordinals.tolist() == [0, 0, 0]
+
+    def test_empty_batch(self):
+        ring = _ring(13)
+        tree = KnaryTree(ring, 2)
+        before = tree.node_count
+        leaves, ordinals = tree.descend_batch(np.empty(0, dtype=np.int64))
+        assert leaves == [] and ordinals.size == 0
+        assert tree.node_count == before
+
+    def test_out_of_range_key_rejected(self):
+        ring = _ring(14)
+        tree = KnaryTree(ring, 2)
+        with pytest.raises(TreeError):
+            tree.descend_batch(np.asarray([ring.space.size], dtype=np.int64))
+        with pytest.raises(TreeError):
+            tree.descend_batch(np.asarray([-1], dtype=np.int64))
+
+
+class TestBulkRingProbe:
+    def test_hosts_with_regions_matches_scalar_probe(self):
+        ring = _ring(20)
+        keys = np.random.default_rng(2).integers(
+            0, ring.space.size, size=500, dtype=np.int64
+        )
+        hosts, starts, lengths = ring.hosts_with_regions(keys)
+        for i, key in enumerate(keys.tolist()):
+            vs, start, length = ring.host_with_region(key)
+            assert hosts[i] is vs
+            assert (int(starts[i]), int(lengths[i])) == (start, length)
+
+    def test_out_of_range_key_rejected(self):
+        ring = _ring(21)
+        with pytest.raises(Exception):
+            ring.hosts_with_regions(
+                np.asarray([ring.space.size], dtype=np.int64)
+            )
+
+
+class TestRegionTrusted:
+    def test_matches_validating_constructor(self):
+        space = IdentifierSpace(bits=16)
+        for start, length in ((0, 1), (100, 500), (65535, 65536)):
+            assert Region.trusted(space, start, length) == Region(
+                space, start, length
+            )
+
+    def test_validating_constructor_still_rejects(self):
+        space = IdentifierSpace(bits=16)
+        with pytest.raises(RegionError):
+            Region(space, 0, 0)
+
+
+class TestDirectoryPatch:
+    @pytest.mark.parametrize("seed", (0, 3, 8))
+    def test_patched_directory_matches_rebuild(self, seed):
+        # Drive an indexed tree through churn; after every refresh the
+        # incrementally patched leaf directory must answer exactly like
+        # a directory rebuilt from scratch on a twin index.
+        ring = _ring(seed, num_nodes=40)
+        tree = KnaryTree(ring, 2)
+        index = TreeIndex(tree)
+        log = RingEventLog(ring)
+        gen = np.random.default_rng(seed + 50)
+        probes = gen.integers(0, ring.space.size, size=64, dtype=np.int64)
+        for _ in range(8):
+            for k in gen.integers(0, ring.space.size, size=24):
+                index.slot(tree.ensure_leaf_for_key(int(k)))
+            index.resolve_leaves(probes)  # builds / patches the directory
+            _churn(ring, gen)
+            delta = log.drain()
+            assert delta.dirty is not None
+            refresh = tree.refresh_dirty(delta.dirty)
+            for node in refresh.pruned_nodes:
+                index.drop(node)
+            for node in refresh.became_leaf:
+                index.set_leaf(node, True)
+            for node in refresh.became_internal:
+                index.set_leaf(node, False)
+            patched = index.resolve_leaves(probes)
+            twin = TreeIndex(tree)
+            for slot in np.flatnonzero(index.alive).tolist():
+                twin.slot(index.node_at(slot))
+            rebuilt = twin.resolve_leaves(probes)
+            hit = patched >= 0
+            assert (hit == (rebuilt >= 0)).all()
+            for a, b in zip(patched[hit].tolist(), rebuilt[hit].tolist()):
+                assert index.node_at(a) is twin.node_at(b)
+
+
+def _run_rounds(engine, seed, rounds=6):
+    ring = _ring(seed, num_nodes=80, vs_per_node=4)
+    bal = IncrementalLoadBalancer(
+        ring, _config(), rng=seed + 1, descent_mode=engine
+    )
+    gen = np.random.default_rng(seed + 9)
+    digests = []
+    for rnd in range(rounds):
+        digests.append(bal.run_round().canonical_digest())
+        if rnd < rounds - 1:
+            _churn(ring, gen)
+    return bal, digests
+
+
+class TestDescentEconomy:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(BalancerError):
+            IncrementalLoadBalancer(
+                _ring(1), _config(), rng=2, descent_mode="eager"
+            )
+
+    @pytest.mark.parametrize("seed", (2, 7))
+    def test_repair_replaces_corridor_redescent(self, seed):
+        batched, digests_b = _run_rounds("batched", seed)
+        legacy, digests_l = _run_rounds("legacy", seed)
+        assert digests_b == digests_l
+        stats_b, stats_l = batched.descent_stats, legacy.descent_stats
+        # Repair must keep every surviving cache entry valid: a cached
+        # slot that stopped being a live leaf would surface as a stale
+        # cache miss (a corridor re-descent), which the batched engine
+        # must never pay.
+        assert stats_b["stale_cache_misses"] == 0
+        # Churn invalidated some corridors, so repairs must have fired
+        # and the batched engine must descend no more keys than the
+        # legacy engine re-descends.
+        assert stats_b["cache_repairs"] > 0
+        assert stats_b["miss_descents"] <= stats_l["miss_descents"]
+        # The legacy engine pays a descent where the batched engine
+        # repairs; economy means strictly fewer descents once any repair
+        # happened.
+        assert stats_b["miss_descents"] < stats_l["miss_descents"]
+
+    @pytest.mark.parametrize("seed", (4, 11))
+    def test_cached_entries_validate_against_fresh_descent(self, seed):
+        # Property: after any churn history, every key -> slot entry in
+        # the repair-maintained cache names the exact leaf a fresh
+        # serial descent reaches for that key.
+        bal, _ = _run_rounds("batched", seed)
+        index = bal._index
+        tree = bal._tree
+        assert bal._key_leaf, "cache unexpectedly empty"
+        for key, slot in bal._key_leaf.items():
+            assert index.alive[slot] and index.is_leaf[slot]
+            node = index.node_at(slot)
+            assert node.region.contains(key)
+            assert tree.ensure_leaf_for_key(key) is node
+
+    def test_serial_identity_both_modes(self):
+        seed = 33
+        ring_s = _ring(seed, num_nodes=80, vs_per_node=4)
+        serial = LoadBalancer(ring_s, _config(), rng=seed + 1)
+        gen = np.random.default_rng(seed + 9)
+        digests_s = []
+        for rnd in range(6):
+            digests_s.append(serial.run_round().canonical_digest())
+            if rnd < 5:
+                _churn(ring_s, gen)
+        _, digests_b = _run_rounds("batched", seed)
+        _, digests_l = _run_rounds("legacy", seed)
+        assert digests_s == digests_b == digests_l

@@ -82,3 +82,21 @@ class TestProximityPlacement:
         placement = ProximityPlacement(mapper, {}, ring.space)
         with pytest.raises(BalancerError):
             placement.key_for(ring.nodes[0])
+
+
+class TestKeysForBatch:
+    def test_proximity_keys_for_matches_sequential(self, ring):
+        gen = np.random.default_rng(0)
+        vectors = {n.index: gen.uniform(0, 10, size=4) for n in ring.nodes}
+        mapper = ProximityMapper.fit(np.vstack(list(vectors.values())), grid_bits=3)
+        placement = ProximityPlacement(mapper, vectors, ring.space)
+        nodes = list(ring.nodes)
+        assert placement.keys_for(nodes) == [placement.key_for(n) for n in nodes]
+
+    def test_random_keys_for_is_stream_identical(self, ring):
+        # Batched draws must consume the generator exactly like
+        # sequential key_for calls (the digest contract depends on it).
+        nodes = list(ring.nodes)
+        one_by_one = RandomVSPlacement(ring, rng=7)
+        sequential = [one_by_one.key_for(n) for n in nodes]
+        assert RandomVSPlacement(ring, rng=7).keys_for(nodes) == sequential
