@@ -1,0 +1,118 @@
+"""Benchmark: Byzantine defense cost and damage claw-back.
+
+Companion bench of the :mod:`repro.experiments.byzantine` sweep.  Three
+paired workloads over one seeded scenario:
+
+* **clean** — no adversary plan at all (the cost floor);
+* **undefended** — a 10% attacker draft with the defense off (what the
+  lies cost the honest population);
+* **defended** — the same attack with :class:`~repro.adversary.trust.
+  TrustedAggregation` armed (what the defense costs, and how much
+  damage it claws back).
+
+Reported: wall-clock per configuration, the defense's overhead factor
+over clean rounds, and the honest-damage ratio defended/undefended.
+The digest assertions mirror the acceptance tests — clean rounds must
+be byte-identical to an armed-but-empty plan, and the defended run must
+strictly reduce honest excess load.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import emit
+from repro.adversary import AdversaryPlan
+from repro.experiments import byzantine
+from repro.experiments.common import ExperimentSettings
+
+
+def _run(settings: ExperimentSettings, plan: AdversaryPlan | None):
+    balancer = byzantine._build_balancer(settings, plan)
+    start = time.perf_counter()
+    reports = byzantine._run_rounds(balancer, byzantine.ROUNDS_PER_POINT)
+    seconds = time.perf_counter() - start
+    attackers = (
+        frozenset(balancer.adversary.attacker_indices)
+        if balancer.adversary is not None
+        else frozenset()
+    )
+    _, damage = byzantine._honest_damage(
+        balancer, settings.epsilon, attackers
+    )
+    return seconds, damage, [r.canonical_digest() for r in reports]
+
+
+def run_defense_bench(num_nodes: int = 256, seed: int = 42):
+    """Run the three paired workloads; return the per-config rows."""
+    settings = ExperimentSettings(num_nodes=num_nodes, seed=seed)
+    clean = _run(settings, None)
+    dormant = _run(settings, AdversaryPlan(seed=13, fraction=0.0))
+    undefended = _run(
+        settings, AdversaryPlan(seed=13, fraction=0.10, defense=False)
+    )
+    defended = _run(
+        settings, AdversaryPlan(seed=13, fraction=0.10, defense=True)
+    )
+    return clean, dormant, undefended, defended
+
+
+def _format(clean, dormant, undefended, defended) -> str:
+    overhead = defended[0] / clean[0] if clean[0] > 0 else float("inf")
+    claw = (
+        defended[1] / undefended[1] if undefended[1] > 0 else float("nan")
+    )
+    return (
+        f"clean      : {clean[0]:7.3f}s  damage {clean[1]:12.1f}\n"
+        f"undefended : {undefended[0]:7.3f}s  damage {undefended[1]:12.1f}"
+        "  (f=0.10, lies unchecked)\n"
+        f"defended   : {defended[0]:7.3f}s  damage {defended[1]:12.1f}"
+        f"  ({overhead:4.2f}x clean wall-clock)\n"
+        f"residual damage defended/undefended: {claw:6.3f} "
+        "(dormant-plan digests identical to clean: "
+        f"{dormant[2] == clean[2]})"
+    )
+
+
+def test_byzantine_defense(benchmark, report_lines):
+    result = benchmark.pedantic(
+        lambda: run_defense_bench(num_nodes=256),
+        rounds=1,
+        iterations=1,
+    )
+    clean, dormant, undefended, defended = result
+    emit(
+        report_lines,
+        "Robustness: Byzantine defense cost vs damage claw-back",
+        _format(clean, dormant, undefended, defended),
+    )
+    assert dormant[2] == clean[2], "dormant plan changed clean digests"
+    assert defended[1] < undefended[1], "defense did not reduce damage"
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CI smoke: reduced scale, same identities and damage reduction."""
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="bench_byzantine_defense")
+    parser.add_argument("--smoke", action="store_true", help="reduced scale")
+    args = parser.parse_args(argv)
+    num_nodes = 64 if args.smoke else 256
+    clean, dormant, undefended, defended = run_defense_bench(
+        num_nodes=num_nodes
+    )
+    print(_format(clean, dormant, undefended, defended))
+    if dormant[2] != clean[2]:
+        print("FAIL: dormant plan changed clean digests")
+        return 1
+    if defended[1] >= undefended[1]:
+        print("FAIL: defense did not reduce honest damage")
+        return 1
+    print("byzantine defense bench OK: dormant identical, damage reduced")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

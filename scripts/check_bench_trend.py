@@ -179,6 +179,23 @@ def _smoke_snapshot() -> dict:
     for _ in range(4):
         partitioned.run_round()
 
+    # Four defended rounds under an active Byzantine adversary: pins the
+    # attack economy (adversary.actions and the per-behavior counters)
+    # and the defense economy (trust.penalties / audit_failures /
+    # envelope_breaches / quarantine / rejoin).  A cost regression here —
+    # say, auditing every report instead of the seeded sample, or
+    # re-quarantining an already-excluded node each round — shows up as
+    # counter growth long before it distorts the byzantine sweep.
+    from repro.adversary import AdversaryPlan
+
+    adversary_plan = AdversaryPlan(seed=13, fraction=0.1, defense=True)
+    defended = LoadBalancer(
+        scenario().ring, config, rng=7, metrics=registry,
+        adversary=adversary_plan,
+    )
+    for _ in range(4):
+        defended.run_round()
+
     # Distance-oracle probe: a batched query larger than the LRU bound
     # plus a pair batch.  Guards the distances_from_many fix — the old
     # implementation thrashed its own cache here and ran extra

@@ -1,0 +1,61 @@
+"""Byzantine adversaries and the trust-scored defense against them.
+
+The next rung of the fault hierarchy above :mod:`repro.faults`
+(crash/omission/partition faults): nodes that *lie*.  The package
+mirrors the faults architecture —
+
+* :class:`AdversaryPlan` is the frozen, validated, seeded declaration
+  of the Byzantine environment (attacker fraction, behavior models,
+  defense arming);
+* :class:`AdversaryEngine` draws every attack decision from dedicated
+  ``SeedSequence`` streams rooted at ``plan.seed``, logs every action
+  and hashes the log (:meth:`AdversaryEngine.signature`) so two runs
+  can be proven to have mounted the identical attack;
+* :class:`TrustedAggregation` is the defense: witness audits, EWMA
+  plausibility envelopes and transfer-outcome accounting feeding
+  per-node trust scores with hysteretic quarantine/probation;
+* :class:`AdversaryRoundStats` rides each
+  :class:`~repro.core.report.BalanceReport` and attributes damage to
+  attackers.
+
+Attach a plan via ``LoadBalancer(..., adversary=plan)``; a null plan
+(:data:`NULL_ADVERSARY`) keeps the exact clean fast paths.  See
+``docs/adversary.md`` for the threat models, the defense mechanics and
+the determinism contract.
+"""
+
+from repro.adversary.engine import (
+    AdversaryAction,
+    AdversaryEngine,
+    ensure_engine,
+)
+from repro.adversary.plan import (
+    ACCUSE,
+    BEHAVIORS,
+    INFLATE_CAPACITY,
+    NULL_ADVERSARY,
+    OSCILLATE,
+    OVER_REPORT,
+    RENEGE,
+    UNDER_REPORT,
+    AdversaryPlan,
+)
+from repro.adversary.stats import AdversaryRoundStats
+from repro.adversary.trust import TrustedAggregation
+
+__all__ = [
+    "ACCUSE",
+    "BEHAVIORS",
+    "INFLATE_CAPACITY",
+    "NULL_ADVERSARY",
+    "OSCILLATE",
+    "OVER_REPORT",
+    "RENEGE",
+    "UNDER_REPORT",
+    "AdversaryAction",
+    "AdversaryEngine",
+    "AdversaryPlan",
+    "AdversaryRoundStats",
+    "TrustedAggregation",
+    "ensure_engine",
+]

@@ -1,0 +1,178 @@
+"""The declarative Byzantine-adversary model: who lies, how, seeded how.
+
+An :class:`AdversaryPlan` is a frozen value object describing the
+*Byzantine* environment a balancing run operates under — the next rung
+of the fault hierarchy above the crash/omission/partition faults of
+:mod:`repro.faults`.  Like a :class:`~repro.faults.FaultPlan` it
+carries *intent*, never decisions: which nodes actually turn
+adversarial, which victims a false accuser picks, and which reports the
+defense spot-checks are all drawn by an
+:class:`~repro.adversary.engine.AdversaryEngine` from dedicated
+``SeedSequence`` streams rooted at ``plan.seed``, keeping every attack
+history a pure function of ``(scenario seed, plan)``.
+
+The behavior models target the protocol surfaces a lying node can
+actually reach:
+
+* **load under-reporter** (:data:`UNDER_REPORT`) — claims a fraction of
+  its true load, attracting transfers it does not need and starving
+  genuinely heavy peers;
+* **load over-reporter** (:data:`OVER_REPORT`) — claims a multiple of
+  its true load, shedding virtual servers onto honest nodes;
+* **capacity inflator** (:data:`INFLATE_CAPACITY`) — claims outsized
+  capacity, which in Mirrezaei & Shahparian's heterogeneous setting is
+  indistinguishable from a genuinely big node without cross-checking;
+* **report oscillator** (:data:`OSCILLATE`) — flip-flops between over-
+  and under-reporting on alternate rounds to induce transfer thrashing;
+* **VST reneger** (:data:`RENEGE`) — reports honestly but prepares
+  virtual-server handoffs and never delivers them, wasting movement
+  budget (the two-phase commit rolls every reneged transfer back);
+* **false accuser** (:data:`ACCUSE`) — the heartbeat liar: each round
+  it accuses one honest peer of being dead, suppressing the victim's
+  report when no defense cross-checks liveness.
+
+Lies are deliberately *plausible*: they respect the
+:class:`~repro.core.lbi.AggregateSanity` envelope (finite, positive,
+consistent ``<L, C, L_min>`` triples), which is exactly why the
+:class:`~repro.adversary.trust.TrustedAggregation` defense — witness
+audits, EWMA envelopes, transfer-outcome accounting and trust-scored
+quarantine — exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import AdversaryPlanError
+
+#: Behavior model names (see the module docstring for their semantics).
+UNDER_REPORT = "under_report"
+OVER_REPORT = "over_report"
+INFLATE_CAPACITY = "inflate_capacity"
+OSCILLATE = "oscillate"
+RENEGE = "renege"
+ACCUSE = "accuse"
+
+#: Every behavior model an attacker may be assigned, in canonical order
+#: (the order matters: seeded behavior draws index into this tuple).
+BEHAVIORS = (
+    UNDER_REPORT,
+    OVER_REPORT,
+    INFLATE_CAPACITY,
+    OSCILLATE,
+    RENEGE,
+    ACCUSE,
+)
+
+
+def _check_fraction(name: str, value: float) -> None:
+    """Raise :class:`AdversaryPlanError` unless ``value`` is in ``[0, 1]``."""
+    if not 0.0 <= value <= 1.0:
+        raise AdversaryPlanError(
+            f"{name} must be a fraction in [0, 1], got {value}"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class AdversaryPlan:
+    """Seeded, declarative description of one Byzantine environment.
+
+    Parameters
+    ----------
+    seed:
+        Root seed of the engine's decision streams (attacker drafting,
+        accusation targets, defense audit sampling).  Independent of the
+        scenario seed so the same attack can replay against different
+        workloads and vice versa.
+    fraction:
+        Fraction of the alive node set drafted as attackers when the
+        engine first arms (``round(fraction * len(alive))`` nodes drawn
+        by seeded permutation).  Explicitly ``assignments``-listed nodes
+        are attackers on top of (and excluded from) the draft pool.
+    behaviors:
+        The behavior pool drafted attackers draw from; must be a
+        non-empty subset of :data:`BEHAVIORS`.
+    assignments:
+        Explicit ``(node_index, behavior)`` pairs, for tests that need a
+        specific node to misbehave in a specific way.
+    defense:
+        Whether the :class:`~repro.adversary.trust.TrustedAggregation`
+        defense is armed.  Off, lies flow into the aggregate unchecked
+        (the damage baseline the ``byzantine`` experiment measures
+        against).
+    start_round:
+        First balancing round (0-based) in which attackers act.  Before
+        it the plan is armed but dormant — used to pin the
+        zero-overhead-when-clean property: a dormant plan must leave
+        every round digest byte-identical to a run with no plan at all.
+    under_factor:
+        Load multiplier for under-reporters (in ``(0, 1]``).
+    over_factor:
+        Load multiplier for over-reporters (``>= 1``).
+    inflate_factor:
+        Capacity multiplier for capacity inflators (``>= 1``).
+    """
+
+    seed: int = 0
+    fraction: float = 0.0
+    behaviors: tuple[str, ...] = BEHAVIORS
+    assignments: tuple[tuple[int, str], ...] = ()
+    defense: bool = True
+    start_round: int = 0
+    under_factor: float = 0.25
+    over_factor: float = 4.0
+    inflate_factor: float = 8.0
+
+    def __post_init__(self) -> None:
+        """Validate every knob; raises :class:`AdversaryPlanError`."""
+        _check_fraction("fraction", self.fraction)
+        if not self.behaviors:
+            raise AdversaryPlanError("behaviors must be non-empty")
+        for behavior in self.behaviors:
+            if behavior not in BEHAVIORS:
+                raise AdversaryPlanError(
+                    f"unknown behavior {behavior!r}; expected one of "
+                    f"{', '.join(BEHAVIORS)}"
+                )
+        seen: set[int] = set()
+        for index, behavior in self.assignments:
+            if index < 0:
+                raise AdversaryPlanError(
+                    f"node index must be >= 0, got {index}"
+                )
+            if index in seen:
+                raise AdversaryPlanError(
+                    f"node index {index} assigned two behaviors"
+                )
+            seen.add(index)
+            if behavior not in BEHAVIORS:
+                raise AdversaryPlanError(
+                    f"unknown behavior {behavior!r} for node {index}; "
+                    f"expected one of {', '.join(BEHAVIORS)}"
+                )
+        if self.start_round < 0:
+            raise AdversaryPlanError(
+                f"start_round must be >= 0, got {self.start_round}"
+            )
+        if not 0.0 < self.under_factor <= 1.0:
+            raise AdversaryPlanError(
+                f"under_factor must be in (0, 1], got {self.under_factor}"
+            )
+        if self.over_factor < 1.0:
+            raise AdversaryPlanError(
+                f"over_factor must be >= 1, got {self.over_factor}"
+            )
+        if self.inflate_factor < 1.0:
+            raise AdversaryPlanError(
+                f"inflate_factor must be >= 1, got {self.inflate_factor}"
+            )
+
+    @property
+    def is_null(self) -> bool:
+        """Whether this plan fields no attackers (the Byzantine-free world)."""
+        return self.fraction == 0 and not self.assignments
+
+
+#: The attacker-free environment: attach it anywhere a plan is accepted
+#: and the run keeps the exact clean fast paths (no engine, no defense).
+NULL_ADVERSARY = AdversaryPlan()

@@ -1,0 +1,99 @@
+"""Per-round accounting of Byzantine behavior and the defense's response.
+
+One :class:`AdversaryRoundStats` instance rides on each
+:class:`~repro.core.report.BalanceReport` produced under an
+:class:`~repro.adversary.AdversaryPlan`, so the ``byzantine``
+experiment can attribute damage — excess imbalance, wasted movement,
+suppressed reports — to attackers and score how much of it the
+:class:`~repro.adversary.trust.TrustedAggregation` defense clawed back.
+
+The split between :meth:`AdversaryRoundStats.digest_fields` and
+:meth:`AdversaryRoundStats.to_dict` is the determinism contract:
+digest fields are *protocol outcomes* (what lies landed, who is
+quarantined, what movement attackers caused) and enter
+:meth:`~repro.core.report.BalanceReport.canonical_digest`; the rest are
+*observational* counters (audits sampled, envelope breaches noted) that
+an armed-but-dormant defense accrues without changing any protocol
+decision — including them would break the zero-overhead-when-clean
+digest identity the acceptance tests pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class AdversaryRoundStats:
+    """What the attackers did — and what the trust layer did about it.
+
+    ``attackers`` counts the attackers *active* this round (armed and
+    past ``start_round``).  ``lies_load`` / ``lies_capacity`` /
+    ``lies_oscillate`` count reports altered by each lie family;
+    ``reneged_transfers`` counts prepared-then-never-delivered VST
+    moves; ``accusations`` / ``accusations_refuted`` /
+    ``reports_suppressed`` track the false-accusation channel (a
+    suppressed report is an accusation that landed because no defense
+    cross-checked it).  ``audits_failed`` and ``values_restored`` count
+    witness audits that caught a lie and substituted ground truth;
+    ``quarantined`` / ``probation`` list the nodes currently excluded
+    or on probationary rejoin.  ``attacker_transfers`` and
+    ``attacker_moved_load`` attribute executed movement to attacker
+    endpoints.  ``audits_run`` and ``envelope_breaches`` are
+    observational (see the module docstring); ``signature`` is the
+    engine's action-log hash at round end (empty while no action has
+    fired) and ``actions_total`` its log length.
+    """
+
+    attackers: int = 0
+    lies_load: int = 0
+    lies_capacity: int = 0
+    lies_oscillate: int = 0
+    reneged_transfers: int = 0
+    accusations: int = 0
+    accusations_refuted: int = 0
+    reports_suppressed: int = 0
+    audits_failed: int = 0
+    values_restored: int = 0
+    quarantined: list[int] = field(default_factory=list)
+    probation: list[int] = field(default_factory=list)
+    attacker_transfers: int = 0
+    attacker_moved_load: float = 0.0
+    audits_run: int = 0
+    envelope_breaches: int = 0
+    signature: str = ""
+    actions_total: int = 0
+
+    @property
+    def lies_total(self) -> int:
+        """Reports altered by any lie family this round."""
+        return self.lies_load + self.lies_capacity + self.lies_oscillate
+
+    def digest_fields(self) -> dict[str, Any]:
+        """The protocol-outcome fields pinned by the canonical digest."""
+        return {
+            "attackers": self.attackers,
+            "lies_load": self.lies_load,
+            "lies_capacity": self.lies_capacity,
+            "lies_oscillate": self.lies_oscillate,
+            "reneged_transfers": self.reneged_transfers,
+            "accusations": self.accusations,
+            "accusations_refuted": self.accusations_refuted,
+            "reports_suppressed": self.reports_suppressed,
+            "audits_failed": self.audits_failed,
+            "values_restored": self.values_restored,
+            "quarantined": list(self.quarantined),
+            "probation": list(self.probation),
+            "attacker_transfers": self.attacker_transfers,
+            "attacker_moved_load": self.attacker_moved_load,
+            "signature": self.signature,
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly export (digest fields plus observational ones)."""
+        payload = self.digest_fields()
+        payload["audits_run"] = self.audits_run
+        payload["envelope_breaches"] = self.envelope_breaches
+        payload["actions_total"] = self.actions_total
+        return payload

@@ -20,6 +20,10 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.adversary.engine import AdversaryEngine, ensure_engine
+from repro.adversary.plan import AdversaryPlan
+from repro.adversary.stats import AdversaryRoundStats
+from repro.adversary.trust import TrustedAggregation
 from repro.core.classification import ClassificationResult, classify_all
 from repro.core.config import BalancerConfig
 from repro.core.lbi import (
@@ -116,6 +120,18 @@ class LoadBalancer:
         Recovery bounds (attempts, backoff, phase budgets, LBI staleness)
         used when ``faults`` is active; defaults to
         :class:`~repro.faults.RetryPolicy`'s defaults.
+    adversary:
+        Optional :class:`~repro.adversary.AdversaryPlan` (or a pre-built
+        :class:`~repro.adversary.AdversaryEngine` to share one attack
+        history across components).  With one attached, drafted nodes
+        lie in their LBI reports, renege on prepared transfers or mount
+        false dead-node accusations; with ``plan.defense`` on, the
+        aggregate gate is upgraded to
+        :class:`~repro.adversary.TrustedAggregation` (witness audits,
+        EWMA envelopes, trust-scored quarantine) and quarantined nodes
+        are excluded from the round by re-tiling the ring without them.
+        ``None`` or a null plan keeps every fast path byte-identical to
+        the adversary-free implementation.
     """
 
     def __init__(
@@ -131,6 +147,7 @@ class LoadBalancer:
         metrics: MetricsRegistry | None = None,
         faults: FaultPlan | FaultInjector | None = None,
         retry: RetryPolicy | None = None,
+        adversary: AdversaryPlan | AdversaryEngine | None = None,
     ):
         self.ring = ring
         self.config = config if config is not None else BalancerConfig()
@@ -138,6 +155,9 @@ class LoadBalancer:
         self.metrics = metrics if metrics is not None else current_metrics()
         self.faults = ensure_injector(
             faults, tracer=self.tracer, metrics=self.metrics
+        )
+        self.adversary = ensure_engine(
+            adversary, tracer=self.tracer, metrics=self.metrics
         )
         self.retry = retry if retry is not None else RetryPolicy()
         self.topology = topology
@@ -164,9 +184,20 @@ class LoadBalancer:
             )
         #: Aggregate plausibility gate; armed whenever faults are in
         #: play (honest reports always pass, so fault runs without
-        #: corruption keep their exact behaviour).
+        #: corruption keep their exact behaviour).  With an adversary
+        #: plan whose defense is on, the gate is the trust-scored
+        #: :class:`~repro.adversary.TrustedAggregation` instead — a
+        #: strict extension, so composed fault+adversary runs keep the
+        #: base plausibility rules.
         self._sanity: AggregateSanity | None = None
-        if self.faults is not None:
+        if self.adversary is not None and self.adversary.plan.defense:
+            self._sanity = TrustedAggregation(
+                self.retry.lbi_staleness_rounds,
+                rng=self.adversary.audit_rng,
+                tracer=self.tracer,
+                metrics=self.metrics,
+            )
+        elif self.faults is not None:
             self._sanity = AggregateSanity(
                 self.retry.lbi_staleness_rounds,
                 tracer=self.tracer,
@@ -252,6 +283,7 @@ class LoadBalancer:
         one internally consistent degraded sub-round per component.
         """
         stats = FaultRoundStats()
+        adv_stats = AdversaryRoundStats()
         faults = self.faults
         round_index = self._round_index
         self._round_index += 1
@@ -263,8 +295,20 @@ class LoadBalancer:
         pending: PartitionSpec | None = None
         if self.membership is not None:
             view, pending = self.membership.begin_round(round_index, stats)
-        if self._sanity is not None:
-            self._sanity.begin_round(stats.epoch, stats)
+        alive_indices = [n.index for n in self.ring.alive_nodes]
+        if self.adversary is not None:
+            self.adversary.begin_round(round_index, alive_indices)
+        if isinstance(self._sanity, TrustedAggregation):
+            self._sanity.begin_round(
+                stats.epoch,
+                stats,
+                alive_indices=alive_indices,
+                adversary_stats=adv_stats,
+            )
+        elif self._sanity is not None:
+            self._sanity.begin_round(
+                stats.epoch, stats, alive_indices=alive_indices
+            )
         if view is not None:
             if self.tracer.enabled:
                 self.tracer.event(
@@ -272,9 +316,9 @@ class LoadBalancer:
                     epoch=view.epoch,
                     components=len(view.components),
                 )
-            report = self._run_partitioned_round(stats, view)
+            report = self._run_partitioned_round(stats, view, adv_stats)
         else:
-            report = self._run_plain_round(stats, pending)
+            report = self._run_plain_round(stats, pending, adv_stats)
         if self.journal is not None:
             self.journal.record(
                 "round_end", round=round_index, digest=report.canonical_digest()
@@ -282,17 +326,44 @@ class LoadBalancer:
         return report
 
     def _run_plain_round(
-        self, stats: FaultRoundStats, pending: PartitionSpec | None = None
+        self,
+        stats: FaultRoundStats,
+        pending: PartitionSpec | None = None,
+        adv_stats: AdversaryRoundStats | None = None,
     ) -> BalanceReport:
         """One whole-ring round (optionally cut mid-VST by ``pending``)."""
         cfg = self.config
         ring = self.ring
         tracer = self.tracer
         faults = self.faults
+        if adv_stats is None:
+            adv_stats = AdversaryRoundStats()
         alive = ring.alive_nodes
         node_indices = np.asarray([n.index for n in alive], dtype=np.int64)
         capacities = np.asarray([n.capacity for n in alive], dtype=np.float64)
         loads_before = np.asarray([n.load for n in alive], dtype=np.float64)
+        # Quarantine re-tiling: when the trust layer has excluded nodes,
+        # the whole protocol pipeline runs over a ComponentRingView of
+        # the trusted survivors — the same machinery partitions use — so
+        # excluded regions are re-tiled and quarantined nodes neither
+        # report nor receive transfers.  Their loads still appear in the
+        # conservation arrays above; they classify neutral below.
+        work: ChordRing | ComponentRingView = ring
+        work_alive = alive
+        trust = (
+            self._sanity
+            if isinstance(self._sanity, TrustedAggregation)
+            else None
+        )
+        if trust is not None and trust.excluded:
+            trusted = tuple(
+                n.index for n in alive if n.index not in trust.excluded
+            )
+            if trusted and len(trusted) < len(alive):
+                view = ComponentRingView(ring, trusted)
+                if any(n.virtual_servers for n in view.alive_nodes):
+                    work = view
+                    work_alive = view.alive_nodes
         clock = PhaseClock()
         round_span = tracer.span(
             "round",
@@ -304,9 +375,9 @@ class LoadBalancer:
 
         # Phase 1: tree + LBI aggregation/dissemination.
         with clock.phase("lbi"), tracer.span("lbi"):
-            tree = KnaryTree(ring, cfg.tree_degree, metrics=self.metrics)
+            tree = KnaryTree(work, cfg.tree_degree, metrics=self.metrics)
             reports = collect_lbi_reports(
-                ring,
+                work,
                 tree,
                 rng=self._lbi_rng,
                 tracer=tracer,
@@ -315,6 +386,8 @@ class LoadBalancer:
                 fault_stats=stats,
                 sanity=self._sanity,
                 epoch=stats.epoch,
+                adversary=self.adversary,
+                adversary_stats=adv_stats,
             )
             if reports or self._stale_lbi is None:
                 # aggregate_lbi raises BalancerError on an empty report
@@ -344,16 +417,23 @@ class LoadBalancer:
                 system, agg_trace = self._aggregate_lbi(tree, reports)
         self._crash_point("post-lbi-fold")
 
-        # Phase 2: classification.
+        # Phase 2: classification.  Quarantined nodes sit the round out
+        # as neutral — they are outside the trusted aggregate, so no
+        # target can be computed for them.
         with clock.phase("classification"), tracer.span("classification"):
             classification_before = classify_all(
-                alive, system, cfg.epsilon, tracer=tracer, stage="before"
+                work_alive, system, cfg.epsilon, tracer=tracer, stage="before"
+            )
+            self._classify_excluded_neutral(
+                alive, work_alive, classification_before
             )
 
         with clock.phase("vsa"):
             # Phase 3a: build VSA entries.
             vsa_span = tracer.span("vsa")
-            published = self._publish_vsa_entries(alive, classification_before)
+            published = self._publish_vsa_entries(
+                work_alive, classification_before
+            )
 
             # Phase 3b: bottom-up VSA sweep.
             vsa_result = self._run_vsa_sweep(
@@ -373,18 +453,20 @@ class LoadBalancer:
                 )
             else:
                 transfers = execute_transfers(
-                    ring, vsa_result.assignments, self.oracle, skipped=skipped,
+                    work, vsa_result.assignments, self.oracle, skipped=skipped,
                     tracer=tracer, faults=faults, failed=failed, fault_stats=stats,
-                    journal=self.journal,
+                    journal=self.journal, adversary=self.adversary,
                 )
 
         loads_after = np.asarray([n.load for n in alive], dtype=np.float64)
         classification_after = classify_all(
-            alive, system, cfg.epsilon, tracer=tracer, stage="after"
+            work_alive, system, cfg.epsilon, tracer=tracer, stage="after"
         )
+        self._classify_excluded_neutral(alive, work_alive, classification_after)
         if faults is not None:
             stats.injected_total = faults.injected
             stats.signature = faults.signature()
+        self._finalize_adversary_stats(adv_stats, transfers)
         round_span.end(
             transfers=len(transfers),
             moved_load=float(sum(t.load for t in transfers)),
@@ -410,6 +492,7 @@ class LoadBalancer:
             skipped_assignments=skipped,
             failed_assignments=failed,
             fault_stats=stats,
+            adversary_stats=adv_stats,
             tree_height=tree.height(),
             tree_nodes_materialized=tree.node_count,
             in_flight_after=(
@@ -472,6 +555,66 @@ class LoadBalancer:
         return published
 
     # ------------------------------------------------------------------
+    # Adversary machinery
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _classify_excluded_neutral(
+        alive: list[PhysicalNode],
+        work_alive: list[PhysicalNode],
+        classification: ClassificationResult,
+    ) -> None:
+        """Classify quarantine-excluded nodes neutral (no movement).
+
+        Mirrors the degraded-component handling in partitioned rounds:
+        a node outside the trusted work ring has no admissible aggregate
+        to classify against, so it keeps its load for the round.
+        """
+        if len(work_alive) == len(alive):
+            return
+        covered = classification.classes
+        for node in alive:
+            if node.index not in covered:
+                classification.classes[node.index] = NodeClass.NEUTRAL
+                classification.targets[node.index] = node.load
+
+    def _finalize_adversary_stats(
+        self,
+        adv_stats: AdversaryRoundStats,
+        transfers: list[TransferRecord],
+    ) -> None:
+        """Close the round's Byzantine accounting after the VST batch.
+
+        Feeds the defense's transfer-outcome channel (reneging sources
+        charged once per round, EWMA envelopes shifted by every executed
+        transfer) and attributes executed movement touching an attacker.
+        """
+        engine = self.adversary
+        if engine is None:
+            return
+        trust = (
+            self._sanity
+            if isinstance(self._sanity, TrustedAggregation)
+            else None
+        )
+        reneged = engine.reneged
+        adv_stats.reneged_transfers = len(reneged)
+        if trust is not None:
+            for source in sorted({source for source, _ in reneged}):
+                trust.note_renege(source)
+        for t in transfers:
+            if trust is not None:
+                trust.note_transfer(t.source_node, t.target_node, t.load)
+            if engine.is_attacker(t.source_node) or engine.is_attacker(
+                t.target_node
+            ):
+                adv_stats.attacker_transfers += 1
+                adv_stats.attacker_moved_load += float(t.load)
+        adv_stats.attackers = engine.active_attackers
+        adv_stats.accusations = engine.accusations
+        adv_stats.signature = engine.signature()
+        adv_stats.actions_total = engine.acted
+
+    # ------------------------------------------------------------------
     # Partition machinery
     # ------------------------------------------------------------------
     def _execute_transfers_with_partition(
@@ -500,7 +643,7 @@ class LoadBalancer:
         transfers = execute_transfers(
             ring, assignments[:slot], self.oracle, skipped=skipped,
             tracer=tracer, faults=faults, failed=failed, fault_stats=stats,
-            journal=self.journal,
+            journal=self.journal, adversary=self.adversary,
         )
         remainder = assignments[slot:]
         view = membership.activate(spec, stats)
@@ -517,12 +660,15 @@ class LoadBalancer:
         transfers += execute_transfers(
             ring, remainder, self.oracle, skipped=skipped,
             tracer=tracer, faults=faults, failed=failed, fault_stats=stats,
-            journal=self.journal,
+            journal=self.journal, adversary=self.adversary,
         )
         return transfers
 
     def _run_partitioned_round(
-        self, stats: FaultRoundStats, view: MembershipView
+        self,
+        stats: FaultRoundStats,
+        view: MembershipView,
+        adv_stats: AdversaryRoundStats | None = None,
     ) -> BalanceReport:
         """One degraded round: an independent sub-round per component.
 
@@ -544,6 +690,8 @@ class LoadBalancer:
         faults = self.faults
         membership = self.membership
         assert membership is not None
+        if adv_stats is None:
+            adv_stats = AdversaryRoundStats()
         self._stale_lbi = None
         self._stale_lbi_age = 0
         alive = ring.alive_nodes
@@ -598,6 +746,11 @@ class LoadBalancer:
                     comp, cfg.tree_degree, metrics=self.metrics,
                     epoch=view.epoch,
                 )
+                # Under an active adversary, lies and accusations flow
+                # into each component's collection unchanged; quarantined
+                # nodes are not re-tiled out here (the components already
+                # re-tile the ring) — their reports are rejected at the
+                # trust gate instead.
                 reports = collect_lbi_reports(
                     comp,
                     tree,
@@ -608,6 +761,8 @@ class LoadBalancer:
                     fault_stats=stats,
                     sanity=self._sanity,
                     epoch=view.epoch,
+                    adversary=self.adversary,
+                    adversary_stats=adv_stats,
                 )
                 if not reports:
                     neutral(comp_alive)
@@ -631,6 +786,7 @@ class LoadBalancer:
                     comp, vsa_c.assignments, self.oracle, skipped=skipped,
                     tracer=tracer, faults=faults, failed=failed,
                     fault_stats=stats, journal=self.journal,
+                    adversary=self.adversary,
                 )
             after_c = classify_all(
                 comp_alive, system_c, cfg.epsilon, tracer=tracer, stage="after"
@@ -683,6 +839,7 @@ class LoadBalancer:
         if faults is not None:
             stats.injected_total = faults.injected
             stats.signature = faults.signature()
+        self._finalize_adversary_stats(adv_stats, transfers)
         round_span.end(
             transfers=len(transfers),
             moved_load=float(sum(t.load for t in transfers)),
@@ -707,6 +864,7 @@ class LoadBalancer:
             skipped_assignments=skipped,
             failed_assignments=failed,
             fault_stats=stats,
+            adversary_stats=adv_stats,
             tree_height=tree_height,
             tree_nodes_materialized=tree_nodes,
             in_flight_before=in_flight,

@@ -149,14 +149,15 @@ class IncrementalLoadBalancer(LoadBalancer):
     def run_round(self) -> BalanceReport:
         """One round: fast path when exactness allows, else serial.
 
-        Fault injection, partitions, an attached write-ahead journal
-        and enabled tracing run through the
+        Fault injection, an active Byzantine adversary, partitions, an
+        attached write-ahead journal and enabled tracing run through the
         inherited serial implementation (their rng/event interleavings
         are inherently per-object); the persistent tree is invalidated
         so the next fast round rebuilds from the current ring.
         """
         if (
             self.faults is not None
+            or self.adversary is not None
             or self.membership is not None
             or self.journal is not None
             or self.tracer.enabled

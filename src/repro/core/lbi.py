@@ -27,6 +27,7 @@ from __future__ import annotations
 import math
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -43,6 +44,11 @@ from repro.ktree.tree import KnaryTree
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 from repro.util.rng import ensure_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import
+    # cycle: repro.adversary.trust subclasses AggregateSanity from here)
+    from repro.adversary.engine import AdversaryEngine
+    from repro.adversary.stats import AdversaryRoundStats
 
 
 @dataclass
@@ -145,11 +151,50 @@ class AggregateSanity:
         self._stats: FaultRoundStats | None = None
 
     def begin_round(
-        self, epoch: int, stats: FaultRoundStats | None = None
+        self,
+        epoch: int,
+        stats: FaultRoundStats | None = None,
+        alive_indices: Sequence[int] | None = None,
     ) -> None:
-        """Arm the gate for one round under membership view ``epoch``."""
+        """Arm the gate for one round under membership view ``epoch``.
+
+        ``alive_indices`` is the current alive node set; when provided,
+        last-good entries for departed nodes are evicted so the gate's
+        memory stays bounded under sustained churn (departed nodes never
+        report again, so eviction cannot change any admit decision).
+        """
         self._epoch = epoch
         self._stats = stats
+        if alive_indices is not None:
+            still_here = frozenset(int(i) for i in alive_indices)
+            departed = [k for k in self._last_good if k not in still_here]
+            for k in departed:
+                del self._last_good[k]
+
+    def witness_check(
+        self,
+        node_index: int,
+        claimed: tuple[float, float, float],
+        truth: tuple[float, float, float],
+    ) -> tuple[float, float, float]:
+        """Hook for parent-side witness audits; the base gate trusts claims.
+
+        Called by :func:`collect_lbi_reports` with the node's claimed
+        ``<L, C, L_min>`` and the ground truth a witness probe would
+        observe.  The base defense performs no audits (it only checks
+        plausibility), so the claim passes through unchanged;
+        :class:`repro.adversary.trust.TrustedAggregation` overrides this
+        with seeded spot-checks.
+        """
+        return claimed
+
+    def refute_accusation(self, accuser: int) -> None:
+        """Hook for liveness cross-checks of false accusations; a no-op here.
+
+        Called when an accused node's own report arrives (proof of
+        life).  The base defense has no trust accounting to charge the
+        accuser against; the trusted subclass penalizes it.
+        """
 
     def _reason(
         self, load: float, capacity: float, min_vs: float, epoch: int
@@ -186,14 +231,10 @@ class AggregateSanity:
         as lost for this round's aggregate).
         """
         reason = self._reason(load, capacity, min_vs, epoch)
-        if reason is None:
-            last = self._last_good.get(node_index)
-            if last is not None:
-                last_load = last[0]
-                if abs(load - last_load) > self.DELTA_FACTOR * (
-                    capacity + last_load
-                ):
-                    reason = "implausible_delta"
+        if reason is None and self._delta_implausible(
+            node_index, load, capacity
+        ):
+            reason = "implausible_delta"
         if reason is None:
             self._last_good[node_index] = (load, capacity, min_vs, epoch)
             return (load, capacity, min_vs)
@@ -202,6 +243,27 @@ class AggregateSanity:
         if last is not None and self._epoch - last[3] <= self.staleness:
             return (last[0], last[1], last[2])
         return None
+
+    def _delta_implausible(
+        self, node_index: int, load: float, capacity: float
+    ) -> bool:
+        """Rule 5: the per-report load-swing heuristic (see class docs).
+
+        A blind bound — it knows nothing about what actually moved, so
+        a node that legitimately absorbed far more than
+        ``DELTA_FACTOR`` times its capacity in one heavy rebalancing
+        round is rejected too.  Overridable:
+        :class:`repro.adversary.trust.TrustedAggregation` replaces it
+        with transfer-accounted EWMA envelopes once it has one for the
+        node.
+        """
+        last = self._last_good.get(node_index)
+        if last is None:
+            return False
+        last_load = last[0]
+        return abs(load - last_load) > self.DELTA_FACTOR * (
+            capacity + last_load
+        )
 
     def _quarantine(self, node_index: int, reason: str) -> None:
         """Record one quarantine decision (stats, counter, event)."""
@@ -225,6 +287,8 @@ def collect_lbi_reports(
     fault_stats: FaultRoundStats | None = None,
     sanity: AggregateSanity | None = None,
     epoch: int = 0,
+    adversary: "AdversaryEngine | None" = None,
+    adversary_stats: "AdversaryRoundStats | None" = None,
 ) -> dict[int, tuple[KTNode, list[LBIRecord]]]:
     """Leaf-indexed LBI reports for every alive node of ``ring``.
 
@@ -252,6 +316,18 @@ def collect_lbi_reports(
     values, substitutes the node's last-good report, or quarantines the
     node and drops the report.  ``epoch`` tags each report with the
     membership view it was produced under.
+
+    With an ``adversary`` engine attached, Byzantine behavior strikes
+    the report channel before the sanity gate sees it: an active false
+    accuser suppresses its victim's report outright when the plan's
+    defense is off (and is refuted via
+    :meth:`AggregateSanity.refute_accusation` when it is on, since the
+    victim's own report proves liveness), and lying attackers
+    substitute their claimed ``<L, C, L_min>`` triple via
+    :meth:`~repro.adversary.engine.AdversaryEngine.lie`.  The gate's
+    :meth:`AggregateSanity.witness_check` hook then sees both the claim
+    and the ground truth, which is what lets the trusted defense run
+    seeded spot-check audits.  Accounting lands in ``adversary_stats``.
     """
     gen = ensure_rng(rng)
     policy = retry if retry is not None else RetryPolicy()
@@ -300,6 +376,25 @@ def collect_lbi_reports(
                 # costs a message but never double-counts the load.
                 fault_stats.lbi_duplicates += 1
         load, capacity, report_epoch = node.load, node.capacity, epoch
+        truth = (load, capacity, min_vs)
+        if adversary is not None:
+            accuser = adversary.accuser_of(node.index)
+            if accuser is not None:
+                if not adversary.plan.defense:
+                    # The accusation lands unchecked: the "dead" node's
+                    # report is suppressed for the round.
+                    lost += 1
+                    if adversary_stats is not None:
+                        adversary_stats.reports_suppressed += 1
+                    continue
+                if sanity is not None:
+                    # The victim's own report proves liveness; the
+                    # defense refutes the accusation and charges the
+                    # accuser's trust score.
+                    sanity.refute_accusation(accuser)
+            load, capacity, min_vs = adversary.lie(
+                node.index, load, capacity, min_vs, stats=adversary_stats
+            )
         if faults is not None and sanity is not None:
             mode = faults.corrupt_report("lbi", f"report:{node.index}")
             if mode is not None:
@@ -307,6 +402,9 @@ def collect_lbi_reports(
                     mode, load, capacity, min_vs, report_epoch, sanity.staleness
                 )
         if sanity is not None:
+            load, capacity, min_vs = sanity.witness_check(
+                node.index, (load, capacity, min_vs), truth
+            )
             admitted = sanity.admit(
                 node.index, load, capacity, min_vs, report_epoch
             )

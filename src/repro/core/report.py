@@ -14,6 +14,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.adversary.stats import AdversaryRoundStats
 from repro.core.classification import ClassificationResult
 from repro.core.config import BalancerConfig
 from repro.core.lbi import AggregationTrace
@@ -60,6 +61,11 @@ class BalanceReport:
     #: Fault/recovery accounting for the round; all zeros when no fault
     #: plan was attached (natural-churn rollbacks still count here).
     fault_stats: FaultRoundStats = field(default_factory=FaultRoundStats)
+    #: Byzantine-adversary accounting for the round; all defaults when
+    #: no adversary plan was attached (or the plan is still dormant).
+    adversary_stats: AdversaryRoundStats = field(
+        default_factory=AdversaryRoundStats
+    )
     tree_height: int = 0
     tree_nodes_materialized: int = 0
     #: Load held by transfers already in flight (suspended by a
@@ -265,6 +271,14 @@ class BalanceReport:
                 k: (v.hex() if isinstance(v, float) else v)
                 for k, v in sorted(self.fault_stats.to_dict().items())
             },
+            # Only the adversary's *protocol outcomes* are pinned; the
+            # observational counters (audits sampled, envelope notes)
+            # are excluded so an armed-but-dormant defense digests
+            # identically to a run with no adversary plan at all.
+            "adversary_stats": {
+                k: (v.hex() if isinstance(v, float) else v)
+                for k, v in sorted(self.adversary_stats.digest_fields().items())
+            },
             "tree_height": self.tree_height,
             "tree_nodes_materialized": self.tree_nodes_materialized,
             "in_flight_before": float(self.in_flight_before).hex(),
@@ -293,6 +307,7 @@ class BalanceReport:
             "moved_within_10": self.moved_load_within(10),
             "phases": self.profile.to_dict() if self.profile is not None else None,
             "faults": self.fault_stats.to_dict(),
+            "adversary": self.adversary_stats.to_dict(),
         }
 
 

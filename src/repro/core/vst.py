@@ -38,6 +38,7 @@ from repro.obs.trace import Tracer
 from repro.topology.routing import DistanceOracle
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (recovery -> core)
+    from repro.adversary.engine import AdversaryEngine
     from repro.recovery.journal import TransferJournal
 
 
@@ -161,6 +162,7 @@ def execute_transfers(
     failed: list[Assignment] | None = None,
     fault_stats: FaultRoundStats | None = None,
     journal: "TransferJournal | None" = None,
+    adversary: "AdversaryEngine | None" = None,
 ) -> list[TransferRecord]:
     """Apply ``assignments`` to the ring and account their costs.
 
@@ -202,6 +204,15 @@ def execute_transfers(
     process at a seeded batch position via
     :class:`~repro.exceptions.ProcessCrashError` — recovery is the
     recovery manager's job, nothing here catches it.
+
+    Byzantine reneging: with an ``adversary`` engine attached, a source
+    node running the ``renege`` behavior model *prepares* each of its
+    transfers and never delivers — the transaction is rolled back
+    exactly like an injected abort (counted in ``fault_stats`` as a
+    rollback, remembered by the engine for the defense's
+    transfer-outcome accounting).  The fault injector's abort stream is
+    drawn regardless, so fault decision sequences are unaffected by the
+    adversary's presence.
     """
     total_before = sum(n.load for n in ring.nodes)
     node_by_index = {n.index: n for n in ring.nodes}
@@ -285,6 +296,10 @@ def execute_transfers(
         txn = TransferTransaction(ring, vs, source, target, journal=journal)
         txn.prepare()
         aborted = faults is not None and faults.abort_transfer(a.candidate.vs_id)
+        if adversary is not None and adversary.renege(
+            source.index, a.candidate.vs_id
+        ):
+            aborted = True
         if not aborted:
             try:
                 txn.commit()

@@ -71,6 +71,14 @@ class RetryExhaustedError(FaultError):
     """A bounded retry loop ran out of attempts or timeout budget."""
 
 
+class AdversaryError(ReproError):
+    """The Byzantine-adversary subsystem was misused or misconfigured."""
+
+
+class AdversaryPlanError(AdversaryError):
+    """An :class:`repro.adversary.AdversaryPlan` knob is out of range."""
+
+
 class ProcessCrashError(FaultError):
     """An injected whole-process crash fired at a protocol site.
 

@@ -7,6 +7,7 @@ from typing import Any
 
 from repro.exceptions import ReproError
 from repro.experiments import (
+    byzantine,
     chaos,
     convergence,
     fig4,
@@ -38,6 +39,10 @@ EXPERIMENTS: dict[str, tuple[Callable[..., Any], str]] = {
     "chaos": (
         chaos.run,
         "fault-rate sweep: message drop vs achieved load movement",
+    ),
+    "byzantine": (
+        byzantine.run,
+        "Byzantine sweep: attacker fraction x defense vs honest damage",
     ),
     "partition": (
         partition.run,

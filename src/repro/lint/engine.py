@@ -46,6 +46,7 @@ PROTOCOL_PACKAGES = (
     "ktree",
     "sim",
     "faults",
+    "adversary",
     "parallel",
     "membership",
     "recovery",
@@ -57,6 +58,7 @@ DOCUMENTED_PACKAGES = (
     "obs",
     "lint",
     "faults",
+    "adversary",
     "parallel",
     "membership",
     "recovery",

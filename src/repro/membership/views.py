@@ -16,6 +16,13 @@ Virtual servers that are detached in flight (a mid-round partition
 caught their transfer between ``prepare`` and ``commit``) are hosted by
 no node and therefore absent from every component view until the heal
 re-homes them.
+
+The same re-tiling serves the Byzantine defense: when
+:class:`~repro.adversary.TrustedAggregation` quarantines nodes, the
+balancer runs the whole round over a view of the trusted survivors, so
+the regions owned by excluded nodes re-tile onto their trusted
+component predecessors and no protocol phase routes through an
+untrusted node.
 """
 
 from __future__ import annotations

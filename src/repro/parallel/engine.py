@@ -30,6 +30,8 @@ from collections import Counter
 
 import numpy as np
 
+from repro.adversary.engine import AdversaryEngine
+from repro.adversary.plan import AdversaryPlan
 from repro.core.balancer import LoadBalancer
 from repro.core.config import BalancerConfig
 from repro.core.lbi import AggregationTrace
@@ -96,6 +98,7 @@ class ShardedLoadBalancer(LoadBalancer):
         metrics: MetricsRegistry | None = None,
         faults: FaultPlan | FaultInjector | None = None,
         retry: RetryPolicy | None = None,
+        adversary: AdversaryPlan | AdversaryEngine | None = None,
         num_shards: int = 1,
         pool: WorkerPool | None = None,
     ) -> None:
@@ -112,6 +115,7 @@ class ShardedLoadBalancer(LoadBalancer):
             metrics=metrics,
             faults=faults,
             retry=retry,
+            adversary=adversary,
         )
         self.num_shards = num_shards
         self._shard_depth = shard_depth(num_shards, self.config.tree_degree)

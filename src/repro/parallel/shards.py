@@ -9,6 +9,13 @@ order (child ``i`` covers the ``i``-th sub-interval of its parent).
 
 These helpers are pure tree/arithmetic functions; nothing here touches
 processes, rngs or wall clocks.
+
+They are view-agnostic: a tree built over a partition component or a
+Byzantine-quarantine work ring (both
+:class:`~repro.membership.views.ComponentRingView`) still tiles the
+full identifier space, so the same prefix geometry shards it — which is
+how the sharded engine inherits serial byte-identity under partitions
+and under an active :class:`~repro.adversary.AdversaryPlan` alike.
 """
 
 from __future__ import annotations

@@ -18,7 +18,12 @@ crash-restart determinism provable rather than hoped for:
 * the membership epoch machine: epoch, active view, which plan
   partition is active, and each suspended in-flight transfer;
 * the balancer's round cursor, stale-LBI cache and aggregate-sanity
-  ledger.
+  ledger;
+* the Byzantine layer: the adversary engine's three decision streams,
+  action log, drafted attacker set and round cursor, and — when the
+  defense is armed — the trust layer's scores, EWMA envelopes,
+  quarantine/probation sets and penalty bookkeeping, so a recovered
+  run replays the identical attack *and* the identical defense.
 
 All floats are encoded with ``float.hex`` (the
 :meth:`~repro.core.report.BalanceReport.canonical_digest` idiom), so
@@ -50,8 +55,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.balancer import LoadBalancer
     from repro.dht.storage import ObjectStore
 
-#: Current snapshot payload schema version.
-SNAPSHOT_VERSION = 1
+#: Current snapshot payload schema version (2 added the Byzantine
+#: adversary/trust sections).
+SNAPSHOT_VERSION = 2
 
 
 def _hex(value: float) -> str:
@@ -185,6 +191,8 @@ class SystemSnapshot:
                 },
             },
             "sanity": cls._capture_sanity(balancer),
+            "adversary": cls._capture_adversary(balancer),
+            "trust": cls._capture_trust(balancer),
             "injector": cls._capture_injector(balancer),
             "membership": cls._capture_membership(balancer),
             "store": cls._capture_store(store),
@@ -213,6 +221,61 @@ class SystemSnapshot:
                 ]
                 for node_index, t in sorted(sanity._last_good.items())
             ],
+        }
+
+    @staticmethod
+    def _capture_adversary(balancer: "LoadBalancer") -> dict[str, Any] | None:
+        engine = balancer.adversary
+        if engine is None:
+            return None
+        return {
+            "rngs": {
+                "assign": _rng_state(engine._assign_rng),
+                "accuse": _rng_state(engine._accuse_rng),
+                "audit": _rng_state(engine._audit_rng),
+            },
+            # seq is implied by list position (as for the fault log).
+            "log": [[a.behavior, int(a.node), a.subject] for a in engine.log],
+            "behavior_of": (
+                None
+                if engine._behavior_of is None
+                else [
+                    [int(k), v]
+                    for k, v in sorted(engine._behavior_of.items())
+                ]
+            ),
+            "accused": [
+                [int(victim), int(accuser)]
+                for victim, accuser in sorted(engine._accused.items())
+            ],
+            "reneged": [
+                [int(s), int(v)] for s, v in engine._reneged
+            ],
+            "current_round": int(engine._current_round),
+        }
+
+    @staticmethod
+    def _capture_trust(balancer: "LoadBalancer") -> dict[str, Any] | None:
+        from repro.adversary.trust import TrustedAggregation
+
+        sanity = balancer._sanity
+        if not isinstance(sanity, TrustedAggregation):
+            return None
+        # The audit rng is the engine's, captured in the adversary
+        # section; only the ledger state lives here.
+        return {
+            "trust": [
+                [int(k), _hex(v)] for k, v in sorted(sanity._trust.items())
+            ],
+            "ewma": [
+                [int(k), [_hex(m), _hex(d)]]
+                for k, (m, d) in sorted(sanity._ewma.items())
+            ],
+            "quarantined": sorted(int(i) for i in sanity._quarantined),
+            "probation": [
+                [int(k), int(v)] for k, v in sorted(sanity._probation.items())
+            ],
+            "penalized": sorted(int(i) for i in sanity._penalized),
         }
 
     @staticmethod
@@ -353,6 +416,8 @@ class SystemSnapshot:
 
         self._restore_balancer(balancer)
         self._restore_sanity(balancer)
+        self._restore_adversary(balancer)
+        self._restore_trust(balancer)
         self._restore_injector(balancer)
         self._restore_membership(balancer)
         self._restore_store(store)
@@ -412,6 +477,60 @@ class SystemSnapshot:
             )
             for node_index, t in spec["last_good"]
         }
+
+    def _restore_adversary(self, balancer: "LoadBalancer") -> None:
+        from repro.adversary.engine import AdversaryAction
+
+        spec = self.payload["adversary"]
+        engine = balancer.adversary
+        if spec is None or engine is None:
+            if (spec is None) != (engine is None):
+                raise RecoveryError(
+                    "snapshot and target disagree on adversary-engine "
+                    "presence (different adversary plans?)"
+                )
+            return
+        rngs = spec["rngs"]
+        _set_rng_state(engine._assign_rng, rngs["assign"])
+        _set_rng_state(engine._accuse_rng, rngs["accuse"])
+        _set_rng_state(engine._audit_rng, rngs["audit"])
+        engine.log = [
+            AdversaryAction(
+                seq=seq, behavior=behavior, node=int(node), subject=subject
+            )
+            for seq, (behavior, node, subject) in enumerate(spec["log"])
+        ]
+        engine._behavior_of = (
+            None
+            if spec["behavior_of"] is None
+            else {int(k): str(v) for k, v in spec["behavior_of"]}
+        )
+        engine._accused = {
+            int(victim): int(accuser) for victim, accuser in spec["accused"]
+        }
+        engine._reneged = [(int(s), int(v)) for s, v in spec["reneged"]]
+        engine._current_round = int(spec["current_round"])
+
+    def _restore_trust(self, balancer: "LoadBalancer") -> None:
+        from repro.adversary.trust import TrustedAggregation
+
+        spec = self.payload["trust"]
+        sanity = balancer._sanity
+        target = sanity if isinstance(sanity, TrustedAggregation) else None
+        if spec is None or target is None:
+            if (spec is None) != (target is None):
+                raise RecoveryError(
+                    "snapshot and target disagree on trust-layer presence "
+                    "(different adversary plans or defense flags?)"
+                )
+            return
+        target._trust = {int(k): _unhex(v) for k, v in spec["trust"]}
+        target._ewma = {
+            int(k): (_unhex(m), _unhex(d)) for k, (m, d) in spec["ewma"]
+        }
+        target._quarantined = {int(i) for i in spec["quarantined"]}
+        target._probation = {int(k): int(v) for k, v in spec["probation"]}
+        target._penalized = {int(i) for i in spec["penalized"]}
 
     def _restore_injector(self, balancer: "LoadBalancer") -> None:
         spec = self.payload["injector"]

@@ -1,0 +1,158 @@
+"""Seeded decision-making of :class:`repro.adversary.AdversaryEngine`."""
+
+import pytest
+
+from repro.adversary import (
+    ACCUSE,
+    INFLATE_CAPACITY,
+    NULL_ADVERSARY,
+    OSCILLATE,
+    OVER_REPORT,
+    RENEGE,
+    UNDER_REPORT,
+    AdversaryEngine,
+    AdversaryPlan,
+    ensure_engine,
+)
+
+ALIVE = tuple(range(20))
+
+
+def _engine(**kwargs):
+    return AdversaryEngine(AdversaryPlan(**kwargs), metrics=None)
+
+
+def test_ensure_engine_null_conventions():
+    assert ensure_engine(None) is None
+    assert ensure_engine(NULL_ADVERSARY) is None
+    engine = _engine(seed=3, fraction=0.1)
+    assert ensure_engine(engine) is engine
+    built = ensure_engine(AdversaryPlan(seed=3, fraction=0.1), metrics=None)
+    assert isinstance(built, AdversaryEngine)
+
+
+def test_draft_size_and_stickiness():
+    engine = _engine(seed=5, fraction=0.25)
+    engine.begin_round(0, ALIVE)
+    drafted = engine.attacker_indices
+    assert len(drafted) == round(0.25 * len(ALIVE))
+    assert all(i in ALIVE for i in drafted)
+    # The set is drafted once; later rounds (even with a different alive
+    # view) keep it.
+    engine.begin_round(1, ALIVE[:10])
+    assert engine.attacker_indices == drafted
+
+
+def test_draft_is_a_pure_function_of_the_plan():
+    first = _engine(seed=5, fraction=0.25)
+    second = _engine(seed=5, fraction=0.25)
+    first.begin_round(0, ALIVE)
+    second.begin_round(0, ALIVE)
+    assert first.attacker_indices == second.attacker_indices
+    other_seed = _engine(seed=6, fraction=0.25)
+    other_seed.begin_round(0, ALIVE)
+    assert other_seed.attacker_indices != first.attacker_indices
+
+
+def test_explicit_assignments_are_honored_on_top_of_the_draft():
+    engine = _engine(seed=5, fraction=0.1, assignments=((2, RENEGE),))
+    engine.begin_round(0, ALIVE)
+    assert engine.behavior_of(2) == RENEGE
+    assert 2 in engine.attacker_indices
+    assert len(engine.attacker_indices) == 1 + round(0.1 * len(ALIVE))
+
+
+def test_start_round_keeps_the_plan_dormant():
+    engine = _engine(seed=5, fraction=0.5, start_round=2)
+    engine.begin_round(0, ALIVE)
+    assert not engine.active
+    assert engine.behavior_of(engine.attacker_indices[0]) is None
+    assert engine.active_attackers == 0
+    assert engine.signature() == ""
+    engine.begin_round(2, ALIVE)
+    assert engine.active
+    assert engine.active_attackers == len(engine.attacker_indices)
+
+
+@pytest.mark.parametrize(
+    "behavior,expect",
+    [
+        (UNDER_REPORT, lambda p: (25.0, 10.0, 5.0)),
+        (OVER_REPORT, lambda p: (400.0, 10.0, 5.0)),
+        (INFLATE_CAPACITY, lambda p: (100.0, 80.0, 5.0)),
+    ],
+)
+def test_lie_families(behavior, expect):
+    engine = _engine(seed=1, assignments=((0, behavior),))
+    engine.begin_round(0, ALIVE)
+    claimed = engine.lie(0, 100.0, 10.0, 5.0)
+    assert claimed == expect(engine.plan)
+    assert engine.acted == 1
+
+
+def test_under_report_clamps_min_vs_to_claimed_load():
+    engine = _engine(
+        seed=1, assignments=((0, UNDER_REPORT),), under_factor=0.01
+    )
+    engine.begin_round(0, ALIVE)
+    load, capacity, min_vs = engine.lie(0, 100.0, 10.0, 5.0)
+    assert load == pytest.approx(1.0)
+    assert min_vs == load  # internally consistent triple
+
+
+def test_oscillate_alternates_by_round_parity():
+    engine = _engine(seed=1, assignments=((0, OSCILLATE),))
+    engine.begin_round(0, ALIVE)
+    high = engine.lie(0, 100.0, 10.0, 5.0)[0]
+    engine.begin_round(1, ALIVE)
+    low = engine.lie(0, 100.0, 10.0, 5.0)[0]
+    assert high == pytest.approx(100.0 * engine.plan.over_factor)
+    assert low == pytest.approx(100.0 * engine.plan.under_factor)
+
+
+def test_honest_renege_and_accuse_report_truthfully():
+    engine = _engine(seed=1, assignments=((0, RENEGE), (1, ACCUSE)))
+    engine.begin_round(0, ALIVE)
+    before = engine.acted
+    assert engine.lie(0, 100.0, 10.0, 5.0) == (100.0, 10.0, 5.0)
+    assert engine.lie(1, 100.0, 10.0, 5.0) == (100.0, 10.0, 5.0)
+    assert engine.lie(7, 100.0, 10.0, 5.0) == (100.0, 10.0, 5.0)
+    assert engine.acted == before  # truthful reports are not actions
+
+
+def test_renege_channel():
+    engine = _engine(seed=1, assignments=((0, RENEGE),))
+    engine.begin_round(0, ALIVE)
+    assert engine.renege(0, 42)
+    assert not engine.renege(3, 43)  # honest source delivers
+    assert engine.reneged == ((0, 42),)
+    engine.begin_round(1, ALIVE)
+    assert engine.reneged == ()  # per-round memory
+
+
+def test_accusations_target_honest_nodes():
+    engine = _engine(seed=9, fraction=0.2, behaviors=(ACCUSE,))
+    engine.begin_round(0, ALIVE)
+    attackers = set(engine.attacker_indices)
+    # Victim-keyed: two accusers drawing the same victim collapse into
+    # one standing accusation, so the count is bounded, not exact.
+    assert 1 <= engine.accusations <= len(attackers)
+    victims = [i for i in ALIVE if engine.accuser_of(i) is not None]
+    assert victims
+    for victim in victims:
+        assert victim not in attackers
+        assert engine.accuser_of(victim) in attackers
+
+
+def test_signature_reproduces_and_discriminates():
+    def history(seed):
+        engine = _engine(seed=seed, fraction=0.3)
+        for rnd in range(3):
+            engine.begin_round(rnd, ALIVE)
+            for node in ALIVE:
+                engine.lie(node, 50.0 + node, 10.0, 2.0)
+                engine.renege(node, 100 + node)
+        return engine.signature()
+
+    assert history(13) == history(13)
+    assert history(13) != history(14)

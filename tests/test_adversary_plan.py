@@ -1,0 +1,93 @@
+"""Validation and value semantics of :class:`repro.adversary.AdversaryPlan`."""
+
+import dataclasses
+
+import pytest
+
+from repro.adversary import (
+    ACCUSE,
+    BEHAVIORS,
+    NULL_ADVERSARY,
+    RENEGE,
+    UNDER_REPORT,
+    AdversaryPlan,
+)
+from repro.exceptions import AdversaryError, AdversaryPlanError
+
+
+def test_default_plan_is_null_and_valid():
+    plan = AdversaryPlan()
+    assert plan.is_null
+    assert plan.defense
+    assert plan.behaviors == BEHAVIORS
+    assert NULL_ADVERSARY.is_null
+
+
+def test_fraction_or_assignments_make_plan_non_null():
+    assert not AdversaryPlan(fraction=0.1).is_null
+    assert not AdversaryPlan(assignments=((3, RENEGE),)).is_null
+
+
+def test_plan_is_frozen():
+    plan = AdversaryPlan(seed=1)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        plan.fraction = 0.5
+
+
+def test_plan_error_is_an_adversary_error():
+    assert issubclass(AdversaryPlanError, AdversaryError)
+
+
+@pytest.mark.parametrize("fraction", [-0.01, 1.01, 2.0])
+def test_fraction_out_of_range_rejected(fraction):
+    with pytest.raises(AdversaryPlanError, match="fraction"):
+        AdversaryPlan(fraction=fraction)
+
+
+def test_empty_behavior_pool_rejected():
+    with pytest.raises(AdversaryPlanError, match="non-empty"):
+        AdversaryPlan(behaviors=())
+
+
+def test_unknown_behavior_rejected():
+    with pytest.raises(AdversaryPlanError, match="unknown behavior"):
+        AdversaryPlan(behaviors=("gossip",))
+
+
+def test_unknown_assignment_behavior_rejected():
+    with pytest.raises(AdversaryPlanError, match="unknown behavior"):
+        AdversaryPlan(assignments=((0, "gossip"),))
+
+
+def test_negative_assignment_index_rejected():
+    with pytest.raises(AdversaryPlanError, match="node index"):
+        AdversaryPlan(assignments=((-1, ACCUSE),))
+
+
+def test_duplicate_assignment_rejected():
+    with pytest.raises(AdversaryPlanError, match="two behaviors"):
+        AdversaryPlan(assignments=((4, ACCUSE), (4, RENEGE)))
+
+
+def test_negative_start_round_rejected():
+    with pytest.raises(AdversaryPlanError, match="start_round"):
+        AdversaryPlan(start_round=-1)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"under_factor": 0.0},
+        {"under_factor": 1.5},
+        {"over_factor": 0.5},
+        {"inflate_factor": 0.99},
+    ],
+)
+def test_lie_factor_bounds_rejected(kwargs):
+    with pytest.raises(AdversaryPlanError):
+        AdversaryPlan(**kwargs)
+
+
+def test_behavior_subset_accepted():
+    plan = AdversaryPlan(fraction=0.2, behaviors=(UNDER_REPORT, RENEGE))
+    assert plan.behaviors == (UNDER_REPORT, RENEGE)

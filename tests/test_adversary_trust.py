@@ -1,0 +1,264 @@
+"""The trust-scored defense layer: audits, envelopes, quarantine.
+
+Drives :class:`repro.adversary.TrustedAggregation` directly (no
+balancer) so each evidence channel and the hysteresis machinery can be
+pinned in isolation, plus the base-gate memory-bound regression
+(``AggregateSanity._last_good`` eviction under churn).
+"""
+
+import numpy as np
+import pytest
+
+from repro.adversary import TrustedAggregation
+from repro.core.lbi import AggregateSanity
+from repro.util.rng import ensure_rng
+
+
+def _trust_layer(seed=3):
+    return TrustedAggregation(2, rng=ensure_rng(seed), metrics=None)
+
+
+def _always_audit(layer):
+    """Force every report to be audited (determinism shortcut for tests)."""
+    layer.AUDIT_RATE = 1.1
+    return layer
+
+
+def _never_audit(layer):
+    layer.AUDIT_RATE = -1.0
+    return layer
+
+
+# ----------------------------------------------------------------------
+# Witness audits
+# ----------------------------------------------------------------------
+def test_failed_audit_substitutes_truth_and_charges_trust():
+    layer = _always_audit(_trust_layer())
+    layer.begin_round(0, alive_indices=[0])
+    claimed = (25.0, 10.0, 2.0)  # truth is 100.0: a 4x under-report
+    restored = layer.witness_check(0, claimed, (100.0, 10.0, 2.0))
+    assert restored == (100.0, 10.0, 2.0)
+    assert layer.trust_of(0) == pytest.approx(1.0 - layer.PENALTY_AUDIT)
+
+
+def test_clean_audit_passes_claim_through_unchanged():
+    layer = _always_audit(_trust_layer())
+    layer.begin_round(0, alive_indices=[0])
+    claimed = (100.0, 10.0, 2.0)
+    assert layer.witness_check(0, claimed, claimed) == claimed
+    assert layer.trust_of(0) == pytest.approx(1.0)
+
+
+def test_audit_sampling_is_seeded():
+    def audited_set(seed):
+        layer = _trust_layer(seed)
+        layer.begin_round(0, alive_indices=list(range(50)))
+        hit = []
+        for node in range(50):
+            truth = (100.0, 10.0, 2.0)
+            if layer.witness_check(node, (50.0, 10.0, 2.0), truth) == truth:
+                hit.append(node)
+        return hit
+
+    assert audited_set(3) == audited_set(3)
+    assert audited_set(3) != audited_set(4)
+
+
+# ----------------------------------------------------------------------
+# Quarantine / rejoin hysteresis
+# ----------------------------------------------------------------------
+def _charge_to_quarantine(layer, node):
+    """Fail audits until the node's trust falls below the threshold."""
+    rounds = 0
+    while layer.trust_of(node) >= layer.QUARANTINE_THRESHOLD:
+        layer.begin_round(rounds, alive_indices=[node])
+        layer.witness_check(node, (25.0, 10.0, 2.0), (100.0, 10.0, 2.0))
+        rounds += 1
+    layer.begin_round(rounds, alive_indices=[node])
+    return rounds
+
+
+def test_quarantine_rejects_reports_at_the_gate():
+    layer = _always_audit(_trust_layer())
+    _charge_to_quarantine(layer, 0)
+    assert 0 in layer.excluded
+    assert layer.admit(0, 100.0, 10.0, 2.0, epoch=layer._epoch) is None
+
+
+def test_recovery_credit_withheld_for_one_round_after_penalty():
+    layer = _always_audit(_trust_layer())
+    layer.begin_round(0, alive_indices=[0])
+    layer.witness_check(0, (25.0, 10.0, 2.0), (100.0, 10.0, 2.0))
+    after_penalty = layer.trust_of(0)
+    layer.begin_round(1, alive_indices=[0])  # penalized last round: no credit
+    assert layer.trust_of(0) == pytest.approx(after_penalty)
+    layer.begin_round(2, alive_indices=[0])  # clean round: credit resumes
+    assert layer.trust_of(0) == pytest.approx(
+        after_penalty + layer.RECOVERY_CREDIT
+    )
+
+
+def test_rejoin_goes_through_probation_with_hysteresis():
+    layer = _always_audit(_trust_layer())
+    rounds = _charge_to_quarantine(layer, 0)
+    assert 0 in layer.excluded
+    # Trust must climb past the *higher* rejoin threshold, not merely
+    # back over the quarantine threshold.
+    while 0 in layer.excluded:
+        rounds += 1
+        layer.begin_round(rounds, alive_indices=[0])
+        if 0 in layer.excluded:
+            assert layer.trust_of(0) < layer.REJOIN_THRESHOLD
+    assert layer.trust_of(0) >= layer.REJOIN_THRESHOLD
+    # Released into probation: every report audited until the countdown
+    # clears.
+    _never_audit(layer)  # probation must force audits regardless of rate
+    for _ in range(layer.PROBATION_ROUNDS):
+        assert 0 in layer._probation
+        truth = (100.0, 10.0, 2.0)
+        assert layer.witness_check(0, truth, truth) == truth
+    assert 0 not in layer._probation
+
+
+def test_probation_resets_to_quarantine_on_a_new_breach():
+    layer = _always_audit(_trust_layer())
+    rounds = _charge_to_quarantine(layer, 0)
+    while 0 in layer.excluded:
+        rounds += 1
+        layer.begin_round(rounds, alive_indices=[0])
+    # One failed audit while on probation sends trust down again; the
+    # next begin_round re-quarantines (probation does not shield).
+    while layer.trust_of(0) >= layer.QUARANTINE_THRESHOLD:
+        layer.witness_check(0, (25.0, 10.0, 2.0), (100.0, 10.0, 2.0))
+    layer.begin_round(rounds + 1, alive_indices=[0])
+    assert 0 in layer.excluded
+    assert 0 not in layer._probation
+
+
+# ----------------------------------------------------------------------
+# Accusation and transfer-outcome channels
+# ----------------------------------------------------------------------
+def test_refuted_accusation_charges_the_accuser():
+    layer = _trust_layer()
+    layer.begin_round(0, alive_indices=[0, 1])
+    layer.refute_accusation(1)
+    assert layer.trust_of(1) == pytest.approx(1.0 - layer.PENALTY_ACCUSE)
+
+
+def test_quarantined_accuser_is_ignored():
+    layer = _always_audit(_trust_layer())
+    _charge_to_quarantine(layer, 0)
+    before = layer.trust_of(0)
+    layer.refute_accusation(0)
+    assert layer.trust_of(0) == pytest.approx(before)
+
+
+def test_renege_charges_the_source():
+    layer = _trust_layer()
+    layer.begin_round(0, alive_indices=[0])
+    layer.note_renege(0)
+    assert layer.trust_of(0) == pytest.approx(1.0 - layer.PENALTY_RENEGE)
+
+
+# ----------------------------------------------------------------------
+# EWMA envelopes
+# ----------------------------------------------------------------------
+def test_envelope_breach_penalizes_but_admits():
+    layer = _never_audit(_trust_layer())
+    layer.begin_round(0, alive_indices=[0])
+    assert layer.admit(0, 100.0, 10.0, 2.0, epoch=0) is not None
+    # A wild swing far outside ENVELOPE_FACTOR deviations: admitted,
+    # but the envelope charges a (small) suspicion penalty.
+    admitted = layer.admit(0, 5000.0, 10.0, 2.0, epoch=0)
+    assert admitted == (5000.0, 10.0, 2.0)
+    assert layer.trust_of(0) == pytest.approx(1.0 - layer.PENALTY_ENVELOPE)
+
+
+def test_note_transfer_keeps_honest_movement_inside_the_envelope():
+    layer = _never_audit(_trust_layer())
+    layer.begin_round(0, alive_indices=[0, 1])
+    layer.admit(0, 1000.0, 10.0, 2.0, epoch=0)
+    layer.admit(1, 10.0, 10.0, 2.0, epoch=0)
+    # The balancer reports a delivered 900-unit transfer 0 -> 1; both
+    # endpoints' expected next report follows the executed delta.
+    layer.note_transfer(0, 1, 900.0)
+    layer.begin_round(1, alive_indices=[0, 1])
+    layer.admit(0, 100.0, 10.0, 2.0, epoch=1)
+    layer.admit(1, 910.0, 10.0, 2.0, epoch=1)
+    assert layer.trust_of(0) == pytest.approx(1.0)
+    assert layer.trust_of(1) == pytest.approx(1.0)
+
+
+def test_envelope_supersedes_the_blind_delta_heuristic():
+    """A transfer-accounted swing passes where the base rule would reject.
+
+    The base gate's rule 5 bounds swings at ``DELTA_FACTOR * (C +
+    L_last)``; an honest node absorbing far more than that in one heavy
+    rebalancing round must not be swapped for its stale last-good value
+    once the defense tracks the executed deltas.
+    """
+    swing = AggregateSanity.DELTA_FACTOR * (10.0 + 10.0) * 10  # >> rule 5
+    base = AggregateSanity(2)
+    base.begin_round(0)
+    base.admit(0, 10.0, 10.0, 2.0, epoch=0)
+    assert base.admit(0, swing, 10.0, 2.0, epoch=0) == (10.0, 10.0, 2.0)
+
+    layer = _never_audit(_trust_layer())
+    layer.begin_round(0, alive_indices=[0])
+    layer.admit(0, 10.0, 10.0, 2.0, epoch=0)
+    layer.note_transfer(1, 0, swing - 10.0)
+    assert layer.admit(0, swing, 10.0, 2.0, epoch=0) == (swing, 10.0, 2.0)
+
+
+# ----------------------------------------------------------------------
+# Memory bounds under churn (the base-gate regression) and state eviction
+# ----------------------------------------------------------------------
+def test_last_good_memory_is_bounded_under_churn():
+    """``AggregateSanity._last_good`` evicts departed nodes (regression).
+
+    Before the fix the map grew monotonically: every node that ever
+    reported stayed in memory forever, an unbounded leak under
+    sustained churn.
+    """
+    gate = AggregateSanity(2)
+    for epoch in range(50):
+        cohort = list(range(epoch * 10, epoch * 10 + 10))
+        gate.begin_round(epoch, alive_indices=cohort)
+        for node in cohort:
+            gate.admit(node, 100.0, 10.0, 2.0, epoch=epoch)
+        assert set(gate._last_good) == set(cohort)
+
+
+def test_eviction_is_skipped_without_an_alive_view():
+    gate = AggregateSanity(2)
+    gate.begin_round(0, alive_indices=[0, 1])
+    gate.admit(0, 100.0, 10.0, 2.0, epoch=0)
+    gate.admit(1, 100.0, 10.0, 2.0, epoch=0)
+    gate.begin_round(1)  # legacy call shape: no view, no eviction
+    assert set(gate._last_good) == {0, 1}
+
+
+def test_trust_state_evicts_departed_nodes():
+    layer = _always_audit(_trust_layer())
+    layer.begin_round(0, alive_indices=[0, 1])
+    layer.admit(0, 100.0, 10.0, 2.0, epoch=0)
+    layer.witness_check(1, (25.0, 10.0, 2.0), (100.0, 10.0, 2.0))
+    assert 0 in layer._ewma and 1 in layer._trust
+    layer.begin_round(1, alive_indices=[2])  # both departed
+    assert not layer._ewma
+    assert not layer._trust
+    assert not layer._quarantined
+
+
+def test_audit_stream_is_the_engines():
+    """The layer consumes the generator it was handed (snapshot contract)."""
+    gen = ensure_rng(7)
+    layer = TrustedAggregation(2, rng=gen, metrics=None)
+    state_before = gen.bit_generator.state["state"]["state"]
+    layer.begin_round(0, alive_indices=[0])
+    layer.witness_check(0, (1.0, 1.0, 1.0), (1.0, 1.0, 1.0))
+    assert gen.bit_generator.state["state"]["state"] != state_before
+
+
+def test_rng_type_is_numpy_generator():
+    assert isinstance(_trust_layer()._audit_rng, np.random.Generator)

@@ -13,8 +13,8 @@ class TestRegistry:
     def test_all_experiments_listed(self):
         names = [n for n, _ in list_experiments()]
         assert names == [
-            "chaos", "convergence", "fig4", "fig5", "fig6", "fig7", "fig8",
-            "partition", "timing", "variance",
+            "byzantine", "chaos", "convergence", "fig4", "fig5", "fig6",
+            "fig7", "fig8", "partition", "timing", "variance",
         ]
 
     def test_get_unknown_raises(self):
